@@ -1,0 +1,69 @@
+// Command costmodel explores the §5 analytical failure-overhead model:
+// optimal checkpointing frequency, wasted-work fractions for periodic and
+// just-in-time checkpointing across GPU counts, the JIT/periodic crossover
+// point, and the §5.1 dollar-cost estimates.
+//
+// Examples:
+//
+//	costmodel -o 5 -r 9.9 -m 0.418 -f 0.002        # BERT-L-PT constants
+//	costmodel -o 18.8 -r 28.6 -m 2.953 -max-n 65536
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"jitckpt/internal/analysis"
+	"jitckpt/internal/metrics"
+)
+
+func main() {
+	o := flag.Float64("o", 5, "checkpoint overhead per GPU, seconds (Table 4)")
+	r := flag.Float64("r", 9.9, "fixed recovery cost per failure per GPU, seconds")
+	m := flag.Float64("m", 0.418, "minibatch time, seconds")
+	f := flag.Float64("f", 0.002, "failures per GPU per day")
+	ojit := flag.Float64("ojit", 0, "JIT steady-state overhead fraction")
+	maxN := flag.Int("max-n", 16384, "largest GPU count to evaluate")
+	price := flag.Float64("price", 4, "dollars per GPU-hour")
+	flag.Parse()
+
+	base := analysis.Params{O: *o, R: *r, M: *m, F: analysis.PerDay(*f), OJit: *ojit}
+
+	t := metrics.NewTable("Wasted GPU time vs scale",
+		"N", "c* (/hr)", "interval", "wf Periodic", "wf UserJIT", "wf TransparentJIT", "$/month @N")
+	var ns []int
+	for n := 4; n <= *maxN; n *= 4 {
+		ns = append(ns, n)
+	}
+	for _, sc := range analysis.ScaleModel(base, ns) {
+		p := base
+		p.N = sc.N
+		// Monthly dollar cost of the periodic policy's wasted time.
+		wf := sc.WfPeriodic
+		hoursPerMonth := 24.0 * 30
+		cost := wf * hoursPerMonth * float64(sc.N) * *price
+		interval := "-"
+		if sc.CStarPerHour > 0 {
+			interval = fmt.Sprintf("%.1f min", 60/sc.CStarPerHour)
+		}
+		t.Row(sc.N,
+			fmt.Sprintf("%.2f", sc.CStarPerHour),
+			interval,
+			fmt.Sprintf("%.3f%%", 100*sc.WfPeriodic),
+			fmt.Sprintf("%.3f%%", 100*sc.WfUserJIT),
+			fmt.Sprintf("%.3f%%", 100*sc.WfTransparentJIT),
+			fmt.Sprintf("$%.0f", cost))
+	}
+	fmt.Println(t.Render())
+
+	if n := analysis.CrossoverN(base, *maxN*64); n >= 0 {
+		fmt.Printf("User-level JIT beats optimal periodic checkpointing from N = %d GPUs.\n", n)
+	} else {
+		fmt.Println("User-level JIT does not beat periodic checkpointing below the N limit.")
+	}
+	fmt.Println()
+
+	fmt.Println("§5.1 reference estimates:")
+	fmt.Printf("  1,000 GPUs, 1 error/day, 15 min lost:  $%.0f/month\n", analysis.DollarCost(1000, 1, 0.25, *price))
+	fmt.Printf("  10,000 GPUs, 10 errors/day, 15 min lost: $%.0f/month\n", analysis.DollarCost(10000, 10, 0.25, *price))
+}

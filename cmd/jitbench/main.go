@@ -1,0 +1,106 @@
+// Command jitbench regenerates the paper's evaluation tables (Tables 1–8
+// plus the §5.1 cost estimates and the §6.5 worked example) from the
+// simulation and prints them in the paper's layout.
+//
+// Usage:
+//
+//	jitbench               # all tables
+//	jitbench -table 5      # one table
+//	jitbench -iters 20     # longer measurement runs
+//	jitbench -quick        # small model subset (fast smoke run)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"jitckpt/internal/experiments"
+)
+
+func main() {
+	table := flag.Int("table", 0, "table number to regenerate (0 = all)")
+	iters := flag.Int("iters", 10, "minibatches per measurement run")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	quick := flag.Bool("quick", false, "run a small model subset")
+	flag.Parse()
+
+	opt := experiments.Options{Iters: *iters, Seed: *seed}
+	if err := run(*table, opt, *quick); err != nil {
+		fmt.Fprintf(os.Stderr, "jitbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(table int, opt experiments.Options, quick bool) error {
+	want := func(n int) bool { return table == 0 || table == n }
+
+	t3models := experiments.Table3Models()
+	t4models := experiments.Table4Models()
+	t5models := experiments.Table5Models()
+	t6models := experiments.Table6Models()
+	t7models := experiments.Table7Models()
+	if quick {
+		t3models = t3models[:2]
+		t4models = t4models[:2]
+		t5models = t5models[:2]
+		t6models = t6models[:2]
+		t7models = t7models[:2]
+	}
+
+	if want(1) {
+		fmt.Println(experiments.Table1().Render())
+	}
+	if want(2) {
+		fmt.Println(experiments.Table2().Render())
+	}
+
+	var t3rows []experiments.Table3Row
+	var t4rows []experiments.Table4Row
+	var err error
+	if want(3) || want(8) {
+		if t3rows, err = experiments.RunTable3(t3models, opt); err != nil {
+			return fmt.Errorf("table 3: %w", err)
+		}
+	}
+	if want(3) {
+		fmt.Println(experiments.RenderTable3(t3rows).Render())
+	}
+	if want(4) || want(8) {
+		if t4rows, err = experiments.RunTable4(t4models, opt); err != nil {
+			return fmt.Errorf("table 4: %w", err)
+		}
+	}
+	if want(4) {
+		fmt.Println(experiments.RenderTable4(t4rows).Render())
+	}
+	if want(5) {
+		rows, err := experiments.RunTable5(t5models, opt)
+		if err != nil {
+			return fmt.Errorf("table 5: %w", err)
+		}
+		fmt.Println(experiments.RenderTable5(rows).Render())
+	}
+	if want(6) {
+		rows, err := experiments.RunTable6(t6models, opt)
+		if err != nil {
+			return fmt.Errorf("table 6: %w", err)
+		}
+		fmt.Println(experiments.RenderTable6(rows).Render())
+	}
+	if want(7) {
+		rows, err := experiments.RunTable7(t7models, opt)
+		if err != nil {
+			return fmt.Errorf("table 7: %w", err)
+		}
+		fmt.Println(experiments.RenderTable7(rows).Render())
+	}
+	if want(8) {
+		fmt.Println(experiments.RenderTable8(experiments.RunTable8(t4rows, t3rows)).Render())
+	}
+	if table == 0 {
+		fmt.Println(experiments.DollarCostTable().Render())
+		fmt.Println(experiments.BertWorkedExample().Render())
+	}
+	return nil
+}

@@ -1,0 +1,137 @@
+// Command jitsim runs one simulated training job under a chosen
+// checkpointing policy with an optional injected failure, and reports the
+// outcome: wall time, wasted-work accounting, recovery episodes with their
+// step breakdown, and the loss trace tail.
+//
+// Examples:
+//
+//	jitsim -workload BERT-B-FT -policy transparent -fail network-hang -fail-iter 5
+//	jitsim -workload GPT2-18B -policy userjit -fail gpu-hard -iters 12
+//	jitsim -workload GPT2-S -policy pc_disk -iters 30 -trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"jitckpt/internal/core"
+	"jitckpt/internal/failure"
+	"jitckpt/internal/vclock"
+	"jitckpt/internal/workload"
+)
+
+var policies = map[string]core.Policy{
+	"none":        core.PolicyNone,
+	"pc_disk":     core.PolicyPCDisk,
+	"pc_mem":      core.PolicyPCMem,
+	"checkfreq":   core.PolicyCheckFreq,
+	"pc_daily":    core.PolicyPCDaily,
+	"userjit":     core.PolicyUserJIT,
+	"transparent": core.PolicyTransparentJIT,
+	"jit+daily":   core.PolicyJITWithDaily,
+}
+
+var kinds = map[string]failure.Kind{
+	"gpu-hard":       failure.GPUHard,
+	"gpu-sticky":     failure.GPUSticky,
+	"driver-corrupt": failure.DriverCorrupt,
+	"network-hang":   failure.NetworkHang,
+	"network-error":  failure.NetworkError,
+}
+
+func main() {
+	wlName := flag.String("workload", "BERT-B-FT", "workload name (see jitbench -table 2)")
+	policy := flag.String("policy", "transparent", "none|pc_disk|pc_mem|checkfreq|pc_daily|userjit|transparent|jit+daily")
+	iters := flag.Int("iters", 12, "useful minibatches to complete")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	failKind := flag.String("fail", "", "inject failure: gpu-hard|gpu-sticky|driver-corrupt|network-hang|network-error")
+	failIter := flag.Int("fail-iter", 5, "iteration the failure fires in")
+	failFrac := flag.Float64("fail-frac", 0.4, "fraction of the minibatch before the failure fires")
+	failRank := flag.Int("fail-rank", -1, "rank to fail (-1 = last data-parallel replica)")
+	trace := flag.Bool("trace", false, "print the simulation trace to stderr")
+	lossTail := flag.Int("loss", 5, "loss-trace entries to print")
+	flag.Parse()
+
+	wl, err := workload.ByName(*wlName)
+	if err != nil {
+		fatal(err)
+	}
+	pol, ok := policies[*policy]
+	if !ok {
+		fatal(fmt.Errorf("unknown policy %q", *policy))
+	}
+	cfg := core.JobConfig{
+		WL: wl, Policy: pol, Iters: *iters, Seed: *seed,
+		SpareNodes: wl.Nodes + 1, CollectLoss: true,
+	}
+	if *trace {
+		cfg.Trace = func(at vclock.Time, format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, "[%v] %s\n", at, fmt.Sprintf(format, args...))
+		}
+	}
+	if *failKind != "" {
+		kind, ok := kinds[*failKind]
+		if !ok {
+			fatal(fmt.Errorf("unknown failure kind %q", *failKind))
+		}
+		rank := *failRank
+		if rank < 0 {
+			rank = wl.Topo.Rank(wl.Topo.D-1, 0, 0)
+		}
+		cfg.IterFailures = []core.IterInjection{{Iter: *failIter, Frac: *failFrac, Rank: rank, Kind: kind}}
+	}
+
+	res, err := core.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	report(res, *lossTail)
+	if !res.Completed {
+		os.Exit(2)
+	}
+}
+
+func report(res *core.RunResult, lossTail int) {
+	fmt.Printf("policy:       %v\n", res.Policy)
+	fmt.Printf("completed:    %v\n", res.Completed)
+	fmt.Printf("wall time:    %v\n", res.WallTime)
+	fmt.Printf("minibatch:    %v\n", res.Minibatch)
+	fmt.Printf("iterations:   %d executed (incl. redone)\n", res.ItersExecuted)
+	fmt.Printf("incarnations: %d\n", res.Incarnations)
+	fmt.Printf("accounting:   %s\n", res.Accounting.String())
+	if res.JITCheckpointTime > 0 {
+		fmt.Printf("jit ckpt:     %v, restore: %v\n", res.JITCheckpointTime, res.RestoreTime)
+	}
+	for i, rep := range res.Reports {
+		fmt.Printf("recovery #%d:  kind=%s total=%v healthy=%v failed=%v\n",
+			i+1, rep.Kind, rep.Total(), rep.HealthyAvg, rep.FailedAvg)
+		var steps []string
+		for _, ph := range rep.Phases {
+			steps = append(steps, fmt.Sprintf("%s=%v", ph.Name, ph.Dur))
+		}
+		fmt.Printf("              %s\n", strings.Join(steps, " "))
+	}
+	if len(res.Loss) > 0 {
+		iters := make([]int, 0, len(res.Loss))
+		for it := range res.Loss {
+			iters = append(iters, it)
+		}
+		sort.Ints(iters)
+		if len(iters) > lossTail {
+			iters = iters[len(iters)-lossTail:]
+		}
+		fmt.Printf("loss tail:   ")
+		for _, it := range iters {
+			fmt.Printf(" [%d]=%.6f", it, res.Loss[it])
+		}
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "jitsim: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,90 @@
+// Quickstart: run a 4-GPU data-parallel training job with user-level
+// just-in-time checkpointing, kill one GPU mid-training, and watch the job
+// recover by replaying exactly one minibatch — with a loss trajectory that
+// matches the failure-free run bit for bit.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sort"
+
+	"jitckpt/internal/core"
+	"jitckpt/internal/failure"
+	"jitckpt/internal/train"
+	"jitckpt/internal/vclock"
+	"jitckpt/internal/workload"
+)
+
+func main() {
+	// A small data-parallel workload: 4 GPUs on 2 nodes, 50 ms
+	// minibatches, Adam. Any Table 2 workload works the same way.
+	wl := workload.Workload{
+		Name: "quickstart", GPU: "A100-80GB", ParamsB: 0.01, Nodes: 2, PerNode: 2,
+		Topo:       train.Topology{D: 4, P: 1, T: 1},
+		Minibatch:  50 * vclock.Millisecond,
+		CkptTarget: vclock.Seconds(0.5), RestoreTarget: vclock.Seconds(1),
+		NCCLInitBase: 200 * vclock.Millisecond, NCCLInitPerRank: 5 * vclock.Millisecond,
+		Teardown: 100 * vclock.Millisecond, CRIU: vclock.Second,
+		Layers: 2, Hidden: 8,
+	}
+	const iters = 20
+
+	// Reference: the same job with no failures.
+	ref, err := core.Run(core.JobConfig{
+		WL: wl, Policy: core.PolicyUserJIT, Iters: iters, Seed: 7, CollectLoss: true,
+	})
+	if err != nil || !ref.Completed {
+		log.Fatalf("reference run failed: %v", err)
+	}
+
+	// The real run: rank 3's GPU dies hard in the middle of minibatch 10.
+	res, err := core.Run(core.JobConfig{
+		WL: wl, Policy: core.PolicyUserJIT, Iters: iters, Seed: 7, CollectLoss: true,
+		SpareNodes:   1,
+		HangTimeout:  2 * vclock.Second,
+		IterFailures: []core.IterInjection{{Iter: 10, Frac: 0.5, Rank: 3, Kind: failure.GPUHard}},
+	})
+	if err != nil || !res.Completed {
+		log.Fatalf("run failed: %v (completed=%v)", err, res != nil && res.Completed)
+	}
+
+	fmt.Println("Just-in-time checkpointing quickstart")
+	fmt.Println("=====================================")
+	fmt.Printf("GPU hard failure injected on rank 3 at minibatch 10.\n\n")
+	fmt.Printf("Healthy replicas detected the hang, stole the GIL from the wedged\n")
+	fmt.Printf("main thread, and checkpointed their GPU state just in time:\n")
+	fmt.Printf("  JIT checkpoint:  %v\n", res.JITCheckpointTime)
+	fmt.Printf("  restore:         %v\n", res.RestoreTime)
+	fmt.Printf("  job restarts:    %d (1 = never failed)\n", res.Incarnations)
+	fmt.Printf("  minibatches redone: %d (JIT's bound is 1)\n\n", res.ItersExecuted-iters)
+
+	// Semantic preservation: the loss trajectory is bit-identical.
+	var its []int
+	for it := range ref.Loss {
+		its = append(its, it)
+	}
+	sort.Ints(its)
+	exact := true
+	for _, it := range its {
+		if math.Float32bits(ref.Loss[it]) != math.Float32bits(res.Loss[it]) {
+			exact = false
+		}
+	}
+	fmt.Println("Loss trajectory (failure-free vs recovered):")
+	for _, it := range its {
+		marker := ""
+		if it == 10 {
+			marker = "   <- failure + JIT recovery here"
+		}
+		fmt.Printf("  iter %2d: %.6f  %.6f%s\n", it, ref.Loss[it], res.Loss[it], marker)
+	}
+	if exact {
+		fmt.Println("\nExact floating-point match — recovery preserved training semantics.")
+	} else {
+		fmt.Println("\nWARNING: loss trajectories diverged!")
+	}
+}

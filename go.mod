@@ -1,0 +1,3 @@
+module jitckpt
+
+go 1.22

@@ -1,0 +1,201 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+
+	"jitckpt/internal/train"
+	"jitckpt/internal/vclock"
+)
+
+// Meta is the metadata object written last, whose presence signals a
+// complete and clean rank checkpoint (§3.2: "a metadata file is stored at
+// the end, which signals a complete and clean checkpoint").
+type Meta struct {
+	Iter     int
+	Rank     int
+	Checksum uint64 // FNV-1a over the data object's bytes
+	DataLen  int
+}
+
+// RankDir builds the rank-dependent checkpoint directory: each rank saves
+// into its own directory so simultaneous JIT checkpoints cannot collide.
+func RankDir(job, policy string, iter, rank int) string {
+	return fmt.Sprintf("%s/ckpt/%s/iter%08d/rank%04d", job, policy, iter, rank)
+}
+
+// parseRankDir extracts (iter, rank) from a RankDir path.
+func parseRankDir(dir string) (iter, rank int, ok bool) {
+	parts := strings.Split(dir, "/")
+	if len(parts) < 2 {
+		return 0, 0, false
+	}
+	it := parts[len(parts)-2]
+	rk := parts[len(parts)-1]
+	if !strings.HasPrefix(it, "iter") || !strings.HasPrefix(rk, "rank") {
+		return 0, 0, false
+	}
+	i, err1 := strconv.Atoi(strings.TrimPrefix(it, "iter"))
+	r, err2 := strconv.Atoi(strings.TrimPrefix(rk, "rank"))
+	return i, r, err1 == nil && err2 == nil
+}
+
+func dataPath(dir string) string { return dir + "/model.bin" }
+func metaPath(dir string) string { return dir + "/META" }
+
+func hashBytes(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
+}
+
+// WriteRank writes one rank's checkpoint with the two-phase commit
+// protocol: data first, META last. modelBytes is the modelled state size
+// that drives write timing.
+func WriteRank(p *vclock.Proc, st *Store, dir string, ms *train.ModelState, modelBytes int64) error {
+	data, err := ms.Encode()
+	if err != nil {
+		return err
+	}
+	if err := st.Write(p, dataPath(dir), data, modelBytes); err != nil {
+		return err
+	}
+	meta := Meta{Iter: ms.Iter, Rank: ms.Rank, Checksum: hashBytes(data), DataLen: len(data)}
+	var mb bytes.Buffer
+	if err := gob.NewEncoder(&mb).Encode(meta); err != nil {
+		return err
+	}
+	return st.Write(p, metaPath(dir), mb.Bytes(), 256)
+}
+
+// ReadMeta reads and decodes a rank checkpoint's metadata.
+func ReadMeta(p *vclock.Proc, st *Store, dir string) (Meta, error) {
+	raw, err := st.Read(p, metaPath(dir))
+	if err != nil {
+		return Meta{}, err
+	}
+	var m Meta
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&m); err != nil {
+		return Meta{}, fmt.Errorf("%w: bad META in %s: %v", ErrCorrupt, dir, err)
+	}
+	return m, nil
+}
+
+// Valid reports whether dir holds a complete rank checkpoint: META
+// present (it is written last, so its existence certifies a clean save)
+// and the data object present with the recorded length. This is the §3.3
+// "discarding corrupted checkpoints" check at metadata cost; the content
+// checksum is verified when the checkpoint is actually read (ReadRank).
+func Valid(p *vclock.Proc, st *Store, dir string) bool {
+	m, err := ReadMeta(p, st, dir)
+	if err != nil {
+		return false
+	}
+	length, ok := st.Stat(p, dataPath(dir))
+	return ok && length == m.DataLen
+}
+
+// ReadRank reads and validates one rank's checkpoint.
+func ReadRank(p *vclock.Proc, st *Store, dir string) (*train.ModelState, error) {
+	m, err := ReadMeta(p, st, dir)
+	if err != nil {
+		return nil, err
+	}
+	data, err := st.Read(p, dataPath(dir))
+	if err != nil {
+		return nil, err
+	}
+	if len(data) != m.DataLen || hashBytes(data) != m.Checksum {
+		return nil, fmt.Errorf("%w: %s fails checksum", ErrCorrupt, dir)
+	}
+	return train.DecodeModelState(data)
+}
+
+// Assembly maps each rank of a job to the checkpoint directory it should
+// restore from — its own if valid, otherwise any valid data-parallel
+// replica's (§3.3, the jit_get_checkpoint_path mechanism).
+type Assembly struct {
+	Iter int
+	// Dir maps rank -> checkpoint directory to load.
+	Dir map[int]string
+}
+
+// Assemble scans the store for the job's checkpoints under policy and
+// builds a consistent restore plan for all ranks. Candidate iterations are
+// examined newest-first; an iteration is usable only if every position
+// (p, t, shard-slot) has at least one valid rank checkpoint. Invalid or
+// torn rank checkpoints are skipped, so a rank that died mid-save is
+// simply ignored in favour of a replica.
+func Assemble(p *vclock.Proc, st *Store, job, policy string, topo train.Topology) (*Assembly, error) {
+	prefix := fmt.Sprintf("%s/ckpt/%s/", job, policy)
+	// Collect candidate dirs grouped by iteration.
+	byIter := make(map[int][]string)
+	seen := make(map[string]bool)
+	for _, path := range st.List(prefix) {
+		dir := path[:strings.LastIndex(path, "/")]
+		if seen[dir] {
+			continue
+		}
+		seen[dir] = true
+		iter, _, ok := parseRankDir(dir)
+		if !ok {
+			continue
+		}
+		byIter[iter] = append(byIter[iter], dir)
+	}
+	iters := make([]int, 0, len(byIter))
+	for it := range byIter {
+		iters = append(iters, it)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(iters)))
+
+	for _, it := range iters {
+		asm, ok := tryAssemble(p, st, byIter[it], it, topo)
+		if ok {
+			return asm, nil
+		}
+	}
+	return nil, ErrUnassembled
+}
+
+// positionKey identifies ranks whose checkpoints are interchangeable.
+func positionKey(topo train.Topology, rank int) string {
+	d, pp, tt := topo.Coords(rank)
+	if topo.FSDP() {
+		return fmt.Sprintf("p%d.t%d.s%d", pp, tt, d%topo.FSDPShard)
+	}
+	return fmt.Sprintf("p%d.t%d", pp, tt)
+}
+
+func tryAssemble(p *vclock.Proc, st *Store, dirs []string, iter int, topo train.Topology) (*Assembly, bool) {
+	// Valid checkpoint per position.
+	havePos := make(map[string]string)
+	for _, dir := range dirs {
+		_, rank, ok := parseRankDir(dir)
+		if !ok || rank >= topo.World() {
+			continue
+		}
+		key := positionKey(topo, rank)
+		if _, done := havePos[key]; done {
+			continue
+		}
+		if Valid(p, st, dir) {
+			havePos[key] = dir
+		}
+	}
+	// Every position must be covered.
+	asm := &Assembly{Iter: iter, Dir: make(map[int]string)}
+	for r := 0; r < topo.World(); r++ {
+		dir, ok := havePos[positionKey(topo, r)]
+		if !ok {
+			return nil, false
+		}
+		asm.Dir[r] = dir
+	}
+	return asm, true
+}

@@ -1,0 +1,151 @@
+// Package checkpoint implements checkpoint storage and the checkpointing
+// policies the paper compares: the shared checkpoint store, the
+// rank-directory commit protocol (§3.2), checkpoint assembly across
+// replicas (§3.3), and the periodic-checkpointing baselines of §6.3
+// (PC_disk, PC_mem, CheckFreq-style overlapped snapshotting, and
+// low-frequency PC_1/day).
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"jitckpt/internal/gpu"
+	"jitckpt/internal/vclock"
+)
+
+// Errors returned by the store and assembly.
+var (
+	ErrNotFound    = errors.New("checkpoint: not found")
+	ErrCorrupt     = errors.New("checkpoint: corrupt or incomplete")
+	ErrUnassembled = errors.New("checkpoint: no consistent checkpoint set")
+)
+
+// StoreParams model a storage tier's performance.
+type StoreParams struct {
+	// WriteBW and ReadBW are bytes/second for modelled payload sizes.
+	WriteBW float64
+	ReadBW  float64
+	// Latency is the fixed per-operation cost.
+	Latency vclock.Time
+}
+
+// DiskParams returns parameters for a shared NVMe-backed store.
+func DiskParams() StoreParams {
+	return StoreParams{WriteBW: 5e9, ReadBW: 8e9, Latency: 2 * vclock.Millisecond}
+}
+
+// TmpfsParams returns parameters for node-local CPU memory (the PC_mem
+// tier: "a Linux tmpfs mount").
+func TmpfsParams() StoreParams {
+	return StoreParams{WriteBW: 60e9, ReadBW: 60e9, Latency: 50 * vclock.Microsecond}
+}
+
+// entry is one stored object: real bytes plus the modelled size that
+// drives transfer timing.
+type entry struct {
+	data       []byte
+	modelBytes int64
+}
+
+// Store is a simulated shared file/object store with virtual-time I/O
+// costs. Contents are real bytes, so everything written can be read back
+// and verified; timing follows the modelled payload size.
+type Store struct {
+	env    *vclock.Env
+	name   string
+	params StoreParams
+	files  map[string]entry
+}
+
+// NewStore creates an empty store.
+func NewStore(env *vclock.Env, name string, params StoreParams) *Store {
+	return &Store{env: env, name: name, params: params, files: make(map[string]entry)}
+}
+
+// Name returns the store's diagnostic name.
+func (s *Store) Name() string { return s.name }
+
+// Write stores data under path, charging modelBytes of write bandwidth.
+func (s *Store) Write(p *vclock.Proc, path string, data []byte, modelBytes int64) error {
+	p.Sleep(s.params.Latency + gpu.TransferTime(modelBytes, s.params.WriteBW))
+	s.files[path] = entry{data: append([]byte(nil), data...), modelBytes: modelBytes}
+	return nil
+}
+
+// Read returns the object at path, charging read bandwidth.
+func (s *Store) Read(p *vclock.Proc, path string) ([]byte, error) {
+	e, ok := s.files[path]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	p.Sleep(s.params.Latency + gpu.TransferTime(e.modelBytes, s.params.ReadBW))
+	return append([]byte(nil), e.data...), nil
+}
+
+// Stat returns the stored byte length of path (a metadata operation: only
+// the fixed latency is charged when p is non-nil). ok reports existence.
+func (s *Store) Stat(p *vclock.Proc, path string) (length int, ok bool) {
+	if p != nil {
+		p.Sleep(s.params.Latency)
+	}
+	e, found := s.files[path]
+	if !found {
+		return 0, false
+	}
+	return len(e.data), true
+}
+
+// Exists reports whether path is stored (a metadata operation: only the
+// fixed latency is charged, and only when p is non-nil).
+func (s *Store) Exists(p *vclock.Proc, path string) bool {
+	if p != nil {
+		p.Sleep(s.params.Latency)
+	}
+	_, ok := s.files[path]
+	return ok
+}
+
+// List returns stored paths with the given prefix, sorted.
+func (s *Store) List(prefix string) []string {
+	var out []string
+	for k := range s.files {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Delete removes an object; deleting a missing object is a no-op.
+func (s *Store) Delete(path string) { delete(s.files, path) }
+
+// Corrupt flips a byte of the object at path (failure injection for the
+// metadata-validation tests). It reports whether the object existed.
+func (s *Store) Corrupt(path string) bool {
+	e, ok := s.files[path]
+	if !ok || len(e.data) == 0 {
+		return false
+	}
+	e.data[len(e.data)/2] ^= 0xFF
+	s.files[path] = e
+	return true
+}
+
+// ModelBytes returns the modelled size of the object at path (0 if
+// missing).
+func (s *Store) ModelBytes(path string) int64 { return s.files[path].modelBytes }
+
+// CopyObject duplicates src to dst without timing (used by async drains
+// that account their own time).
+func (s *Store) CopyObject(src, dst string) error {
+	e, ok := s.files[src]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, src)
+	}
+	s.files[dst] = e
+	return nil
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"jitckpt/internal/failure"
+	"jitckpt/internal/vclock"
+)
+
+// TestCombinedPolicyJITHandlesCommonFailure: under the combined policy, an
+// ordinary single-GPU failure is handled by JIT (one minibatch redone),
+// even though periodic checkpoints also exist.
+func TestCombinedPolicyJITHandlesCommonFailure(t *testing.T) {
+	wl := testWL()
+	const iters = 20
+	ref := referenceLoss(t, wl, iters)
+	res := mustRun(t, JobConfig{
+		WL: wl, Policy: PolicyJITWithDaily, Iters: iters, Seed: 1, CollectLoss: true,
+		HangTimeout: 2 * vclock.Second, SpareNodes: 2,
+		// "Daily" scaled to simulation length: every ~6 minibatches.
+		CkptInterval: 6 * wl.Minibatch,
+		IterFailures: []IterInjection{{Iter: 14, Frac: 0.5, Rank: 3, Kind: failure.GPUHard}},
+	})
+	if !res.Completed || res.Incarnations != 2 {
+		t.Fatalf("completed=%v incarnations=%d", res.Completed, res.Incarnations)
+	}
+	// The JIT checkpoint (taken at the failure, iter 14) is newer than
+	// the periodic one (~iter 12), so only one minibatch is redone.
+	if res.ItersExecuted > iters+1 {
+		t.Fatalf("redid %d minibatches; JIT should have won the restore", res.ItersExecuted-iters)
+	}
+	if res.Accounting.Checkpoints == 0 {
+		t.Fatal("periodic companion checkpoints were never taken")
+	}
+	if !lossTracesEqual(t, ref, res.Loss, iters) {
+		t.Fatal("loss diverged")
+	}
+}
+
+// TestCombinedPolicySurvivesCatastrophicFailure: every replica dies
+// simultaneously — the case JIT alone cannot handle (no healthy replica
+// remains to checkpoint). The combined policy falls back to the most
+// recent periodic checkpoint and completes, redoing the interval since.
+func TestCombinedPolicySurvivesCatastrophicFailure(t *testing.T) {
+	wl := testWL()
+	const iters = 20
+	ref := referenceLoss(t, wl, iters)
+	kill := make([]IterInjection, wl.Topo.World())
+	for r := range kill {
+		kill[r] = IterInjection{Iter: 14, Frac: 0.5, Rank: r, Kind: failure.GPUHard}
+	}
+	res := mustRun(t, JobConfig{
+		WL: wl, Policy: PolicyJITWithDaily, Iters: iters, Seed: 1, CollectLoss: true,
+		HangTimeout:  2 * vclock.Second,
+		SpareNodes:   2, // replaces both lost nodes
+		CkptInterval: 6 * wl.Minibatch,
+		IterFailures: kill,
+	})
+	if !res.Completed {
+		t.Fatalf("catastrophic failure not survived (incarnations=%d)", res.Incarnations)
+	}
+	if res.Incarnations != 2 {
+		t.Fatalf("incarnations = %d, want 2", res.Incarnations)
+	}
+	// Recovery came from the periodic checkpoint: several minibatches
+	// redone (more than JIT's one).
+	if redo := res.ItersExecuted - iters; redo < 2 {
+		t.Fatalf("redid only %d minibatches — did a JIT checkpoint survive a total loss?", redo)
+	}
+	if !lossTracesEqual(t, ref, res.Loss, iters) {
+		t.Fatal("loss diverged after periodic-fallback recovery")
+	}
+}
+
+// TestPlainJITDiesOnCatastrophicFailure: without the periodic companion,
+// losing every replica is unrecoverable — the job cannot complete. This
+// is the failure mode that motivates the combined configuration.
+func TestPlainJITDiesOnCatastrophicFailure(t *testing.T) {
+	wl := testWL()
+	const iters = 20
+	kill := make([]IterInjection, wl.Topo.World())
+	for r := range kill {
+		kill[r] = IterInjection{Iter: 14, Frac: 0.5, Rank: r, Kind: failure.GPUHard}
+	}
+	res := mustRun(t, JobConfig{
+		WL: wl, Policy: PolicyUserJIT, Iters: iters, Seed: 1,
+		HangTimeout:  2 * vclock.Second,
+		SpareNodes:   2,
+		IterFailures: kill,
+		Horizon:      30 * vclock.Minute,
+	})
+	if res.Completed && res.ItersExecuted <= iters+1 {
+		t.Fatal("plain JIT claimed to survive total replica loss with one-minibatch redo")
+	}
+	// Acceptable outcomes: the job restarts from scratch (redoing
+	// everything) or gives up; either way the one-minibatch JIT guarantee
+	// is gone.
+	if res.Completed && res.ItersExecuted < iters+14 {
+		t.Fatalf("completed having redone only %d minibatches — where did the state come from?",
+			res.ItersExecuted-iters)
+	}
+}

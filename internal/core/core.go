@@ -1,0 +1,178 @@
+// Package core implements the paper's contribution: just-in-time
+// checkpointing and recovery for deep-learning training failures.
+//
+// It provides the three recovery solutions of Table 1:
+//
+//  1. User-level JIT checkpointing (§3, UserLevelRank): training scripts
+//     that can change code register a save-checkpoint function; on any
+//     rank's failure, the healthy data-parallel replicas detect the hang
+//     through the interception watchdog, steal the interpreter lock from
+//     the wedged main thread, checkpoint their GPU state through a fresh
+//     stream, and notify the scheduler, which restarts the job from the
+//     just-written checkpoint — losing at most one minibatch.
+//
+//  2. Transparent JIT recovery for recoverable errors (§4.2,
+//     Coordinator): transient network faults, sticky CUDA errors and
+//     driver corruption are repaired underneath the application. GPU
+//     state is reset to the start of the minibatch (retaining buffers, or
+//     restoring them from the host or a replica), communicators are
+//     re-created under a fresh generation, the logged device APIs are
+//     replayed, and the application's parked threads resume as if nothing
+//     happened.
+//
+//  3. Transparent JIT recovery for hard errors (§4.3, Coordinator):
+//     healthy ranks JIT-checkpoint their GPU state, every worker's CPU
+//     state is CRIU-checkpointed, the job migrates to replacement nodes,
+//     and GPU state is rebuilt from the replay log plus the checkpoint
+//     files — the failed rank reading its replica's file via the stable
+//     tensor naming.
+//
+// The package also provides the evaluation harness (Run) that executes a
+// Table 2 workload under any checkpointing policy with injected failures
+// and accounts useful versus wasted GPU time — the machinery behind
+// Tables 3–8.
+package core
+
+import (
+	"fmt"
+
+	"jitckpt/internal/checkpoint"
+	"jitckpt/internal/vclock"
+)
+
+// Policy selects the failure-handling strategy a job runs under.
+type Policy int
+
+const (
+	// PolicyNone runs with no checkpointing: a failure loses everything.
+	PolicyNone Policy = iota
+	// PolicyPCDisk is periodic checkpointing to persistent storage in the
+	// critical path.
+	PolicyPCDisk
+	// PolicyPCMem is periodic checkpointing to tmpfs with async drain.
+	PolicyPCMem
+	// PolicyCheckFreq is overlapped-snapshot periodic checkpointing.
+	PolicyCheckFreq
+	// PolicyPCDaily is low-frequency (once-a-day-class) periodic
+	// checkpointing, the optional companion to JIT.
+	PolicyPCDaily
+	// PolicyUserJIT is user-level just-in-time checkpointing (§3).
+	PolicyUserJIT
+	// PolicyTransparentJIT is transparent just-in-time recovery (§4).
+	PolicyTransparentJIT
+	// PolicyJITWithDaily combines user-level JIT checkpointing with
+	// low-frequency periodic checkpointing — the paper's recommended
+	// companion configuration (§6.3): JIT handles common failures with
+	// one-minibatch loss; the rare catastrophic failure that destroys
+	// every replica of some position falls back to the most recent
+	// periodic checkpoint.
+	PolicyJITWithDaily
+)
+
+// String renders the policy as the paper names it.
+func (p Policy) String() string {
+	switch p {
+	case PolicyNone:
+		return "none"
+	case PolicyPCDisk:
+		return "PC_disk"
+	case PolicyPCMem:
+		return "PC_mem"
+	case PolicyCheckFreq:
+		return "CheckFreq"
+	case PolicyPCDaily:
+		return "PC_1/day"
+	case PolicyUserJIT:
+		return "UserJIT"
+	case PolicyTransparentJIT:
+		return "TransparentJIT"
+	case PolicyJITWithDaily:
+		return "UserJIT+PC_1/day"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// PeriodicKind maps a periodic policy to its checkpoint implementation.
+func (p Policy) PeriodicKind() (checkpoint.PeriodicKind, bool) {
+	switch p {
+	case PolicyPCDisk:
+		return checkpoint.PCDisk, true
+	case PolicyPCMem:
+		return checkpoint.PCMem, true
+	case PolicyCheckFreq:
+		return checkpoint.CheckFreq, true
+	case PolicyPCDaily, PolicyJITWithDaily:
+		return checkpoint.PCDaily, true
+	default:
+		return 0, false
+	}
+}
+
+// UserLevelJIT reports whether the policy includes the user-level JIT
+// library (§3).
+func (p Policy) UserLevelJIT() bool { return p == PolicyUserJIT || p == PolicyJITWithDaily }
+
+// IsJIT reports whether the policy is one of the paper's contributions.
+func (p Policy) IsJIT() bool {
+	return p == PolicyUserJIT || p == PolicyTransparentJIT || p == PolicyJITWithDaily
+}
+
+// Solution is a row of the paper's Table 1.
+type Solution struct {
+	Num            int
+	Name           string
+	ErrorsHandled  string
+	UserCodeChange bool
+}
+
+// Solutions returns Table 1.
+func Solutions() []Solution {
+	return []Solution{
+		{1, "User-level", "Single/multiple errors in node/GPU/network", true},
+		{2, "Transparent; recoverable errors", "Transient single/multiple errors in GPU/network", false},
+		{3, "Transparent; hard errors", "Single/multiple errors in node/GPU/network", false},
+	}
+}
+
+// JITPolicyName is the checkpoint-store namespace for JIT checkpoints.
+const JITPolicyName = "jit"
+
+// RecoveryReport records one failure-recovery episode for the evaluation
+// tables.
+type RecoveryReport struct {
+	// Kind is "transient", "optimizer-roll-forward", or "hard".
+	Kind string
+	// DetectedAt is when the coordinator saw the first fault;
+	// CompletedAt is when the last rank resumed.
+	DetectedAt  vclock.Time
+	CompletedAt vclock.Time
+	// PerRank is each rank's individual recovery duration.
+	PerRank map[int]vclock.Time
+	// HealthyAvg and FailedAvg split recovery time by whether the rank's
+	// GPU failed (Table 6's two columns).
+	HealthyAvg vclock.Time
+	FailedAvg  vclock.Time
+	// Phases is the representative healthy rank's step breakdown
+	// (Table 7).
+	Phases []PhaseDur
+}
+
+// PhaseDur is one named recovery step duration.
+type PhaseDur struct {
+	Name string
+	Dur  vclock.Time
+}
+
+// Total returns end-to-end recovery time.
+func (r *RecoveryReport) Total() vclock.Time { return r.CompletedAt - r.DetectedAt }
+
+// Phase returns the duration of a named phase (0 if absent).
+func (r *RecoveryReport) Phase(name string) vclock.Time {
+	for _, ph := range r.Phases {
+		if ph.Name == name {
+			return ph.Dur
+		}
+	}
+	return 0
+}

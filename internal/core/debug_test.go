@@ -1,0 +1,30 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"jitckpt/internal/failure"
+	"jitckpt/internal/vclock"
+)
+
+// TestDebugNetworkHang is a tracing harness for recovery debugging; run
+// with -run TestDebugNetworkHang -v and JITDEBUG=1.
+func TestDebugNetworkHang(t *testing.T) {
+	if os.Getenv("JITDEBUG") == "" {
+		t.Skip("set JITDEBUG=1 to run")
+	}
+	wl := testWL()
+	cfg := JobConfig{
+		WL: wl, Policy: PolicyTransparentJIT, Iters: 8, Seed: 1, CollectLoss: true,
+		HangTimeout:  2 * vclock.Second,
+		IterFailures: injectAt(wl, 5.3, 1, failure.NetworkHang),
+		Horizon:      2 * vclock.Minute,
+		Trace: func(at vclock.Time, format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, "[%v] %s\n", at, fmt.Sprintf(format, args...))
+		},
+	}
+	res, err := Run(cfg)
+	t.Logf("err=%v completed=%v reports=%d iters=%d", err, res.Completed, len(res.Reports), res.ItersExecuted)
+}

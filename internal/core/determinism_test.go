@@ -1,0 +1,82 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"jitckpt/internal/failure"
+	"jitckpt/internal/vclock"
+	"jitckpt/internal/workload"
+)
+
+// TestJobLevelDeterminism: two complete runs of the same configuration —
+// including a failure and a transparent recovery — must agree on every
+// observable: wall time, recovery timings, executed iterations, and the
+// full loss trace. This is the property that makes the repository's
+// experiments reproducible byte for byte.
+func TestJobLevelDeterminism(t *testing.T) {
+	wl := testWL()
+	cfg := JobConfig{
+		WL: wl, Policy: PolicyTransparentJIT, Iters: 14, Seed: 9, CollectLoss: true,
+		HangTimeout: 2 * vclock.Second, SpareNodes: 2,
+		IterFailures: []IterInjection{
+			{Iter: 6, Frac: 0.5, Rank: 2, Kind: failure.GPUSticky},
+		},
+	}
+	a := mustRun(t, cfg)
+	b := mustRun(t, cfg)
+	if !a.Completed || !b.Completed {
+		t.Fatal("runs did not complete")
+	}
+	if a.WallTime != b.WallTime {
+		t.Fatalf("wall time diverged: %v vs %v", a.WallTime, b.WallTime)
+	}
+	if a.ItersExecuted != b.ItersExecuted {
+		t.Fatalf("iterations diverged: %d vs %d", a.ItersExecuted, b.ItersExecuted)
+	}
+	if len(a.Reports) != len(b.Reports) {
+		t.Fatalf("report counts diverged")
+	}
+	for i := range a.Reports {
+		if a.Reports[i].Total() != b.Reports[i].Total() ||
+			a.Reports[i].DetectedAt != b.Reports[i].DetectedAt {
+			t.Fatalf("report %d timing diverged", i)
+		}
+	}
+	for it, la := range a.Loss {
+		if math.Float32bits(la) != math.Float32bits(b.Loss[it]) {
+			t.Fatalf("loss diverged at iter %d", it)
+		}
+	}
+}
+
+// TestFullScaleWorkloadsRun drives the two largest Table 2 configurations
+// — GPT2-18B (32 ranks, 2D-4P-4T across 4 nodes) and GPT2-8B (16 ranks)
+// — through a transparent recovery each, end to end.
+func TestFullScaleWorkloadsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale run skipped in -short mode")
+	}
+	for _, name := range []string{"GPT2-8B", "GPT2-18B"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			wl, err := workload.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := mustRun(t, JobConfig{
+				WL: wl, Policy: PolicyTransparentJIT, Iters: 8, Seed: 1, CollectLoss: true,
+				IterFailures: []IterInjection{{Iter: 4, Frac: 0.5, Rank: 3, Kind: failure.GPUSticky}},
+			})
+			if !res.Completed {
+				t.Fatalf("%s did not complete; reports=%d", name, len(res.Reports))
+			}
+			if len(res.Reports) != 1 {
+				t.Fatalf("reports = %d", len(res.Reports))
+			}
+			if len(res.Loss) != 8 {
+				t.Fatalf("loss entries = %d", len(res.Loss))
+			}
+		})
+	}
+}

@@ -1,0 +1,766 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"jitckpt/internal/analysis"
+	"jitckpt/internal/checkpoint"
+	"jitckpt/internal/cuda"
+	"jitckpt/internal/failure"
+	"jitckpt/internal/gpu"
+	"jitckpt/internal/intercept"
+	"jitckpt/internal/metrics"
+	"jitckpt/internal/nccl"
+	"jitckpt/internal/proxy"
+	"jitckpt/internal/scheduler"
+	"jitckpt/internal/train"
+	"jitckpt/internal/vclock"
+	"jitckpt/internal/workload"
+)
+
+// JobConfig configures one simulated training job run.
+type JobConfig struct {
+	WL     workload.Workload
+	Policy Policy
+	// Iters is the number of useful minibatches to complete.
+	Iters int
+	Seed  int64
+	// Horizon bounds the simulation (0 = generous default).
+	Horizon vclock.Time
+	// Failures is the absolute-time injection plan (empty = failure-free).
+	Failures failure.Plan
+	// IterFailures inject relative to training progress: when the
+	// reference rank starts iteration Iter, the fault fires Frac
+	// minibatches later. This is how the evaluation places failures in
+	// specific phases (forward ≈ 0.1, backward ≈ 0.5, all-reduce ≈ 0.85,
+	// optimizer ≈ 0.95).
+	IterFailures []IterInjection
+	// FailureRatePerGPUDay feeds the optimal-frequency computation for
+	// periodic policies (default: the OPT job's ≈2/day over 992 GPUs).
+	FailureRatePerGPUDay float64
+	// CkptInterval overrides the periodic interval (0 = optimal c*, or
+	// 24 h for PC_1/day).
+	CkptInterval vclock.Time
+	// SpareNodes adds standby nodes for hard-error migration.
+	SpareNodes int
+	// HangTimeout configures the watchdog (0 = 10 s, short for fast
+	// simulations; the paper's deployments use larger values).
+	HangTimeout vclock.Time
+	// CollectLoss records per-iteration losses from the reference rank.
+	CollectLoss bool
+	// ValidateAt runs the §4.1 replay-log correctness verification on
+	// every rank at the end of the given iteration's backward pass
+	// (0 = off). ValidateEvery re-validates every N iterations after
+	// that, "to detect any change of behavior as training progresses"
+	// (§4.1). Transparent policy only.
+	ValidateAt    int
+	ValidateEvery int
+	// Trace, when set, receives the simulation trace.
+	Trace func(at vclock.Time, format string, args ...interface{})
+}
+
+// RunResult reports what the job did.
+type RunResult struct {
+	Policy     Policy
+	Completed  bool
+	WallTime   vclock.Time
+	Accounting metrics.Accounting
+	// Minibatch is the measured steady-state minibatch time.
+	Minibatch vclock.Time
+	// Loss maps iteration to loss on the reference (last-stage, d=0)
+	// rank; re-executed iterations keep the first recorded value.
+	Loss map[int]float32
+	// Reports are transparent-recovery episodes.
+	Reports []*RecoveryReport
+	// Incarnations counts job (re)starts (1 = never restarted).
+	Incarnations int
+	// JITCheckpointTime and RestoreTime are per-episode measurements for
+	// Table 4 (user-level policy only).
+	JITCheckpointTime vclock.Time
+	RestoreTime       vclock.Time
+	// Validations counts ranks whose §4.1 replay validation passed;
+	// ValidationFailures counts ranks where it did not.
+	Validations        int
+	ValidationFailures int
+	// ItersExecuted counts every minibatch executed, including redone
+	// ones.
+	ItersExecuted int
+}
+
+// OptimalInterval computes the periodic-checkpoint interval 1/c* for a
+// workload from the §5.2 model, using the measured checkpoint cost.
+func OptimalInterval(wl workload.Workload, fPerGPUDay float64) vclock.Time {
+	o := wl.CkptTarget.Sec()
+	if o <= 0 {
+		o = float64(wl.StateBytesPerGPU()) / wl.CkptBandwidth()
+	}
+	c := analysis.OptimalFrequency(analysis.Params{O: o, F: analysis.PerDay(fPerGPUDay), N: wl.GPUs()})
+	if c <= 0 {
+		return vclock.Hour
+	}
+	return vclock.Seconds(1 / c)
+}
+
+// Run executes the job and returns its result.
+func Run(cfg JobConfig) (*RunResult, error) {
+	if cfg.Iters <= 0 {
+		return nil, errors.New("core: Iters must be positive")
+	}
+	if cfg.FailureRatePerGPUDay <= 0 {
+		cfg.FailureRatePerGPUDay = 2.0 / 992
+	}
+	if cfg.HangTimeout <= 0 {
+		cfg.HangTimeout = 10 * vclock.Second
+	}
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = vclock.Time(cfg.Iters+20)*cfg.WL.Minibatch*4 +
+			vclock.Time(len(cfg.Failures.Injections)+1)*10*vclock.Minute + vclock.Hour
+	}
+	h := &harness{cfg: cfg}
+	return h.run()
+}
+
+// IterInjection is a failure anchored to training progress.
+type IterInjection struct {
+	Iter int
+	Frac float64
+	Rank int
+	Kind failure.Kind
+}
+
+// harness holds the run's mutable state.
+type harness struct {
+	cfg     JobConfig
+	env     *vclock.Env
+	cluster *gpu.Cluster
+	engine  *nccl.Engine
+	pool    *scheduler.Pool
+	monitor *scheduler.Monitor
+	disk    *checkpoint.Store
+	tmpfs   *checkpoint.Store
+	kernels cuda.Registry
+
+	placement scheduler.Placement
+	gen       int
+
+	res        *RunResult
+	iterStarts map[int]vclock.Time // reference rank's StartMinibatch times
+	refRank    int
+	doneRanks  map[int]bool
+	lastBeat   map[int]vclock.Time
+	ckptStall  vclock.Time
+	ckptCount  int
+	execIters  int
+
+	genReader      func() int
+	collectReports func()
+	injector       *failure.Injector
+	pendingIter    []IterInjection
+	deviceOf       func(rank int) *gpu.Device
+}
+
+func (h *harness) run() (*RunResult, error) {
+	cfg := h.cfg
+	wl := cfg.WL
+	h.env = vclock.NewEnv(cfg.Seed)
+	if cfg.Trace != nil {
+		h.env.SetTracer(cfg.Trace)
+	}
+	h.engine = nccl.NewEngine(h.env, wl.NCCLParams())
+	h.cluster = gpu.NewCluster(h.env, wl.Nodes+cfg.SpareNodes, wl.PerNode, 1<<40)
+	h.pool = scheduler.NewPool(h.env, h.cluster.Nodes)
+	h.monitor = scheduler.NewMonitor(h.env)
+	h.disk = checkpoint.NewStore(h.env, "shared", wl.CkptStoreParams())
+	h.tmpfs = checkpoint.NewStore(h.env, "tmpfs", checkpoint.TmpfsParams())
+	h.kernels = train.Kernels()
+	h.res = &RunResult{Policy: cfg.Policy, Loss: make(map[int]float32)}
+	h.iterStarts = make(map[int]vclock.Time)
+	h.refRank = wl.Topo.Rank(0, wl.Topo.P-1, 0)
+
+	// Failure injector resolves targets against the current placement.
+	injector := &failure.Injector{
+		Env: h.env,
+		DeviceOf: func(rank int) *gpu.Device {
+			if h.deviceOf != nil {
+				return h.deviceOf(rank) // live mapping: survives migration
+			}
+			return h.placement[rank]
+		},
+		Engine: h.engine,
+		CommKeyOf: func(rank int) string {
+			_, p, t := wl.Topo.Coords(rank)
+			if wl.Topo.FSDP() {
+				s := 0
+				return train.FSDPRepCommKey("job", s, p)
+			}
+			return train.DPCommKey("job", p, t)
+		},
+		GenOf: func(string) int {
+			if h.genReader != nil {
+				return h.genReader()
+			}
+			return h.gen
+		},
+	}
+	injector.Start(cfg.Failures)
+	h.injector = injector
+	h.pendingIter = append([]IterInjection(nil), cfg.IterFailures...)
+
+	var runErr error
+	if cfg.Policy == PolicyTransparentJIT {
+		runErr = h.runTransparent()
+	} else {
+		runErr = h.runIncarnations()
+	}
+	if runErr != nil {
+		return h.res, runErr
+	}
+	if err := h.env.RunUntil(cfg.Horizon); err != nil {
+		return h.res, err
+	}
+	h.finish()
+	return h.res, nil
+}
+
+// workerConfig builds the common per-rank training configuration.
+func (h *harness) workerConfig(rank int, api cuda.API, gil *vclock.Mutex, layer *intercept.Layer) train.Config {
+	wl := h.cfg.WL
+	tc := train.Config{
+		Name:     fmt.Sprintf("w%d", rank),
+		JobKey:   "job",
+		Rank:     rank,
+		Topo:     wl.Topo,
+		Model:    wl.TrainModel(),
+		Opt:      wl.Optimizer(),
+		Step:     wl.StepTime(),
+		API:      api,
+		DataSeed: 7,
+		GIL:      gil,
+	}
+	if layer != nil {
+		tc.Hooks = train.Hooks{
+			StartMinibatch: func(iter int) {
+				layer.StartMinibatch(iter)
+				h.noteIterStart(rank, iter)
+			},
+			PreOptimizer: func(p *vclock.Proc, iter int) {
+				if h.shouldValidate(iter) {
+					res, err := layer.Validate(p)
+					if err == nil && res.OK {
+						h.res.Validations++
+					} else {
+						h.res.ValidationFailures++
+						h.env.Tracef("rank %d: replay validation FAILED: %+v err=%v", rank, res, err)
+					}
+				}
+				layer.PreOptimizerStep()
+			},
+			PostOptimizer: layer.PostOptimizerStep,
+		}
+	} else {
+		tc.Hooks = train.Hooks{StartMinibatch: func(iter int) { h.noteIterStart(rank, iter) }}
+	}
+	if h.cfg.CollectLoss && rank == h.refRank {
+		tc.OnLoss = func(iter int, loss float32) {
+			if _, seen := h.res.Loss[iter]; !seen {
+				h.res.Loss[iter] = loss
+			}
+		}
+	}
+	return tc
+}
+
+// shouldValidate reports whether the §4.1 verification runs at iter.
+func (h *harness) shouldValidate(iter int) bool {
+	if h.cfg.Policy != PolicyTransparentJIT || h.cfg.ValidateAt <= 0 {
+		return false
+	}
+	if iter == h.cfg.ValidateAt {
+		return true
+	}
+	return h.cfg.ValidateEvery > 0 && iter > h.cfg.ValidateAt &&
+		(iter-h.cfg.ValidateAt)%h.cfg.ValidateEvery == 0
+}
+
+func (h *harness) noteIterStart(rank, iter int) {
+	if h.lastBeat != nil {
+		h.lastBeat[rank] = h.env.Now()
+	}
+	if rank != h.refRank {
+		return
+	}
+	if _, seen := h.iterStarts[iter]; !seen {
+		h.iterStarts[iter] = h.env.Now()
+		// Fire iteration-anchored failures.
+		remain := h.pendingIter[:0]
+		for _, inj := range h.pendingIter {
+			if inj.Iter != iter {
+				remain = append(remain, inj)
+				continue
+			}
+			inj := inj
+			delay := vclock.Time(inj.Frac * float64(h.cfg.WL.Minibatch))
+			h.env.Go("iter-injector", func(p *vclock.Proc) {
+				if delay > 0 {
+					p.Sleep(delay)
+				}
+				h.injector.Apply(failure.Injection{At: p.Now(), Rank: inj.Rank, Kind: inj.Kind})
+			})
+		}
+		h.pendingIter = remain
+	}
+	h.execIters++
+}
+
+// measuredMinibatch estimates the clean minibatch time from early
+// iteration start gaps.
+func (h *harness) measuredMinibatch() vclock.Time {
+	best := vclock.Time(0)
+	for i := 1; i <= 5; i++ {
+		a, okA := h.iterStarts[i]
+		b, okB := h.iterStarts[i+1]
+		if okA && okB {
+			gap := b - a
+			if best == 0 || gap < best {
+				best = gap
+			}
+		}
+	}
+	if best == 0 {
+		best = h.cfg.WL.Minibatch
+	}
+	return best
+}
+
+// finish computes the accounting from the run's observations.
+func (h *harness) finish() {
+	res := h.res
+	res.WallTime = h.env.Now()
+	res.Minibatch = h.measuredMinibatch()
+	res.ItersExecuted = h.execIters
+	res.Completed = len(h.doneRanks) == h.cfg.WL.Topo.World()
+
+	if h.collectReports != nil {
+		h.collectReports()
+	}
+	mb := res.Minibatch
+	acct := metrics.Accounting{N: h.cfg.WL.GPUs()}
+	acct.Checkpoints = h.ckptCount
+	useful := vclock.Time(minInt(h.execIters, h.cfg.Iters)) * mb
+	redoIters := h.execIters - minInt(h.execIters, h.cfg.Iters)
+	acct.Useful = useful
+	acct.RedoWork = vclock.Time(redoIters) * mb
+	acct.CkptStall = h.ckptStall
+	acct.Recoveries = maxInt(res.Incarnations-1, len(res.Reports))
+	if res.Completed {
+		fixed := res.WallTime - acct.Useful - acct.RedoWork - acct.CkptStall
+		if fixed < 0 {
+			fixed = 0
+		}
+		acct.RecoveryFixed = fixed
+	}
+	res.Accounting = acct
+}
+
+// ---------------------------------------------------------------------
+// Transparent policy: one incarnation, coordinator-driven recovery.
+// ---------------------------------------------------------------------
+
+func (h *harness) runTransparent() error {
+	cfg := h.cfg
+	wl := cfg.WL
+	nodes, err := h.pool.Allocate(wl.Nodes, nil)
+	if err != nil {
+		return err
+	}
+	placement, err := scheduler.Place(nodes, wl.Topo.World())
+	if err != nil {
+		return err
+	}
+	h.placement = placement
+	h.doneRanks = make(map[int]bool)
+
+	ranks := make([]*TransparentRank, wl.Topo.World())
+	coord := NewCoordinator(h.env, CoordinatorConfig{
+		Job:         "job",
+		Topo:        wl.Topo,
+		Teardown:    wl.Teardown,
+		Minibatch:   wl.Minibatch,
+		StateBytes:  wl.StateBytesPerGPU(),
+		SerializeBW: wl.SerializeBW(),
+		Store:       h.disk,
+		Monitor:     h.monitor,
+		Pool:        h.pool,
+		CRIU:        scheduler.CRIU{SnapshotTime: wl.CRIU * 2 / 3, RestoreTime: wl.CRIU / 3},
+		Kernels:     h.kernels,
+		CUDAParams:  wl.CUDAParams(),
+		ProxyParams: proxy.DefaultParams(),
+	}, ranks)
+	// The injector and coordinator share the generation counter.
+	genRead := func() int { return coord.Generation() }
+	h.genReader = genRead
+
+	for r := 0; r < wl.Topo.World(); r++ {
+		server, err := proxy.NewServer(h.env, placement[r], h.engine, h.kernels, wl.CUDAParams(), proxy.DefaultParams())
+		if err != nil {
+			return err
+		}
+		client := proxy.NewClient(h.env, server)
+		layer := intercept.New(h.env, client, fmt.Sprintf("rank%d", r), intercept.Config{
+			Mode:        intercept.ModeTransparent,
+			HangTimeout: cfg.HangTimeout,
+			OnFault:     coord.Hook(r),
+		})
+		worker, err := train.NewWorker(h.workerConfig(r, layer, nil, layer))
+		if err != nil {
+			return err
+		}
+		ranks[r] = &TransparentRank{Rank: r, Layer: layer, Client: client, Server: server, Worker: worker}
+	}
+	coord.Start()
+	// Resolve failure targets through the live rank stacks: a hard-error
+	// migration moves ranks to new devices.
+	h.deviceOf = func(rank int) *gpu.Device { return ranks[rank].Server.Device() }
+
+	for r := 0; r < wl.Topo.World(); r++ {
+		r := r
+		h.env.Go(fmt.Sprintf("worker%d", r), func(p *vclock.Proc) {
+			w := ranks[r].Worker
+			if err := w.Setup(p, 0); err != nil {
+				h.env.Tracef("rank %d setup failed: %v", r, err)
+				return
+			}
+			if err := w.RunIters(p, cfg.Iters); err != nil {
+				h.env.Tracef("rank %d training failed: %v", r, err)
+				return
+			}
+			h.doneRanks[r] = true
+			if len(h.doneRanks) == wl.Topo.World() {
+				// Job complete: stop the watchdogs so their poll timers
+				// do not keep the simulation alive until the horizon.
+				for _, tr := range ranks {
+					tr.Layer.StopWatchdog()
+				}
+			}
+		})
+	}
+	h.res.Incarnations = 1
+	h.collectReports = func() { h.res.Reports = coord.Reports() }
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Incarnation-based policies: none, periodic, user-level JIT.
+// ---------------------------------------------------------------------
+
+// incarnation runs one job incarnation; it reports how it ended.
+type incarnationEnd int
+
+const (
+	endCompleted incarnationEnd = iota
+	endFailed
+	endHorizon
+)
+
+func (h *harness) runIncarnations() error {
+	// The whole incarnation loop runs inside a supervisor process.
+	h.doneRanks = make(map[int]bool)
+	h.env.Go("supervisor", func(p *vclock.Proc) {
+		for {
+			end := h.runOneIncarnation(p)
+			h.res.Incarnations++
+			if end == endCompleted || end == endHorizon {
+				return
+			}
+			if h.res.Incarnations > 50 {
+				h.env.Tracef("harness: too many incarnations, giving up")
+				return
+			}
+		}
+	})
+	h.collectReports = func() {}
+	return nil
+}
+
+func (h *harness) runOneIncarnation(p *vclock.Proc) incarnationEnd {
+	cfg := h.cfg
+	wl := cfg.WL
+	world := wl.Topo.World()
+
+	nodes, err := h.pool.Allocate(wl.Nodes, nil)
+	if err != nil {
+		h.env.Tracef("harness: allocation failed: %v", err)
+		return endHorizon
+	}
+	defer h.pool.Release(nodes)
+	placement, err := scheduler.Place(nodes, world)
+	if err != nil {
+		return endHorizon
+	}
+	h.placement = placement
+	// lastBeat entries appear when a rank starts its first minibatch;
+	// the heartbeat watchdog ignores ranks still in setup (communicator
+	// rendezvous and checkpoint restore legitimately take tens of
+	// seconds).
+	h.lastBeat = make(map[int]vclock.Time)
+
+	interval := cfg.CkptInterval
+	if kind, isPeriodic := cfg.Policy.PeriodicKind(); isPeriodic && interval == 0 {
+		if kind == checkpoint.PCDaily {
+			interval = vclock.Day
+		} else {
+			interval = OptimalInterval(wl, cfg.FailureRatePerGPUDay)
+		}
+	}
+
+	type rankStack struct {
+		worker *train.Worker
+		layer  *intercept.Layer
+		ujit   *UserLevelRank
+		pc     *checkpoint.Periodic
+		proc   *vclock.Proc
+	}
+	stacks := make([]*rankStack, world)
+	failed := h.env.NewEvent(fmt.Sprintf("job.failed.g%d", h.gen))
+	doneCount := 0
+	allDone := h.env.NewEvent(fmt.Sprintf("job.done.g%d", h.gen))
+
+	for r := 0; r < world; r++ {
+		drv, err := cuda.NewDriver(placement[r], h.engine, h.kernels, wl.CUDAParams())
+		if err != nil {
+			return endHorizon
+		}
+		st := &rankStack{}
+		var api cuda.API = drv
+		var gil *vclock.Mutex
+		if cfg.Policy.UserLevelJIT() {
+			gil = vclock.NewMutex(h.env, fmt.Sprintf("gil%d", r))
+			layer := intercept.New(h.env, drv, fmt.Sprintf("rank%d", r), intercept.Config{
+				Mode:        intercept.ModeUserLevel,
+				HangTimeout: cfg.HangTimeout,
+			})
+			st.layer = layer
+			api = layer
+		}
+		worker, err := train.NewWorker(h.workerConfig(r, api, gil, st.layer))
+		if err != nil {
+			return endHorizon
+		}
+		st.worker = worker
+		if cfg.Policy.UserLevelJIT() {
+			st.ujit = &UserLevelRank{
+				Rank: r, Job: "job", Layer: st.layer, Worker: worker, GIL: gil,
+				Store: h.disk, Monitor: h.monitor,
+				StateBytes: wl.StateBytesPerGPU(), SerializeBW: wl.SerializeBW(),
+			}
+			st.layer.SetOnFault(st.ujit.Hook())
+		}
+		if kind, isPeriodic := cfg.Policy.PeriodicKind(); isPeriodic {
+			store := h.disk
+			mem := h.tmpfs
+			st.pc = &checkpoint.Periodic{
+				Kind: kind, Interval: interval, Disk: store, Mem: mem,
+				HideFraction: 0.5, Job: "job",
+				SerializeBW: wl.SerializeBW(), StateBytes: wl.StateBytesPerGPU(),
+			}
+		}
+		stacks[r] = st
+	}
+
+	// Launch workers.
+	for r := 0; r < world; r++ {
+		r := r
+		st := stacks[r]
+		st.proc = h.env.Go(fmt.Sprintf("worker%d.g%d", r, h.gen), func(wp *vclock.Proc) {
+			if st.ujit != nil {
+				st.ujit.MainProc = wp
+			}
+			if err := st.worker.Setup(wp, h.gen); err != nil {
+				h.monitor.Notify(scheduler.Event{Kind: scheduler.EvRankExited, Rank: r, Err: err})
+				failed.Trigger()
+				return
+			}
+			// Restore from the newest usable checkpoint, if any.
+			if h.res.Incarnations > 0 || h.hasCheckpoint(wp) {
+				if !h.restoreRank(wp, st.worker, r) {
+					// No checkpoint: PolicyNone restarts from scratch.
+					st.worker.SetIter(0)
+				}
+			}
+			for st.worker.Iter() < cfg.Iters {
+				if _, err := st.worker.RunIter(wp); err != nil {
+					h.monitor.Notify(scheduler.Event{Kind: scheduler.EvRankExited, Rank: r, Iter: st.worker.Iter(), Err: err})
+					failed.Trigger()
+					return
+				}
+				if st.pc != nil && st.pc.Due(wp.Now()) {
+					stall, err := st.pc.Run(wp, st.worker)
+					if err != nil {
+						h.monitor.Notify(scheduler.Event{Kind: scheduler.EvRankExited, Rank: r, Err: err})
+						failed.Trigger()
+						return
+					}
+					if r == h.refRank {
+						h.ckptStall += stall
+						h.ckptCount++
+					}
+				}
+			}
+			h.doneRanks[r] = true
+			doneCount++
+			if doneCount == world {
+				allDone.Trigger()
+			}
+		})
+	}
+
+	// Heartbeat watchdog: declares failure when progress stalls (the
+	// periodic baselines have no interception layer to detect hangs).
+	hbStop := h.env.NewEvent(fmt.Sprintf("hb.stop.g%d", h.gen))
+	h.env.Go(fmt.Sprintf("heartbeat.g%d", h.gen), func(hp *vclock.Proc) {
+		threshold := 3*wl.Minibatch + cfg.HangTimeout + interval
+		for {
+			if hp.WaitTimeout(hbStop, 2*vclock.Second) {
+				return
+			}
+			if allDone.Triggered() || failed.Triggered() {
+				return
+			}
+			stale := false
+			for r := 0; r < world; r++ {
+				if h.doneRanks[r] {
+					continue
+				}
+				beat, started := h.lastBeat[r]
+				if !started {
+					continue
+				}
+				if hp.Now()-beat > threshold {
+					stale = true
+					break
+				}
+			}
+			if stale {
+				h.monitor.Notify(scheduler.Event{Kind: scheduler.EvFailureDetected, Rank: -1})
+				failed.Trigger()
+				return
+			}
+		}
+	})
+
+	// Supervisor waits for completion or failure.
+	waitDone := h.env.NewEvent(fmt.Sprintf("sup.wait.g%d", h.gen))
+	h.env.Go(fmt.Sprintf("sup.select.g%d", h.gen), func(sp *vclock.Proc) {
+		defer waitDone.Trigger()
+		for !allDone.Triggered() && !failed.Triggered() {
+			ev := h.env.NewEvent("tick")
+			h.env.Go("sel.done", func(q *vclock.Proc) { q.Wait(allDone); ev.Trigger() })
+			h.env.Go("sel.fail", func(q *vclock.Proc) { q.Wait(failed); ev.Trigger() })
+			sp.Wait(ev)
+		}
+	})
+	p.Wait(waitDone)
+
+	if allDone.Triggered() {
+		hbStop.Trigger()
+		// Stop the interception watchdogs so their poll timers do not
+		// keep the simulation alive until the horizon.
+		for _, st := range stacks {
+			if st.layer != nil {
+				st.layer.StopWatchdog()
+			}
+		}
+		return endCompleted
+	}
+	// Failure path: for user-level JIT, wait for the checkpoint quorum
+	// before killing the job (§3.3). A catastrophic failure that killed
+	// every replica of some position never forms a quorum; the timeout
+	// hands recovery to the periodic fallback, if configured.
+	if cfg.Policy.UserLevelJIT() {
+		h.monitor.WaitCheckpointQuorum(p, wl.Topo, 2*vclock.Minute)
+	}
+	hbStop.Trigger()
+	for _, st := range stacks {
+		if st.layer != nil {
+			st.layer.StopWatchdog()
+		}
+		if st.ujit != nil && st.ujit.CheckpointDone && st.ujit.SaveDuration > h.res.JITCheckpointTime {
+			h.res.JITCheckpointTime = st.ujit.SaveDuration
+		}
+		st.proc.Kill()
+	}
+	// Exclude nodes whose devices are unhealthy.
+	for r := 0; r < world; r++ {
+		if placement[r].Health() != gpu.Healthy {
+			h.pool.MarkFailed(placement[r].NodeID)
+		}
+	}
+	h.gen++
+	return endFailed
+}
+
+// hasCheckpoint reports whether any checkpoint exists for this policy.
+func (h *harness) hasCheckpoint(p *vclock.Proc) bool {
+	for _, ns := range h.policyNamespaces() {
+		if len(h.disk.List(fmt.Sprintf("job/ckpt/%s/", ns))) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// policyNamespaces lists the checkpoint namespaces the policy may restore
+// from. The combined policy restores from whichever of the JIT and
+// periodic checkpoints is newest (§6.3: "the most recent checkpoint will
+// be used").
+func (h *harness) policyNamespaces() []string {
+	var out []string
+	if h.cfg.Policy.UserLevelJIT() {
+		out = append(out, JITPolicyName)
+	}
+	if kind, ok := h.cfg.Policy.PeriodicKind(); ok {
+		out = append(out, kind.PolicyName())
+	}
+	return out
+}
+
+// restoreRank loads the newest assembled checkpoint (across all of the
+// policy's namespaces) into a worker and charges the fixed
+// job-initialization cost; it reports success.
+func (h *harness) restoreRank(p *vclock.Proc, w *train.Worker, rank int) bool {
+	t0 := p.Now()
+	var asm *checkpoint.Assembly
+	for _, ns := range h.policyNamespaces() {
+		a, err := checkpoint.Assemble(p, h.disk, "job", ns, h.cfg.WL.Topo)
+		if err != nil {
+			continue
+		}
+		if asm == nil || a.Iter > asm.Iter {
+			asm = a
+		}
+	}
+	if asm == nil {
+		return false
+	}
+	ms, err := checkpoint.ReadRank(p, h.disk, asm.Dir[rank])
+	if err != nil {
+		return false
+	}
+	p.Sleep(h.cfg.WL.RestoreInit())
+	if err := w.LoadModelState(p, ms); err != nil {
+		return false
+	}
+	w.SetIter(asm.Iter)
+	if rank == h.refRank && h.res.RestoreTime == 0 {
+		h.res.RestoreTime = p.Now() - t0
+	}
+	return true
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

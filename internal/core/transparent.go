@@ -1,0 +1,896 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"jitckpt/internal/checkpoint"
+	"jitckpt/internal/cuda"
+	"jitckpt/internal/gpu"
+	"jitckpt/internal/intercept"
+	"jitckpt/internal/metrics"
+	"jitckpt/internal/proxy"
+	"jitckpt/internal/replay"
+	"jitckpt/internal/scheduler"
+	"jitckpt/internal/tensor"
+	"jitckpt/internal/train"
+	"jitckpt/internal/vclock"
+)
+
+// TransparentRank is one rank's transparent-recovery stack: the
+// application (Worker) programs against Layer, which wraps a proxy Client
+// talking to the Server that owns the device.
+type TransparentRank struct {
+	Rank   int
+	Layer  *intercept.Layer
+	Client *proxy.Client
+	Server *proxy.Server
+	Worker *train.Worker
+}
+
+// CoordinatorConfig configures the job-level recovery coordinator.
+type CoordinatorConfig struct {
+	Job  string
+	Topo train.Topology
+	// Teardown is the per-rank driver-cleanup cost (Table 7's "delete
+	// communicators and GPU handles").
+	Teardown vclock.Time
+	// Minibatch is the workload's minibatch time; the coordinator lets
+	// healthy GPUs drain in-flight work for ~1.5 minibatches before
+	// classifying the episode.
+	Minibatch vclock.Time
+	// StateBytes is the modelled per-rank parameter+optimizer size.
+	StateBytes int64
+	// SerializeBW is the CPU serialization throughput for checkpoint
+	// writes on the hard-error path.
+	SerializeBW float64
+	// Store is the shared checkpoint store (hard-error path).
+	Store *checkpoint.Store
+	// Monitor receives checkpoint/failure notifications.
+	Monitor *scheduler.Monitor
+	// Pool, CRIU, Kernels, CUDAParams, ProxyParams serve the hard-error
+	// migration path.
+	Pool        *scheduler.Pool
+	CRIU        scheduler.CRIU
+	Kernels     cuda.Registry
+	CUDAParams  cuda.Params
+	ProxyParams proxy.Params
+	// InitialGen is the communicator generation the job started with.
+	InitialGen int
+	// OnReport observes completed recoveries.
+	OnReport func(*RecoveryReport)
+}
+
+// rankFault is a fault notification from one rank's interception layer.
+type rankFault struct {
+	rank int
+	f    intercept.Fault
+}
+
+// Coordinator is the transparent JIT recovery controller for one job. In
+// the paper this logic lives in the device-proxy interception layer plus
+// the cluster control plane; here it is one object whose Hook feeds it
+// fault notifications and whose background process drives recoveries.
+type Coordinator struct {
+	env    *vclock.Env
+	cfg    CoordinatorConfig
+	ranks  []*TransparentRank
+	faultQ *vclock.Queue[rankFault]
+	gen    int
+
+	reports []*RecoveryReport
+	started bool
+}
+
+// NewCoordinator creates a coordinator for the given ranks.
+func NewCoordinator(env *vclock.Env, cfg CoordinatorConfig, ranks []*TransparentRank) *Coordinator {
+	return &Coordinator{
+		env:    env,
+		cfg:    cfg,
+		ranks:  ranks,
+		faultQ: vclock.NewQueue[rankFault](env, cfg.Job+".faults"),
+		gen:    cfg.InitialGen,
+	}
+}
+
+// Hook returns the OnFault callback for a rank's interception layer. It
+// only enqueues: recovery runs in the coordinator's process.
+func (c *Coordinator) Hook(rank int) func(p *vclock.Proc, f intercept.Fault) {
+	return func(_ *vclock.Proc, f intercept.Fault) {
+		c.faultQ.Push(rankFault{rank: rank, f: f})
+	}
+}
+
+// Generation returns the current communicator generation.
+func (c *Coordinator) Generation() int { return c.gen }
+
+// Reports returns completed recovery reports.
+func (c *Coordinator) Reports() []*RecoveryReport { return c.reports }
+
+// Start launches the coordinator process.
+func (c *Coordinator) Start() {
+	if c.started {
+		return
+	}
+	c.started = true
+	c.env.Go(c.cfg.Job+".coordinator", func(p *vclock.Proc) {
+		for {
+			first := c.faultQ.Pop(p)
+			report := c.recover(p, first)
+			c.reports = append(c.reports, report)
+			if c.cfg.OnReport != nil {
+				c.cfg.OnReport(report)
+			}
+			// Faults raised before or during this recovery are stale.
+			c.faultQ.Drain()
+		}
+	})
+}
+
+// recover drives one recovery episode end to end.
+func (c *Coordinator) recover(p *vclock.Proc, first rankFault) *RecoveryReport {
+	detected := p.Now()
+	c.env.Tracef("%s: recovery begins (rank %d, fault %v)", c.cfg.Job, first.rank, first.f.Kind)
+
+	// Let concurrently-detected faults land, then gate every rank:
+	// in-flight proxy calls abort, application threads park at the
+	// interception layer on their next call.
+	p.Sleep(50 * vclock.Millisecond)
+	faults := map[int]intercept.Fault{first.rank: first.f}
+	for {
+		rf, ok := c.faultQ.TryPop()
+		if !ok {
+			break
+		}
+		if _, seen := faults[rf.rank]; !seen {
+			faults[rf.rank] = rf.f
+		}
+	}
+	for _, r := range c.ranks {
+		r.Layer.BeginRecovery()
+		r.Client.AbortPending()
+	}
+	p.Yield() // let released threads park
+	_ = faults
+
+	// Quiesce: healthy GPUs keep executing already-enqueued work while
+	// the hosts are parked. Give them ~1.5 minibatches to either drain
+	// completely or wedge at the hung collective.
+	if c.cfg.Minibatch > 0 {
+		p.Sleep(c.cfg.Minibatch * 3 / 2)
+	}
+
+	// Classify the episode. A healthy device with zero pending
+	// operations has executed everything the host issued — including
+	// the optimizer step, since the pre-optimizer world barrier (the
+	// global grad-norm all-reduce) means either no rank's optimizer ran
+	// or every healthy rank's did (§4.2.2). baseIter is the failed
+	// minibatch i; when advanced, surviving state is start-of-(i+1).
+	// Two advance signals: (a) a fully-drained healthy device — its host
+	// parks only at end-of-iteration sync points, so zero pending ops
+	// means the whole minibatch, optimizer included, executed; (b) host
+	// iteration skew — a host past baseIter proves the world barrier of
+	// baseIter completed.
+	advanced := false
+	baseIter := -1
+	maxIter := -1
+	for _, r := range c.ranks {
+		it := r.Layer.Iter()
+		if baseIter < 0 || it < baseIter {
+			baseIter = it
+		}
+		if it > maxIter {
+			maxIter = it
+		}
+	}
+	for _, r := range c.ranks {
+		d := r.Server.Device()
+		if d.Health() == gpu.Healthy && d.PendingOps() == 0 {
+			advanced = true
+		}
+	}
+	if maxIter > baseIter {
+		advanced = true
+	}
+	c.env.Tracef("%s: episode classified advanced=%v baseIter=%d", c.cfg.Job, advanced, baseIter)
+
+	var hard []int
+	for _, r := range c.ranks {
+		if r.Server.Device().Health() == gpu.Hard {
+			hard = append(hard, r.Rank)
+		}
+	}
+	var report *RecoveryReport
+	if len(hard) > 0 {
+		report = c.recoverHard(p, hard, advanced, baseIter)
+	} else {
+		report = c.recoverTransient(p, advanced, baseIter)
+	}
+	report.DetectedAt = detected
+	report.CompletedAt = p.Now()
+	c.env.Tracef("%s: recovery complete in %v", c.cfg.Job, report.Total())
+	return report
+}
+
+// strategyOf classifies a rank's transient recovery strategy per §4.2:
+// 1 = GPU fine, retain buffers; 2 = driver corruption suspected, copy
+// state to host around a proxy restart; 3 = GPU state inaccessible, reset
+// and copy from a replica.
+func strategyOf(r *TransparentRank) int {
+	switch r.Server.Device().Health() {
+	case gpu.Sticky:
+		return 3
+	case gpu.DriverCorrupt:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// rankRecovery is the per-rank recovery state shared across phases.
+type rankRecovery struct {
+	r     *TransparentRank
+	strat int
+	// skipReplay: the rank's device state is already at the target
+	// minibatch boundary; do not re-execute the minibatch log.
+	skipReplay bool
+	// ignoreMut: swallow the host's remaining state-mutating calls for
+	// the current minibatch (§4.2.2 roll-forward).
+	ignoreMut bool
+	tr        *replay.Translator
+	saved     map[string]tensor.Vector
+	timer     *metrics.PhaseTimer
+	started   vclock.Time
+	done      *vclock.Event
+	err       error
+}
+
+// recoverTransient implements §4.2 for all ranks concurrently. The
+// communicator re-initialization rendezvous acts as the natural barrier
+// between handle reconstruction and cross-rank state copies.
+func (c *Coordinator) recoverTransient(p *vclock.Proc, advanced bool, baseIter int) *RecoveryReport {
+	c.gen++
+	newGen := c.gen
+	recs := make([]*rankRecovery, len(c.ranks))
+	for i, r := range c.ranks {
+		rec := &rankRecovery{
+			r:     r,
+			strat: strategyOf(r),
+			done:  c.env.NewEvent(fmt.Sprintf("recover.r%d", r.Rank)),
+		}
+		if rec.strat == 1 {
+			// Healthy rank: skip replay when its GPU already holds the
+			// target boundary state (host still inside minibatch i);
+			// a host that advanced into i+1 replays its partial log.
+			rec.skipReplay = advanced && r.Layer.Iter() == baseIter
+		} else {
+			rec.skipReplay = advanced
+			rec.ignoreMut = advanced
+		}
+		recs[i] = rec
+	}
+	for _, rec := range recs {
+		rec := rec
+		c.env.Go(fmt.Sprintf("%s.recover.r%d", c.cfg.Job, rec.r.Rank), func(pr *vclock.Proc) {
+			defer rec.done.Trigger()
+			rec.started = pr.Now()
+			rec.timer = metrics.NewPhaseTimer(c.env)
+			if err := c.recoverRankTransient(pr, rec, recs, newGen); err != nil {
+				rec.err = err
+				c.env.Tracef("%s: rank %d recovery failed: %v", c.cfg.Job, rec.r.Rank, err)
+			}
+		})
+	}
+	for _, rec := range recs {
+		p.Wait(rec.done)
+	}
+	return c.buildReport(recs, "transient", advanced)
+}
+
+func (c *Coordinator) recoverRankTransient(pr *vclock.Proc, rec *rankRecovery, all []*rankRecovery, newGen int) error {
+	r := rec.r
+	layer := r.Layer
+	client := r.Client
+
+	// Strategy 2 first reads GPU state to the host through the proxy
+	// server's context, which still serves reads while the driver is
+	// corrupt. All buffers are copied — the device memory is complete
+	// and intact, only the driver software state is suspect.
+	if rec.strat == 2 {
+		saved, err := c.readTensors(pr, rec.r, nil, true)
+		if err != nil {
+			return fmt.Errorf("core: rank %d copy-to-host: %w", r.Rank, err)
+		}
+		rec.saved = saved
+		rec.timer.Mark("copy-to-host")
+	}
+
+	// Teardown: delete communicators and GPU handles (Table 7 step 1).
+	if rec.strat == 1 {
+		// Abort in-flight server-side operations wedged in hung device
+		// calls, then dismantle handles through the live driver.
+		r.Server.ResetThreads()
+		c.teardownViaAPI(pr, layer, client)
+	} else {
+		// Restarting the device proxy server clears corrupted driver and
+		// network state (§4.2); device buffers are lost with the context.
+		r.Server.Stop()
+		client.AbortPending()
+		if err := r.Server.Restart(); err != nil {
+			return fmt.Errorf("core: rank %d proxy restart: %w", r.Rank, err)
+		}
+	}
+	pr.Sleep(c.cfg.Teardown)
+	rec.timer.Mark("teardown")
+
+	// Rebuild: new default stream, buffers (if lost), GPU handles, then
+	// communicators under the fresh generation.
+	tr := layer.SeedTranslator()
+	rec.tr = tr
+	newDefault, err := client.StreamCreate(pr)
+	if err != nil {
+		return fmt.Errorf("core: rank %d new default stream: %w", r.Rank, err)
+	}
+	tr.Streams[cuda.DefaultStream] = newDefault
+
+	mallocs, handles, comms := splitCreationLog(layer.Log().Creation)
+	if rec.strat != 1 {
+		if err := replay.Apply(pr, client, mallocs, tr, replay.Options{}); err != nil {
+			return fmt.Errorf("core: rank %d buffer realloc: %w", r.Rank, err)
+		}
+	}
+	rec.timer.Mark("reset-buffers")
+	if err := replay.Apply(pr, client, handles, tr, replay.Options{}); err != nil {
+		return fmt.Errorf("core: rank %d handle recreate: %w", r.Rank, err)
+	}
+	rec.timer.Mark("recreate-handles")
+	genFor := func(string, int) int { return newGen }
+	if err := replay.Apply(pr, client, comms, tr, replay.Options{GenFor: genFor}); err != nil {
+		return fmt.Errorf("core: rank %d comm re-init: %w", r.Rank, err)
+	}
+	rec.timer.Mark("comm-init")
+
+	// Restore parameter/optimizer contents. The comm rendezvous above
+	// guarantees every rank has finished re-allocating buffers, so
+	// replica reads are safe now.
+	switch {
+	case rec.strat == 3:
+		if err := c.copyFromReplica(pr, rec, all); err != nil {
+			return err
+		}
+		rec.timer.Mark("replica-copy")
+	case rec.strat == 2:
+		if err := writeTensors(pr, layer, client, tr, rec.saved, true); err != nil {
+			return fmt.Errorf("core: rank %d restore-from-host: %w", r.Rank, err)
+		}
+		rec.timer.Mark("restore-from-host")
+	}
+
+	// Replay the minibatch's device APIs (§4.2.1), unless the rank's
+	// state is already at the target boundary. A rolled-forward failed
+	// rank additionally swallows the rest of its optimizer step (§4.2.2).
+	if rec.ignoreMut {
+		layer.IgnoreMutationsUntilNextMinibatch()
+	}
+	if !rec.skipReplay {
+		c.env.Tracef("rank %d: replaying %d minibatch calls (strat %d)", r.Rank, len(layer.Log().Minibatch), rec.strat)
+		if err := replay.Apply(pr, client, layer.Log().Minibatch, tr, replay.Options{GenFor: genFor}); err != nil {
+			return fmt.Errorf("core: rank %d minibatch replay: %w", r.Rank, err)
+		}
+	}
+	rec.timer.Mark("replay")
+
+	layer.EndRecovery(tr)
+	return nil
+}
+
+// teardownViaAPI destroys communicators, streams and events through the
+// live driver — strategy 1 keeps the proxy (and device memory) intact.
+func (c *Coordinator) teardownViaAPI(pr *vclock.Proc, layer *intercept.Layer, client *proxy.Client) {
+	// Destroy in reverse dependency order; errors are non-fatal (objects
+	// may be wedged, which is exactly why we are here).
+	for _, call := range layer.Log().Creation {
+		switch call.Kind {
+		case replay.CallCommInit:
+			if phys, ok := layerCommPhys(layer, call.RComm); ok {
+				client.CommDestroy(pr, phys)
+			}
+		}
+	}
+	for _, call := range layer.Log().Creation {
+		switch call.Kind {
+		case replay.CallStreamCreate:
+			if phys, ok := layer.PhysStream(call.RStream); ok {
+				client.StreamDestroy(pr, phys)
+			}
+		case replay.CallEventCreate:
+			if phys, ok := layerEventPhys(layer, call.REvent); ok {
+				client.EventDestroy(pr, phys)
+			}
+		}
+	}
+	// The wedged physical default stream is replaced rather than reused.
+	if phys, ok := layer.PhysStream(cuda.DefaultStream); ok && phys == cuda.DefaultStream {
+		client.StreamDestroy(pr, cuda.DefaultStream)
+	}
+}
+
+// copyFromReplica restores a rank's parameter and optimizer buffers from a
+// healthy data-parallel replica's device memory (§4.2's replica copy).
+func (c *Coordinator) copyFromReplica(pr *vclock.Proc, rec *rankRecovery, all []*rankRecovery) error {
+	rep := c.pickReplica(rec, all)
+	if rep == nil {
+		return fmt.Errorf("core: rank %d has no healthy replica to recover from", rec.r.Rank)
+	}
+	// Read from the replica's device (its buffers were retained), then
+	// write into this rank's re-allocated buffers.
+	data, err := c.readModelTensors(pr, rep.r, rep.tr)
+	if err != nil {
+		return fmt.Errorf("core: rank %d read replica %d: %w", rec.r.Rank, rep.r.Rank, err)
+	}
+	if err := writeModelTensors(pr, rec.r.Layer, rec.r.Client, rec.tr, data); err != nil {
+		return fmt.Errorf("core: rank %d write replica state: %w", rec.r.Rank, err)
+	}
+	return nil
+}
+
+// pickReplica chooses a healthy, buffer-retaining replica of rec.
+func (c *Coordinator) pickReplica(rec *rankRecovery, all []*rankRecovery) *rankRecovery {
+	for _, repRank := range c.cfg.Topo.ReplicaRanks(rec.r.Rank) {
+		for _, cand := range all {
+			if cand.r.Rank == repRank && cand.strat == 1 {
+				return cand
+			}
+		}
+	}
+	return nil
+}
+
+// rankWorkTime returns a rank's recovery work time: the wall span of its
+// recovery minus time spent waiting for other ranks at the communicator
+// rendezvous (the paper's Tables 5–6 exclude "the wait time for ranks to
+// detect errors in other ranks"). The wait is replaced by the analytic
+// bootstrap cost every rank pays after the rendezvous releases.
+func (c *Coordinator) rankWorkTime(rec *rankRecovery) vclock.Time {
+	total := rec.timer.Sum()
+	commPhase := rec.timer.Get("comm-init")
+	if commPhase == 0 {
+		return total
+	}
+	params := rec.r.Server.Driver().Engine().Params()
+	var bootstrap vclock.Time
+	for _, call := range rec.r.Layer.Log().Creation {
+		if call.Kind == replay.CallCommInit {
+			bootstrap += params.CommInitBase + vclock.Time(call.NRanks)*params.CommInitPerRank
+		}
+	}
+	if commPhase > bootstrap {
+		total -= commPhase - bootstrap
+	}
+	return total
+}
+
+// buildReport assembles the episode report from per-rank recoveries.
+func (c *Coordinator) buildReport(recs []*rankRecovery, kind string, advanced bool) *RecoveryReport {
+	if advanced && kind == "transient" {
+		kind = "optimizer-roll-forward"
+	}
+	rep := &RecoveryReport{Kind: kind, PerRank: make(map[int]vclock.Time)}
+	var healthySum, failedSum vclock.Time
+	var healthyN, failedN int
+	var exemplar *rankRecovery
+	for _, rec := range recs {
+		dur := c.rankWorkTime(rec)
+		rep.PerRank[rec.r.Rank] = dur
+		if rec.strat == 1 {
+			healthySum += dur
+			healthyN++
+			if exemplar == nil {
+				exemplar = rec
+			}
+		} else {
+			failedSum += dur
+			failedN++
+		}
+	}
+	if healthyN > 0 {
+		rep.HealthyAvg = healthySum / vclock.Time(healthyN)
+	}
+	if failedN > 0 {
+		rep.FailedAvg = failedSum / vclock.Time(failedN)
+	}
+	if exemplar == nil {
+		exemplar = recs[0]
+	}
+	for _, ph := range exemplar.timer.Phases() {
+		rep.Phases = append(rep.Phases, PhaseDur{Name: ph.Name, Dur: ph.Dur})
+	}
+	return rep
+}
+
+// splitCreationLog partitions creation calls into buffer allocations, GPU
+// handle creations, and communicator inits, preserving relative order.
+func splitCreationLog(creation []replay.Call) (mallocs, handles, comms []replay.Call) {
+	for _, call := range creation {
+		switch call.Kind {
+		case replay.CallMalloc:
+			mallocs = append(mallocs, call)
+		case replay.CallCommInit:
+			comms = append(comms, call)
+		default:
+			handles = append(handles, call)
+		}
+	}
+	return
+}
+
+// readModelTensors reads every parameter/optimizer buffer of a rank to
+// the host directly through the proxy server's device context (no streams
+// involved, so it works while the driver is corrupt or streams are
+// wedged), charging PCIe transfer time per buffer.
+func (c *Coordinator) readModelTensors(pr *vclock.Proc, rec *TransparentRank, tr *replay.Translator) (map[string]tensor.Vector, error) {
+	return c.readTensors(pr, rec, tr, false)
+}
+
+// readTensors is readModelTensors, optionally including every buffer (the
+// strategy-2 full-device copy).
+func (c *Coordinator) readTensors(pr *vclock.Proc, rec *TransparentRank, tr *replay.Translator, all bool) (map[string]tensor.Vector, error) {
+	layer := rec.Layer
+	out := make(map[string]tensor.Vector)
+	for _, info := range layer.VirtualBufs() {
+		if !all && !train.IsModelState(info.Tag) {
+			continue
+		}
+		var phys cuda.Buf
+		if tr != nil {
+			phys = tr.Buf(info.Handle)
+		} else {
+			var ok bool
+			phys, ok = layer.PhysBuf(info.Handle)
+			if !ok {
+				return nil, fmt.Errorf("core: no physical buffer for %v", info.Handle)
+			}
+		}
+		data, err := rec.Server.Driver().BufData(phys)
+		if err != nil {
+			return nil, fmt.Errorf("core: read %s: %w", info.Tag, err)
+		}
+		pr.Sleep(gpu.TransferTime(info.Bytes, c.cfg.CUDAParams.D2HBandwidth))
+		out[train.TensorName(info.Tag, info.Seq)] = data
+	}
+	return out, nil
+}
+
+// writeModelTensors writes host tensors back into a rank's re-created
+// buffers, resolving virtual handles through tr.
+func writeModelTensors(pr *vclock.Proc, layer *intercept.Layer, api cuda.API, tr *replay.Translator, data map[string]tensor.Vector) error {
+	return writeTensors(pr, layer, api, tr, data, false)
+}
+
+// writeTensors is writeModelTensors, optionally covering every buffer.
+func writeTensors(pr *vclock.Proc, layer *intercept.Layer, api cuda.API, tr *replay.Translator, data map[string]tensor.Vector, all bool) error {
+	s := tr.Stream(cuda.DefaultStream)
+	for _, info := range layer.VirtualBufs() {
+		if !all && !train.IsModelState(info.Tag) {
+			continue
+		}
+		name := train.TensorName(info.Tag, info.Seq)
+		d, ok := data[name]
+		if !ok {
+			return fmt.Errorf("core: replica state missing tensor %s", name)
+		}
+		if err := api.MemcpyH2D(pr, tr.Buf(info.Handle), d, s); err != nil {
+			return fmt.Errorf("core: write %s: %w", name, err)
+		}
+	}
+	return api.StreamSynchronize(pr, s)
+}
+
+// layerCommPhys and layerEventPhys resolve virtual comm/event handles.
+func layerCommPhys(layer *intercept.Layer, virt cuda.Comm) (cuda.Comm, bool) {
+	tr := layer.SeedTranslator()
+	phys, ok := tr.Comms[virt]
+	return phys, ok
+}
+
+func layerEventPhys(layer *intercept.Layer, virt cuda.Event) (cuda.Event, bool) {
+	tr := layer.SeedTranslator()
+	phys, ok := tr.Events[virt]
+	return phys, ok
+}
+
+// criuPayload is what the CRIU snapshot captures per worker: the worker's
+// CPU state plus its replay log — everything needed to resume on a new
+// host.
+type criuPayload struct {
+	Snapshot train.Snapshot
+	Log      []byte
+}
+
+func encodeCRIUPayload(w *train.Worker, layer *intercept.Layer) ([]byte, error) {
+	logBytes, err := layer.Log().Bytes()
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(criuPayload{Snapshot: w.Snapshot(), Log: logBytes}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeCRIUPayload(raw []byte) (*criuPayload, error) {
+	var pl criuPayload
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&pl); err != nil {
+		return nil, err
+	}
+	return &pl, nil
+}
+
+// recoverHard implements §4.3: healthy ranks JIT-checkpoint, every worker
+// is CRIU-checkpointed, the job migrates to replacement nodes, GPU state
+// is rebuilt from the replay log, and parameter/optimizer buffers are
+// restored from the checkpoint files — the failed rank reading a
+// replica's file through the stable tensor naming.
+func (c *Coordinator) recoverHard(p *vclock.Proc, hard []int, advanced bool, baseIter int) *RecoveryReport {
+	c.gen++
+	newGen := c.gen
+	hardSet := make(map[int]bool, len(hard))
+	for _, r := range hard {
+		hardSet[r] = true
+	}
+	// stateIter labels the checkpoint files: the iteration whose start
+	// the surviving GPU state corresponds to.
+	stateIter := baseIter
+	if advanced {
+		stateIter = baseIter + 1
+	}
+
+	recs := make([]*rankRecovery, len(c.ranks))
+	for i, r := range c.ranks {
+		rec := &rankRecovery{
+			r: r, strat: 1,
+			done: c.env.NewEvent(fmt.Sprintf("hard.r%d", r.Rank)),
+		}
+		if hardSet[r.Rank] || r.Server.Device().Health() != gpu.Healthy {
+			rec.strat = 4 // lost or unusable device
+			rec.skipReplay = advanced
+			rec.ignoreMut = advanced
+		} else {
+			rec.skipReplay = advanced && r.Layer.Iter() == baseIter
+		}
+		recs[i] = rec
+	}
+
+	// Phase A+B per rank: JIT checkpoint (healthy only) + CRIU snapshot.
+	images := make([]scheduler.Image, len(recs))
+	for i, rec := range recs {
+		i, rec := i, rec
+		c.env.Go(fmt.Sprintf("%s.hardckpt.r%d", c.cfg.Job, rec.r.Rank), func(pr *vclock.Proc) {
+			defer rec.done.Trigger()
+			rec.started = pr.Now()
+			rec.timer = metrics.NewPhaseTimer(c.env)
+			if rec.strat != 4 {
+				ms := &train.ModelState{Iter: stateIter, Rank: rec.r.Rank}
+				tensors, err := c.readModelTensors(pr, rec.r, nil)
+				if err != nil {
+					rec.err = err
+					return
+				}
+				ms.Tensors = tensors
+				if c.cfg.SerializeBW > 0 {
+					pr.Sleep(vclock.Time(float64(c.cfg.StateBytes) / c.cfg.SerializeBW * float64(vclock.Second)))
+				}
+				dir := checkpoint.RankDir(c.cfg.Job, JITPolicyName, ms.Iter, rec.r.Rank)
+				if err := checkpoint.WriteRank(pr, c.cfg.Store, dir, ms, c.cfg.StateBytes); err != nil {
+					rec.err = err
+					return
+				}
+				c.cfg.Monitor.Notify(scheduler.Event{Kind: scheduler.EvCheckpointDone, Rank: rec.r.Rank, Iter: ms.Iter})
+			}
+			rec.timer.Mark("jit-checkpoint")
+			payload, err := encodeCRIUPayload(rec.r.Worker, rec.r.Layer)
+			if err != nil {
+				rec.err = err
+				return
+			}
+			images[i] = c.cfg.CRIU.Take(pr, rec.r.Rank, payload)
+			rec.timer.Mark("criu-snapshot")
+		})
+	}
+	for _, rec := range recs {
+		p.Wait(rec.done)
+		rec.done = c.env.NewEvent(fmt.Sprintf("hard2.r%d", rec.r.Rank))
+	}
+
+	// Quorum: at least one replica per position checkpointed (§3.3).
+	if _, ok := c.cfg.Monitor.WaitCheckpointQuorum(p, c.cfg.Topo, vclock.Minute); !ok {
+		c.env.Tracef("%s: WARNING: checkpoint quorum not reached", c.cfg.Job)
+	}
+
+	// Phase C: release the job's current nodes back to the pool, exclude
+	// the failed ones permanently, and allocate a replacement set.
+	for _, rec := range recs {
+		c.cfg.Pool.ReleaseByID(rec.r.Server.Device().NodeID)
+	}
+	for _, rec := range recs {
+		if rec.strat == 4 {
+			c.cfg.Pool.MarkFailed(rec.r.Server.Device().NodeID)
+		}
+	}
+	nNodes := nodeCount(c.ranks)
+	nodes, err := c.cfg.Pool.Allocate(nNodes, nil)
+	if err != nil {
+		// No spare capacity: recovery cannot proceed transparently.
+		c.env.Tracef("%s: hard recovery failed: %v", c.cfg.Job, err)
+		rep := c.buildReport(recs, "hard", advanced)
+		rep.Kind = "hard-failed:" + err.Error()
+		return rep
+	}
+	placement, err := scheduler.Place(nodes, len(c.ranks))
+	if err != nil {
+		rep := c.buildReport(recs, "hard", advanced)
+		rep.Kind = "hard-failed:" + err.Error()
+		return rep
+	}
+
+	// Phase D–F per rank: restore CPU image on the new host, rebuild GPU
+	// state, restore tensors from checkpoint files, replay.
+	asmDone := c.env.NewEvent("hard.assembly")
+	var asm *checkpoint.Assembly
+	c.env.Go(c.cfg.Job+".assemble", func(pr *vclock.Proc) {
+		defer asmDone.Trigger()
+		a, err := checkpoint.Assemble(pr, c.cfg.Store, c.cfg.Job, JITPolicyName, c.cfg.Topo)
+		if err != nil {
+			c.env.Tracef("%s: assemble failed: %v", c.cfg.Job, err)
+			return
+		}
+		asm = a
+	})
+	p.Wait(asmDone)
+	if asm == nil {
+		rep := c.buildReport(recs, "hard", advanced)
+		rep.Kind = "hard-failed:no-checkpoint-assembly"
+		return rep
+	}
+
+	for i, rec := range recs {
+		i, rec := i, rec
+		c.env.Go(fmt.Sprintf("%s.hardrestore.r%d", c.cfg.Job, rec.r.Rank), func(pr *vclock.Proc) {
+			defer rec.done.Trigger()
+			if rec.err != nil {
+				return
+			}
+			rec.timer.Skip() // exclude the coordination barrier
+			// Attach the worker to its replacement GPU: fresh proxy
+			// server and client on the new device.
+			newDev := placement[rec.r.Rank]
+			server, err := proxy.NewServer(c.env, newDev, rec.r.Server.Driver().Engine(), c.cfg.Kernels, c.cfg.CUDAParams, c.cfg.ProxyParams)
+			if err != nil {
+				rec.err = err
+				return
+			}
+			client := proxy.NewClient(c.env, server)
+			rec.r.Server = server
+			rec.r.Client = client
+			rec.r.Layer.SetInner(client)
+
+			// CRIU restore: the worker's CPU state arrives intact.
+			payload := c.cfg.CRIU.Restore(pr, images[i])
+			if pl, err := decodeCRIUPayload(payload); err != nil || pl.Snapshot.Iter != rec.r.Worker.Iter() {
+				rec.err = fmt.Errorf("core: rank %d CRIU payload mismatch (err=%v)", rec.r.Rank, err)
+				return
+			}
+			rec.timer.Mark("criu-restore")
+
+			// Rebuild all GPU objects from the creation log. The virtual
+			// default stream maps onto a fresh stream of the new server
+			// (prior recoveries may have remapped it to a handle that
+			// does not exist on this driver).
+			tr := rec.r.Layer.SeedTranslator()
+			rec.tr = tr
+			newDefault, err := client.StreamCreate(pr)
+			if err != nil {
+				rec.err = err
+				return
+			}
+			tr.Streams[cuda.DefaultStream] = newDefault
+			mallocs, handles, comms := splitCreationLog(rec.r.Layer.Log().Creation)
+			if err := replay.Apply(pr, client, mallocs, tr, replay.Options{}); err != nil {
+				rec.err = err
+				return
+			}
+			rec.timer.Mark("reset-buffers")
+			if err := replay.Apply(pr, client, handles, tr, replay.Options{}); err != nil {
+				rec.err = err
+				return
+			}
+			rec.timer.Mark("recreate-handles")
+			genFor := func(string, int) int { return newGen }
+			if err := replay.Apply(pr, client, comms, tr, replay.Options{GenFor: genFor}); err != nil {
+				rec.err = err
+				return
+			}
+			rec.timer.Mark("comm-init")
+
+			// Restore parameter/optimizer buffers from the assembled
+			// checkpoint (own file, or a replica's for the failed rank).
+			ms, err := checkpoint.ReadRank(pr, c.cfg.Store, asm.Dir[rec.r.Rank])
+			if err != nil {
+				rec.err = err
+				return
+			}
+			if err := writeModelTensors(pr, rec.r.Layer, client, tr, ms.Tensors); err != nil {
+				rec.err = err
+				return
+			}
+			rec.timer.Mark("restore-state")
+
+			if rec.ignoreMut {
+				rec.r.Layer.IgnoreMutationsUntilNextMinibatch()
+			}
+			if !rec.skipReplay {
+				if err := replay.Apply(pr, client, rec.r.Layer.Log().Minibatch, tr, replay.Options{GenFor: genFor}); err != nil {
+					rec.err = err
+					return
+				}
+			}
+			rec.timer.Mark("replay")
+			rec.r.Layer.EndRecovery(tr)
+		})
+	}
+	for _, rec := range recs {
+		p.Wait(rec.done)
+		if rec.err != nil {
+			c.env.Tracef("%s: rank %d hard restore failed: %v", c.cfg.Job, rec.r.Rank, rec.err)
+		}
+	}
+
+	rep := c.buildReport(recs, "hard", advanced)
+	// Table 6 semantics: "healthy" ranks checkpointed their GPU state,
+	// "failed" ranks could not.
+	var hSum, fSum vclock.Time
+	var hN, fN int
+	for _, rec := range recs {
+		if rec.strat == 4 {
+			fSum += c.rankWorkTime(rec)
+			fN++
+		} else {
+			hSum += c.rankWorkTime(rec)
+			hN++
+		}
+	}
+	if hN > 0 {
+		rep.HealthyAvg = hSum / vclock.Time(hN)
+	}
+	if fN > 0 {
+		rep.FailedAvg = fSum / vclock.Time(fN)
+	}
+	return rep
+}
+
+// nodeCount counts distinct nodes hosting the job's ranks.
+func nodeCount(ranks []*TransparentRank) int {
+	seen := make(map[int]bool)
+	for _, r := range ranks {
+		seen[r.Server.Device().NodeID] = true
+	}
+	return len(seen)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// encodePayloadForTest exposes criuPayload encoding for tests.
+func encodePayloadForTest(pl criuPayload) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(pl); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"jitckpt/internal/failure"
+	"jitckpt/internal/replay"
+	"jitckpt/internal/train"
+	"jitckpt/internal/vclock"
+)
+
+func TestSplitCreationLog(t *testing.T) {
+	calls := []replay.Call{
+		{Kind: replay.CallCommInit, Key: "w"},
+		{Kind: replay.CallStreamCreate, RStream: 1},
+		{Kind: replay.CallMalloc, RBuf: 1},
+		{Kind: replay.CallEventCreate, REvent: 1},
+		{Kind: replay.CallMalloc, RBuf: 2},
+		{Kind: replay.CallCommInit, Key: "dp"},
+	}
+	mallocs, handles, comms := splitCreationLog(calls)
+	if len(mallocs) != 2 || mallocs[0].RBuf != 1 || mallocs[1].RBuf != 2 {
+		t.Fatalf("mallocs = %+v", mallocs)
+	}
+	if len(handles) != 2 || handles[0].Kind != replay.CallStreamCreate {
+		t.Fatalf("handles = %+v", handles)
+	}
+	if len(comms) != 2 || comms[0].Key != "w" || comms[1].Key != "dp" {
+		t.Fatalf("comms = %+v", comms)
+	}
+}
+
+func TestCRIUPayloadRoundTrip(t *testing.T) {
+	raw, err := decodeCRIUPayload([]byte("garbage"))
+	if err == nil || raw != nil {
+		t.Fatal("garbage payload decoded")
+	}
+	pl := criuPayload{Snapshot: train.Snapshot{Iter: 7, Gen: 2}, Log: []byte{1, 2, 3}}
+	enc, err := encodePayloadForTest(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeCRIUPayload(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Snapshot.Iter != 7 || got.Snapshot.Gen != 2 || len(got.Log) != 3 {
+		t.Fatalf("round trip = %+v", got)
+	}
+}
+
+// TestTransparentNoReplicaFailsLoudly: a single-replica job (D=1) hit by
+// a sticky error has no healthy copy of its parameter state; transparent
+// recovery must fail with a clear report rather than fabricating state.
+func TestTransparentNoReplicaFailsLoudly(t *testing.T) {
+	wl := testWL()
+	wl.Name = "tiny-noreplica"
+	wl.Nodes, wl.PerNode = 1, 2
+	wl.Topo = train.Topology{D: 2, P: 1, T: 1}
+	const iters = 12
+	// Kill BOTH replicas with sticky errors at the same instant: strategy
+	// 3 for both, and neither has a healthy replica to copy from.
+	res, err := Run(JobConfig{
+		WL: wl, Policy: PolicyTransparentJIT, Iters: iters, Seed: 1,
+		HangTimeout: 2 * vclock.Second,
+		IterFailures: []IterInjection{
+			{Iter: 5, Frac: 0.4, Rank: 0, Kind: failure.GPUSticky},
+			{Iter: 5, Frac: 0.4, Rank: 1, Kind: failure.GPUSticky},
+		},
+		Horizon: 10 * vclock.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed {
+		t.Fatal("job completed despite losing every copy of its state")
+	}
+	if len(res.Reports) == 0 {
+		t.Fatal("no recovery attempt recorded")
+	}
+	// Per-rank recovery errors surface in the trace; the job-level
+	// outcome is an incomplete run, not corrupted training.
+}
+
+// TestRecoveryReportPhases exercises the report accessors.
+func TestRecoveryReportPhases(t *testing.T) {
+	rep := &RecoveryReport{
+		Kind:        "transient",
+		DetectedAt:  vclock.Second,
+		CompletedAt: 3 * vclock.Second,
+		Phases: []PhaseDur{
+			{Name: "teardown", Dur: vclock.Second},
+			{Name: "comm-init", Dur: vclock.Second},
+		},
+	}
+	if rep.Total() != 2*vclock.Second {
+		t.Fatalf("Total = %v", rep.Total())
+	}
+	if rep.Phase("comm-init") != vclock.Second || rep.Phase("nope") != 0 {
+		t.Fatal("Phase lookup wrong")
+	}
+}
+
+// TestCoordinatorGenerationMonotonic: each recovery bumps the
+// communicator generation, so stale rendezvous arrivals can never satisfy
+// a post-recovery initialization.
+func TestCoordinatorGenerationMonotonic(t *testing.T) {
+	wl := testWL()
+	res := mustRun(t, JobConfig{
+		WL: wl, Policy: PolicyTransparentJIT, Iters: 16, Seed: 1,
+		HangTimeout: 2 * vclock.Second, SpareNodes: 2,
+		IterFailures: []IterInjection{
+			{Iter: 4, Frac: 0.4, Rank: 1, Kind: failure.NetworkHang},
+			{Iter: 10, Frac: 0.4, Rank: 2, Kind: failure.NetworkHang},
+		},
+	})
+	if !res.Completed || len(res.Reports) != 2 {
+		t.Fatalf("completed=%v reports=%d", res.Completed, len(res.Reports))
+	}
+	// Two distinct successful recoveries imply two distinct generations:
+	// if the generation had been reused, the second rendezvous would have
+	// been satisfied by the first recovery's stale arrivals and the
+	// replayed collectives would have mismatched (caught by the loss
+	// checks elsewhere); here we assert the episodes at least completed
+	// in order.
+	if res.Reports[1].DetectedAt <= res.Reports[0].CompletedAt {
+		t.Fatal("second recovery overlapped the first")
+	}
+}
+
+// TestPolicyNamesIncludeCombined keeps jitsim's policy table honest.
+func TestPolicyNamesIncludeCombined(t *testing.T) {
+	if !strings.Contains(PolicyJITWithDaily.String(), "UserJIT") {
+		t.Fatalf("combined policy name = %q", PolicyJITWithDaily)
+	}
+	if kind, ok := PolicyJITWithDaily.PeriodicKind(); !ok || kind.PolicyName() != "pc_mem" {
+		t.Fatal("combined policy must carry a periodic companion")
+	}
+	if !PolicyJITWithDaily.UserLevelJIT() || !PolicyJITWithDaily.IsJIT() {
+		t.Fatal("combined policy classification wrong")
+	}
+}

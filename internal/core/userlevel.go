@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+
+	"jitckpt/internal/checkpoint"
+	"jitckpt/internal/intercept"
+	"jitckpt/internal/scheduler"
+	"jitckpt/internal/train"
+	"jitckpt/internal/vclock"
+)
+
+// UserLevelRank wires one rank's user-level just-in-time checkpointing
+// (§3). The training script's only obligations, exactly as in the paper,
+// are (a) initializing the library — constructing this object and passing
+// its Hook as the interception layer's OnFault — and (b) providing a
+// save-checkpoint function free of collective operations; here that is the
+// worker's SaveModelState, which uses only device-to-host copies.
+type UserLevelRank struct {
+	// Rank is this worker's global rank.
+	Rank int
+	// Job names the checkpoint namespace.
+	Job string
+	// Layer is the rank's interception layer (ModeUserLevel).
+	Layer *intercept.Layer
+	// Worker is the training worker whose state gets checkpointed.
+	Worker *train.Worker
+	// GIL is the interpreter lock the worker holds across device calls.
+	GIL *vclock.Mutex
+	// Store is the shared checkpoint store.
+	Store *checkpoint.Store
+	// Monitor is the scheduler's notification sink.
+	Monitor *scheduler.Monitor
+	// StateBytes is the modelled size of the rank's checkpointable state.
+	StateBytes int64
+	// SerializeBW is the CPU serialization throughput charged before the
+	// store write (torch.save-class pickling).
+	SerializeBW float64
+	// MainProc is the worker's main process; the checkpoint handler kills
+	// it after a successful save ("the watchdog thread exits the process
+	// immediately after the checkpoint", §3.2).
+	MainProc *vclock.Proc
+
+	// CheckpointDone reports the completed JIT checkpoint, if any.
+	CheckpointDone bool
+	CheckpointIter int
+	// SaveDuration is how long the JIT checkpoint took (Table 4's
+	// "Checkpoint" column).
+	SaveDuration vclock.Time
+	// SaveErr records a failed save attempt.
+	SaveErr error
+}
+
+// Hook returns the OnFault callback to install in the interception layer.
+//
+// On an API error (the failing rank itself): the error is surfaced to the
+// training script, which will crash; the handler only notifies the
+// scheduler. On a hang (a healthy replica): the handler performs the §3.2
+// sequence in the watchdog's thread — signal-release the GIL held by the
+// wedged main thread, take it, enter checkpoint mode so device-to-host
+// copies avoid the blocked default stream, save, commit the rank
+// checkpoint with the metadata-last protocol, notify the scheduler, and
+// kill the worker process.
+func (u *UserLevelRank) Hook() func(p *vclock.Proc, f intercept.Fault) {
+	return func(p *vclock.Proc, f intercept.Fault) {
+		u.Monitor.Notify(scheduler.Event{Kind: scheduler.EvFailureDetected, Rank: u.Rank, Iter: f.Iter, Err: f.Err})
+		if f.Kind == intercept.FaultError {
+			// This rank's own GPU failed: it cannot save state; its
+			// replicas will. The error propagates to the script.
+			return
+		}
+		if err := u.saveCheckpoint(p); err != nil {
+			u.SaveErr = err
+			u.Monitor.Notify(scheduler.Event{Kind: scheduler.EvRankExited, Rank: u.Rank, Err: err})
+		}
+		if u.MainProc != nil {
+			u.MainProc.Kill()
+		}
+	}
+}
+
+// saveCheckpoint is the library-side half of the user's save_checkpoint
+// call path.
+func (u *UserLevelRank) saveCheckpoint(p *vclock.Proc) error {
+	start := p.Now()
+	defer func() { u.SaveDuration = p.Now() - start }()
+	// The wedged main thread may hold the GIL inside a hung device call
+	// (§3.2's footnote); steal it the way the SIGUSR1 handler does.
+	if u.GIL != nil {
+		if u.GIL.Owner() != p {
+			u.GIL.ForceRelease()
+			u.GIL.Lock(p)
+		}
+		defer u.GIL.Unlock(p)
+	}
+	if err := u.Layer.EnterCheckpointMode(p); err != nil {
+		return fmt.Errorf("core: enter checkpoint mode: %w", err)
+	}
+	defer u.Layer.ExitCheckpointMode()
+
+	ms, err := u.Worker.SaveModelState(p)
+	if err != nil {
+		return fmt.Errorf("core: rank %d JIT save: %w", u.Rank, err)
+	}
+	if u.SerializeBW > 0 {
+		p.Sleep(vclock.Time(float64(u.StateBytes) / u.SerializeBW * float64(vclock.Second)))
+	}
+	dir := checkpoint.RankDir(u.Job, JITPolicyName, ms.Iter, u.Rank)
+	if err := checkpoint.WriteRank(p, u.Store, dir, ms, u.StateBytes); err != nil {
+		return fmt.Errorf("core: rank %d JIT write: %w", u.Rank, err)
+	}
+	u.CheckpointDone = true
+	u.CheckpointIter = ms.Iter
+	u.Monitor.Notify(scheduler.Event{Kind: scheduler.EvCheckpointDone, Rank: u.Rank, Iter: ms.Iter})
+	return nil
+}
+
+// JITCheckpointPath is the library's jit_get_checkpoint_path (§3.3): it
+// assembles, for every rank of the restarted job, the directory of a valid
+// checkpoint — the rank's own if it saved one, otherwise any healthy
+// data-parallel replica's.
+func JITCheckpointPath(p *vclock.Proc, store *checkpoint.Store, job string, topo train.Topology) (*checkpoint.Assembly, error) {
+	return checkpoint.Assemble(p, store, job, JITPolicyName, topo)
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"jitckpt/internal/checkpoint"
+	"jitckpt/internal/cuda"
+	"jitckpt/internal/gpu"
+	"jitckpt/internal/intercept"
+	"jitckpt/internal/nccl"
+	"jitckpt/internal/scheduler"
+	"jitckpt/internal/train"
+	"jitckpt/internal/vclock"
+)
+
+// userLevelRig wires a 2-rank user-level stack where rank 1's device can
+// be killed to wedge rank 0 at the gradient all-reduce.
+type userLevelRig struct {
+	env     *vclock.Env
+	engine  *nccl.Engine
+	devs    [2]*gpu.Device
+	layers  [2]*intercept.Layer
+	workers [2]*train.Worker
+	gils    [2]*vclock.Mutex
+	ranks   [2]*UserLevelRank
+	store   *checkpoint.Store
+	monitor *scheduler.Monitor
+}
+
+func newUserLevelRig(t *testing.T) *userLevelRig {
+	t.Helper()
+	r := &userLevelRig{env: vclock.NewEnv(1)}
+	r.engine = nccl.NewEngine(r.env, nccl.DefaultParams())
+	r.store = checkpoint.NewStore(r.env, "shared", checkpoint.TmpfsParams())
+	r.monitor = scheduler.NewMonitor(r.env)
+	topo := train.Topology{D: 2, P: 1, T: 1}
+	for i := 0; i < 2; i++ {
+		r.devs[i] = gpu.NewDevice(r.env, 0, i, 1<<34)
+		drv, err := cuda.NewDriver(r.devs[i], r.engine, train.Kernels(), cuda.DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.layers[i] = intercept.New(r.env, drv, fmt.Sprintf("rank%d", i), intercept.Config{
+			Mode:        intercept.ModeUserLevel,
+			HangTimeout: 2 * vclock.Second,
+		})
+		r.gils[i] = vclock.NewMutex(r.env, fmt.Sprintf("gil%d", i))
+		w, err := train.NewWorker(train.Config{
+			Name: fmt.Sprintf("w%d", i), JobKey: "job", Rank: i, Topo: topo,
+			Model: train.ModelSpec{Layers: 2, Hidden: 8, Seed: 42, ParamBytesPerGPU: 1 << 20, OptBytesPerGPU: 1 << 21},
+			Opt:   train.DefaultOptimizer(),
+			Step:  train.Uniform(20*vclock.Millisecond, 2),
+			API:   r.layers[i], DataSeed: 7, GIL: r.gils[i],
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.workers[i] = w
+		r.ranks[i] = &UserLevelRank{
+			Rank: i, Job: "job", Layer: r.layers[i], Worker: w, GIL: r.gils[i],
+			Store: r.store, Monitor: r.monitor, StateBytes: 1 << 21,
+		}
+		r.layers[i].SetOnFault(r.ranks[i].Hook())
+	}
+	return r
+}
+
+// TestUserLevelHangCheckpointSequence drives §3.2 end to end with explicit
+// components: rank 1's GPU dies hard mid-minibatch; rank 0's watchdog
+// detects the hung all-reduce while rank 0's main thread is blocked in a
+// device call *holding the GIL*; the handler steals the GIL, saves through
+// checkpoint mode, commits with metadata, notifies the scheduler, and
+// kills the main process.
+func TestUserLevelHangCheckpointSequence(t *testing.T) {
+	r := newUserLevelRig(t)
+	for i := 0; i < 2; i++ {
+		i := i
+		proc := r.env.Go(fmt.Sprintf("main%d", i), func(p *vclock.Proc) {
+			if err := r.workers[i].Setup(p, 0); err != nil {
+				t.Errorf("rank %d setup: %v", i, err)
+				return
+			}
+			r.workers[i].RunIters(p, 200) // will not finish
+		})
+		r.ranks[i].MainProc = proc
+	}
+	r.env.Go("injector", func(p *vclock.Proc) {
+		p.Sleep(vclock.Seconds(2.2)) // a few iterations in
+		r.devs[1].InjectHard()
+	})
+	if err := r.env.RunUntil(vclock.Minute); err != nil {
+		t.Fatal(err)
+	}
+
+	u0 := r.ranks[0]
+	if !u0.CheckpointDone {
+		t.Fatalf("healthy rank did not checkpoint (err=%v)", u0.SaveErr)
+	}
+	if u0.SaveDuration <= 0 {
+		t.Fatal("save duration not measured")
+	}
+	// The checkpoint is complete and readable.
+	var valid bool
+	var ms *train.ModelState
+	r.env.Go("verify", func(p *vclock.Proc) {
+		dir := checkpoint.RankDir("job", JITPolicyName, u0.CheckpointIter, 0)
+		valid = checkpoint.Valid(p, r.store, dir)
+		ms, _ = checkpoint.ReadRank(p, r.store, dir)
+	})
+	if err := r.env.RunUntil(2 * vclock.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if !valid || ms == nil {
+		t.Fatal("JIT checkpoint invalid or unreadable")
+	}
+	if ms.Iter != u0.CheckpointIter {
+		t.Fatalf("checkpoint iter %d != recorded %d", ms.Iter, u0.CheckpointIter)
+	}
+	// Scheduler saw failure detection and checkpoint completion.
+	var sawFail, sawCkpt bool
+	for _, ev := range r.monitor.Log() {
+		switch ev.Kind {
+		case scheduler.EvFailureDetected:
+			sawFail = true
+		case scheduler.EvCheckpointDone:
+			sawCkpt = true
+		}
+	}
+	if !sawFail || !sawCkpt {
+		t.Fatalf("monitor events incomplete: fail=%v ckpt=%v", sawFail, sawCkpt)
+	}
+	// The GIL ends up free (the handler released it after stealing).
+	if r.gils[0].Owner() != nil {
+		t.Fatalf("GIL still held by %v", r.gils[0].Owner().Name())
+	}
+}
+
+// TestUserLevelFailingRankDoesNotCheckpoint: the rank whose own GPU died
+// must not attempt a save; it only notifies.
+func TestUserLevelFailingRankDoesNotCheckpoint(t *testing.T) {
+	r := newUserLevelRig(t)
+	for i := 0; i < 2; i++ {
+		i := i
+		proc := r.env.Go(fmt.Sprintf("main%d", i), func(p *vclock.Proc) {
+			if err := r.workers[i].Setup(p, 0); err != nil {
+				return
+			}
+			r.workers[i].RunIters(p, 200)
+		})
+		r.ranks[i].MainProc = proc
+	}
+	r.env.Go("injector", func(p *vclock.Proc) {
+		p.Sleep(vclock.Seconds(2.2))
+		r.devs[1].InjectSticky() // rank 1 sees API errors directly
+	})
+	if err := r.env.RunUntil(vclock.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if r.ranks[1].CheckpointDone {
+		t.Fatal("failing rank checkpointed despite a dead GPU")
+	}
+	if !r.ranks[0].CheckpointDone {
+		t.Fatalf("healthy rank did not checkpoint (err=%v)", r.ranks[0].SaveErr)
+	}
+}
+
+// TestJITCheckpointPathAssembly: the library-side jit_get_checkpoint_path
+// resolves the failed rank to its replica's directory.
+func TestJITCheckpointPathAssembly(t *testing.T) {
+	r := newUserLevelRig(t)
+	topo := train.Topology{D: 2, P: 1, T: 1}
+	var asm *checkpoint.Assembly
+	r.env.Go("seed-and-assemble", func(p *vclock.Proc) {
+		ms := &train.ModelState{Iter: 9, Rank: 0, Tensors: nil}
+		dir := checkpoint.RankDir("job", JITPolicyName, 9, 0)
+		if err := checkpoint.WriteRank(p, r.store, dir, ms, 1<<20); err != nil {
+			t.Error(err)
+			return
+		}
+		a, err := JITCheckpointPath(p, r.store, "job", topo)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		asm = a
+	})
+	if err := r.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if asm == nil || asm.Iter != 9 {
+		t.Fatalf("assembly = %+v", asm)
+	}
+	if asm.Dir[1] != checkpoint.RankDir("job", JITPolicyName, 9, 0) {
+		t.Fatalf("rank 1 should restore from rank 0's checkpoint: %s", asm.Dir[1])
+	}
+}

@@ -1,0 +1,579 @@
+package cuda
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"jitckpt/internal/gpu"
+	"jitckpt/internal/nccl"
+	"jitckpt/internal/tensor"
+	"jitckpt/internal/vclock"
+)
+
+// testRig is a single-device driver harness.
+type testRig struct {
+	env *vclock.Env
+	dev *gpu.Device
+	drv *Driver
+}
+
+func newRig(t *testing.T, kernels Registry) *testRig {
+	t.Helper()
+	env := vclock.NewEnv(1)
+	dev := gpu.NewDevice(env, 0, 0, 1<<34)
+	engine := nccl.NewEngine(env, nccl.DefaultParams())
+	drv, err := NewDriver(dev, engine, kernels, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testRig{env: env, dev: dev, drv: drv}
+}
+
+// inProc runs body as a single worker process and fails the test on error.
+func (r *testRig) inProc(t *testing.T, body func(p *vclock.Proc)) {
+	t.Helper()
+	r.env.Go("worker", body)
+	if err := r.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemcpyRoundTrip(t *testing.T) {
+	r := newRig(t, nil)
+	r.inProc(t, func(p *vclock.Proc) {
+		b, err := r.drv.Malloc(p, 1<<20, 4, "x")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := r.drv.MemcpyH2D(p, b, []float32{1, 2, 3, 4}, DefaultStream); err != nil {
+			t.Error(err)
+			return
+		}
+		got, err := r.drv.MemcpyD2H(p, b, DefaultStream)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !tensor.Vector(got).Equal(tensor.Vector{1, 2, 3, 4}) {
+			t.Errorf("round trip = %v", got)
+		}
+	})
+}
+
+func TestMemcpyH2DCapturesSourceAtCallTime(t *testing.T) {
+	r := newRig(t, nil)
+	r.inProc(t, func(p *vclock.Proc) {
+		b, _ := r.drv.Malloc(p, 1<<20, 2, "x")
+		src := []float32{10, 20}
+		r.drv.MemcpyH2D(p, b, src, DefaultStream)
+		src[0] = 999 // mutation after the call must not be visible
+		got, _ := r.drv.MemcpyD2H(p, b, DefaultStream)
+		if got[0] != 10 {
+			t.Errorf("H2D did not capture source: %v", got)
+		}
+	})
+}
+
+func TestMemcpyTimingScalesWithModelBytes(t *testing.T) {
+	r := newRig(t, nil)
+	var small, large vclock.Time
+	r.inProc(t, func(p *vclock.Proc) {
+		bs, _ := r.drv.Malloc(p, 1<<20, 1, "small")
+		bl, _ := r.drv.Malloc(p, 1<<30, 1, "large")
+		t0 := p.Now()
+		r.drv.MemcpyD2H(p, bs, DefaultStream)
+		small = p.Now() - t0
+		t0 = p.Now()
+		r.drv.MemcpyD2H(p, bl, DefaultStream)
+		large = p.Now() - t0
+	})
+	if large < 100*small {
+		t.Fatalf("1 GiB copy (%v) should be ~1024x the 1 MiB copy (%v)", large, small)
+	}
+}
+
+func TestLaunchRunsRegisteredKernel(t *testing.T) {
+	kernels := Registry{
+		"scale": func(a KernelArgs) error {
+			a.Bufs[0].Scale(a.FArgs[0])
+			return nil
+		},
+	}
+	r := newRig(t, kernels)
+	r.inProc(t, func(p *vclock.Proc) {
+		b, _ := r.drv.Malloc(p, 64, 3, "x")
+		r.drv.MemcpyH2D(p, b, []float32{1, 2, 3}, DefaultStream)
+		err := r.drv.Launch(p, LaunchParams{
+			Kernel: "scale",
+			Dur:    vclock.Millisecond,
+			Bufs:   []Buf{b},
+			FArgs:  []float32{10},
+		}, DefaultStream)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		got, _ := r.drv.MemcpyD2H(p, b, DefaultStream)
+		if !tensor.Vector(got).Equal(tensor.Vector{10, 20, 30}) {
+			t.Errorf("kernel result = %v", got)
+		}
+	})
+}
+
+func TestLaunchUnknownKernel(t *testing.T) {
+	r := newRig(t, nil)
+	r.inProc(t, func(p *vclock.Proc) {
+		if err := r.drv.Launch(p, LaunchParams{Kernel: "nope"}, DefaultStream); !errors.Is(err, ErrUnknownKernel) {
+			t.Errorf("err = %v", err)
+		}
+	})
+}
+
+func TestLaunchIsAsync(t *testing.T) {
+	r := newRig(t, nil)
+	kernels := Registry{"slow": func(KernelArgs) error { return nil }}
+	r.drv.kernels = kernels
+	r.inProc(t, func(p *vclock.Proc) {
+		t0 := p.Now()
+		r.drv.Launch(p, LaunchParams{Kernel: "slow", Dur: vclock.Seconds(10)}, DefaultStream)
+		if p.Now()-t0 > vclock.Millisecond {
+			t.Error("Launch blocked the host")
+		}
+		r.drv.StreamSynchronize(p, DefaultStream)
+		if p.Now()-t0 < vclock.Seconds(10) {
+			t.Error("StreamSynchronize returned before kernel finished")
+		}
+	})
+}
+
+// TestFigure3Pattern reproduces the computation/communication
+// synchronization from the paper's Figure 3: all-reduce on the comm stream,
+// EventRecord after it, StreamWaitEvent on the compute stream, then the
+// optimizer kernel. The optimizer must not run before the all-reduce
+// completes.
+func TestFigure3Pattern(t *testing.T) {
+	var optRanAt vclock.Time
+	var arDone bool
+	kernels := Registry{
+		"opt": func(a KernelArgs) error {
+			if !arDone {
+				return fmt.Errorf("optimizer ran before all-reduce")
+			}
+			return nil
+		},
+	}
+	env := vclock.NewEnv(1)
+	engine := nccl.NewEngine(env, nccl.DefaultParams())
+	devs := [2]*gpu.Device{}
+	drvs := [2]*Driver{}
+	for i := range devs {
+		devs[i] = gpu.NewDevice(env, 0, i, 1<<34)
+		d, err := NewDriver(devs[i], engine, kernels, DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		drvs[i] = d
+	}
+	for rank := 0; rank < 2; rank++ {
+		rank := rank
+		env.Go(fmt.Sprintf("rank%d", rank), func(p *vclock.Proc) {
+			drv := drvs[rank]
+			comm, err := drv.CommInit(p, "dp", 0, 2, rank)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			compute, _ := drv.StreamCreate(p)
+			comms, _ := drv.StreamCreate(p)
+			grads, _ := drv.Malloc(p, 1<<26, 4, "grads")
+			drv.MemcpyH2D(p, grads, []float32{1, 1, 1, 1}, compute)
+			drv.StreamSynchronize(p, compute)
+
+			// Figure 3: AR on comm stream; E after it; SWE on compute; OPT.
+			if rank == 1 {
+				p.Sleep(vclock.Seconds(2)) // skew rank 1's arrival
+			}
+			drv.AllReduce(p, comm, grads, comms)
+			ev, _ := drv.EventCreate(p)
+			drv.EventRecord(p, ev, comms)
+			drv.StreamWaitEvent(p, compute, ev)
+			drv.Launch(p, LaunchParams{Kernel: "opt", Dur: vclock.Millisecond, Bufs: []Buf{grads}}, compute)
+			drv.StreamSynchronize(p, compute)
+			if rank == 0 {
+				optRanAt = p.Now()
+			}
+		})
+	}
+	// Mark all-reduce completion via a monitor on rank 0's comm stream.
+	env.Go("observer", func(p *vclock.Proc) {
+		p.Sleep(vclock.Seconds(2)) // after rank 1 issues; AR roughly completes
+		arDone = true
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if optRanAt < vclock.Seconds(2) {
+		t.Fatalf("optimizer at %v ran before the skewed all-reduce completed", optRanAt)
+	}
+}
+
+func TestEventQuerySemantics(t *testing.T) {
+	r := newRig(t, Registry{"nop": func(KernelArgs) error { return nil }})
+	r.inProc(t, func(p *vclock.Proc) {
+		ev, _ := r.drv.EventCreate(p)
+		// Unrecorded event: complete.
+		if done, err := r.drv.EventQuery(p, ev); !done || err != nil {
+			t.Errorf("unrecorded query = %v, %v", done, err)
+		}
+		s, _ := r.drv.StreamCreate(p)
+		r.drv.Launch(p, LaunchParams{Kernel: "nop", Dur: vclock.Seconds(5)}, s)
+		r.drv.EventRecord(p, ev, s)
+		if done, _ := r.drv.EventQuery(p, ev); done {
+			t.Error("event reported complete while kernel pending")
+		}
+		p.Sleep(vclock.Seconds(6))
+		if done, err := r.drv.EventQuery(p, ev); !done || err != nil {
+			t.Errorf("query after completion = %v, %v", done, err)
+		}
+	})
+	_ = r
+}
+
+func TestEventSynchronize(t *testing.T) {
+	r := newRig(t, Registry{"nop": func(KernelArgs) error { return nil }})
+	r.inProc(t, func(p *vclock.Proc) {
+		s, _ := r.drv.StreamCreate(p)
+		ev, _ := r.drv.EventCreate(p)
+		r.drv.Launch(p, LaunchParams{Kernel: "nop", Dur: vclock.Seconds(3)}, s)
+		r.drv.EventRecord(p, ev, s)
+		t0 := p.Now()
+		if err := r.drv.EventSynchronize(p, ev); err != nil {
+			t.Error(err)
+		}
+		if waited := p.Now() - t0; waited < vclock.Seconds(2.9) || waited > vclock.Seconds(3.1) {
+			t.Errorf("EventSynchronize waited %v, want ~3s", waited)
+		}
+	})
+}
+
+func TestStreamWaitEventOrdersAcrossStreams(t *testing.T) {
+	order := []string{}
+	kernels := Registry{
+		"a": func(KernelArgs) error { order = append(order, "a"); return nil },
+		"b": func(KernelArgs) error { order = append(order, "b"); return nil },
+	}
+	r := newRig(t, kernels)
+	r.inProc(t, func(p *vclock.Proc) {
+		s1, _ := r.drv.StreamCreate(p)
+		s2, _ := r.drv.StreamCreate(p)
+		ev, _ := r.drv.EventCreate(p)
+		r.drv.Launch(p, LaunchParams{Kernel: "a", Dur: vclock.Seconds(5)}, s1)
+		r.drv.EventRecord(p, ev, s1)
+		r.drv.StreamWaitEvent(p, s2, ev)
+		r.drv.Launch(p, LaunchParams{Kernel: "b", Dur: vclock.Millisecond}, s2)
+		r.drv.StreamSynchronize(p, s2)
+	})
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Fatalf("order = %v, want [a b]", order)
+	}
+}
+
+func TestStickyErrorSurfacesOnAPICalls(t *testing.T) {
+	r := newRig(t, nil)
+	r.inProc(t, func(p *vclock.Proc) {
+		b, _ := r.drv.Malloc(p, 64, 1, "x")
+		r.dev.InjectSticky()
+		if _, err := r.drv.Malloc(p, 64, 1, "y"); !errors.Is(err, gpu.ErrSticky) {
+			t.Errorf("Malloc err = %v", err)
+		}
+		if _, err := r.drv.MemcpyD2H(p, b, DefaultStream); !errors.Is(err, gpu.ErrSticky) {
+			t.Errorf("MemcpyD2H err = %v", err)
+		}
+		if err := r.drv.GetLastError(p); !errors.Is(err, gpu.ErrSticky) {
+			t.Errorf("GetLastError = %v", err)
+		}
+	})
+}
+
+func TestDeviceSynchronizeDrainsAllStreams(t *testing.T) {
+	r := newRig(t, Registry{"nop": func(KernelArgs) error { return nil }})
+	r.inProc(t, func(p *vclock.Proc) {
+		s1, _ := r.drv.StreamCreate(p)
+		s2, _ := r.drv.StreamCreate(p)
+		r.drv.Launch(p, LaunchParams{Kernel: "nop", Dur: vclock.Seconds(2)}, s1)
+		r.drv.Launch(p, LaunchParams{Kernel: "nop", Dur: vclock.Seconds(4)}, s2)
+		t0 := p.Now()
+		if err := r.drv.DeviceSynchronize(p); err != nil {
+			t.Error(err)
+		}
+		if p.Now()-t0 < vclock.Seconds(4) {
+			t.Errorf("DeviceSynchronize returned after %v", p.Now()-t0)
+		}
+	})
+}
+
+func TestBufListAndChecksum(t *testing.T) {
+	r := newRig(t, nil)
+	r.inProc(t, func(p *vclock.Proc) {
+		b1, _ := r.drv.Malloc(p, 128, 2, "param.w")
+		b2, _ := r.drv.Malloc(p, 256, 2, "param.w")
+		r.drv.Malloc(p, 64, 1, "act")
+		infos, err := r.drv.BufList(p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if len(infos) != 3 {
+			t.Errorf("BufList len = %d", len(infos))
+		}
+		if infos[0].Tag != "param.w" || infos[0].Seq != 0 || infos[1].Seq != 1 {
+			t.Errorf("tag/seq wrong: %+v", infos[:2])
+		}
+		r.drv.MemcpyH2D(p, b1, []float32{1, 2}, DefaultStream)
+		r.drv.MemcpyH2D(p, b2, []float32{1, 2}, DefaultStream)
+		r.drv.StreamSynchronize(p, DefaultStream)
+		c1, _ := r.drv.BufChecksum(p, b1)
+		c2, _ := r.drv.BufChecksum(p, b2)
+		if c1 != c2 {
+			t.Error("identical contents produced different checksums")
+		}
+	})
+}
+
+func TestFreeInvalidatesHandle(t *testing.T) {
+	r := newRig(t, nil)
+	r.inProc(t, func(p *vclock.Proc) {
+		b, _ := r.drv.Malloc(p, 64, 1, "x")
+		if err := r.drv.Free(p, b); err != nil {
+			t.Error(err)
+		}
+		if err := r.drv.Free(p, b); !errors.Is(err, ErrBadHandle) {
+			t.Errorf("double free = %v", err)
+		}
+		if _, err := r.drv.MemcpyD2H(p, b, DefaultStream); !errors.Is(err, ErrBadHandle) {
+			t.Errorf("use after free = %v", err)
+		}
+	})
+}
+
+func TestBadHandles(t *testing.T) {
+	r := newRig(t, nil)
+	r.inProc(t, func(p *vclock.Proc) {
+		if err := r.drv.StreamSynchronize(p, Stream(99)); !errors.Is(err, ErrBadHandle) {
+			t.Errorf("stream: %v", err)
+		}
+		if _, err := r.drv.EventQuery(p, Event(99)); !errors.Is(err, ErrBadHandle) {
+			t.Errorf("event: %v", err)
+		}
+		if err := r.drv.AllReduce(p, Comm(99), 0, DefaultStream); !errors.Is(err, ErrBadHandle) {
+			t.Errorf("comm: %v", err)
+		}
+	})
+}
+
+func TestCheckpointDeadlockScenario(t *testing.T) {
+	// §3.2: the default stream is blocked by a StreamWaitEvent on a hung
+	// collective. A D2H memcpy on the default stream deadlocks; the same
+	// copy on a fresh stream completes. This is the behaviour the
+	// user-level library's cudaMemcpy interception relies on.
+	env := vclock.NewEnv(1)
+	engine := nccl.NewEngine(env, nccl.DefaultParams())
+	dev := gpu.NewDevice(env, 0, 0, 1<<34)
+	drv, err := NewDriver(dev, engine, nil, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank 1 joins the rendezvous so CommInit completes, then never issues
+	// its side of the all-reduce: rank 0's collective hangs forever.
+	env.Go("rank1", func(p *vclock.Proc) {
+		if _, err := engine.CommInitRank(p, "dp", 0, 2, 1, nil); err != nil {
+			t.Error(err)
+		}
+	})
+	var defaultHung, freshWorked bool
+	env.Go("rank0", func(p *vclock.Proc) {
+		comm, err := drv.CommInit(p, "dp", 0, 2, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		commStream, _ := drv.StreamCreate(p)
+		grads, _ := drv.Malloc(p, 1<<20, 2, "grads")
+		params, _ := drv.Malloc(p, 1<<20, 2, "params")
+		drv.MemcpyH2D(p, params, []float32{5, 6}, DefaultStream)
+		drv.StreamSynchronize(p, DefaultStream)
+
+		// Figure 3 wiring: AR on comm stream, event after it, default
+		// stream waits on the event. Rank 1 never joins → hang.
+		drv.AllReduce(p, comm, grads, commStream)
+		ev, _ := drv.EventCreate(p)
+		drv.EventRecord(p, ev, commStream)
+		drv.StreamWaitEvent(p, DefaultStream, ev)
+
+		// Checkpoint attempt on the default stream: deadlocks.
+		sub := p.Env().Go("ckpt-default", func(cp *vclock.Proc) {
+			drv.MemcpyD2H(cp, params, DefaultStream)
+			defaultHung = false
+		})
+		defaultHung = true
+		p.Sleep(vclock.Seconds(30))
+		sub.Kill()
+
+		// Checkpoint on a fresh stream: completes (the interception fix).
+		fresh, _ := drv.StreamCreate(p)
+		data, err := drv.MemcpyD2H(p, params, fresh)
+		if err == nil && len(data) == 2 && data[0] == 5 {
+			freshWorked = true
+		}
+	})
+	if err := env.RunUntil(vclock.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if !defaultHung {
+		t.Fatal("memcpy on blocked default stream should deadlock")
+	}
+	if !freshWorked {
+		t.Fatal("memcpy on fresh stream should complete during the hang")
+	}
+}
+
+func BenchmarkKernelLaunch(b *testing.B) {
+	env := vclock.NewEnv(1)
+	dev := gpu.NewDevice(env, 0, 0, 1<<34)
+	engine := nccl.NewEngine(env, nccl.DefaultParams())
+	drv, err := NewDriver(dev, engine, Registry{"nop": func(KernelArgs) error { return nil }}, DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	env.Go("worker", func(p *vclock.Proc) {
+		for i := 0; i < b.N; i++ {
+			drv.Launch(p, LaunchParams{Kernel: "nop", Dur: vclock.Microsecond}, DefaultStream)
+			if i%256 == 0 {
+				drv.StreamSynchronize(p, DefaultStream)
+			}
+		}
+		drv.StreamSynchronize(p, DefaultStream)
+	})
+	b.ResetTimer()
+	if err := env.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// TestDriverCollectiveSurface drives the remaining collective entry points
+// (Broadcast, AllGather, ReduceScatter, Barrier, Send/Recv) through the
+// driver API across two ranks.
+func TestDriverCollectiveSurface(t *testing.T) {
+	env := vclock.NewEnv(1)
+	engine := nccl.NewEngine(env, nccl.DefaultParams())
+	var drvs [2]*Driver
+	for i := 0; i < 2; i++ {
+		dev := gpu.NewDevice(env, 0, i, 1<<34)
+		d, err := NewDriver(dev, engine, nil, DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		drvs[i] = d
+	}
+	results := make([][]float32, 2)
+	for rank := 0; rank < 2; rank++ {
+		rank := rank
+		env.Go(fmt.Sprintf("rank%d", rank), func(p *vclock.Proc) {
+			drv := drvs[rank]
+			comm, err := drv.CommInit(p, "all", 0, 2, rank)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			// Broadcast root 0's data.
+			b, _ := drv.Malloc(p, 64, 2, "b")
+			if rank == 0 {
+				drv.MemcpyH2D(p, b, []float32{5, 6}, DefaultStream)
+			}
+			if err := drv.Broadcast(p, comm, b, 0, DefaultStream); err != nil {
+				t.Error(err)
+			}
+			// AllGather both ranks' scalars.
+			in, _ := drv.Malloc(p, 32, 1, "in")
+			out, _ := drv.Malloc(p, 64, 2, "out")
+			drv.MemcpyH2D(p, in, []float32{float32(rank + 1)}, DefaultStream)
+			if err := drv.AllGather(p, comm, in, out, DefaultStream); err != nil {
+				t.Error(err)
+			}
+			// ReduceScatter a 2-vector.
+			rsIn, _ := drv.Malloc(p, 64, 2, "rsin")
+			rsOut, _ := drv.Malloc(p, 32, 1, "rsout")
+			drv.MemcpyH2D(p, rsIn, []float32{1, 10}, DefaultStream)
+			if err := drv.ReduceScatter(p, comm, rsIn, rsOut, DefaultStream); err != nil {
+				t.Error(err)
+			}
+			// Barrier.
+			if err := drv.Barrier(p, comm, DefaultStream); err != nil {
+				t.Error(err)
+			}
+			// P2P ping: rank 0 sends, rank 1 receives.
+			pp, _ := drv.Malloc(p, 32, 1, "p2p")
+			if rank == 0 {
+				drv.MemcpyH2D(p, pp, []float32{42}, DefaultStream)
+				if err := drv.Send(p, comm, pp, 1, DefaultStream); err != nil {
+					t.Error(err)
+				}
+			} else {
+				if err := drv.Recv(p, comm, pp, 0, DefaultStream); err != nil {
+					t.Error(err)
+				}
+			}
+			bd, _ := drv.MemcpyD2H(p, b, DefaultStream)
+			og, _ := drv.MemcpyD2H(p, out, DefaultStream)
+			rs, _ := drv.MemcpyD2H(p, rsOut, DefaultStream)
+			p2, _ := drv.MemcpyD2H(p, pp, DefaultStream)
+			results[rank] = append(append(append(append([]float32{}, bd...), og...), rs...), p2...)
+		})
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// rank 1: broadcast [5 6], gather [1 2], reduce-scatter chunk1 = 20, p2p 42.
+	want1 := tensor.Vector{5, 6, 1, 2, 20, 42}
+	if !tensor.Vector(results[1]).Equal(want1) {
+		t.Fatalf("rank 1 results = %v, want %v", results[1], want1)
+	}
+	// rank 0: reduce-scatter chunk0 = 2, p2p buffer holds its own 42.
+	want0 := tensor.Vector{5, 6, 1, 2, 2, 42}
+	if !tensor.Vector(results[0]).Equal(want0) {
+		t.Fatalf("rank 0 results = %v, want %v", results[0], want0)
+	}
+}
+
+// TestDriverBufDataPrivilegedRead covers the infrastructure-side read path
+// the recovery controller uses.
+func TestDriverBufDataPrivilegedRead(t *testing.T) {
+	r := newRig(t, nil)
+	r.inProc(t, func(p *vclock.Proc) {
+		b, _ := r.drv.Malloc(p, 64, 2, "w")
+		r.drv.MemcpyH2D(p, b, []float32{3, 4}, DefaultStream)
+		r.drv.StreamSynchronize(p, DefaultStream)
+
+		// Healthy: readable.
+		data, err := r.drv.BufData(b)
+		if err != nil || !data.Equal(tensor.Vector{3, 4}) {
+			t.Errorf("healthy BufData = %v, %v", data, err)
+		}
+		// Corrupt driver: API calls fail, BufData still works (§4.2
+		// strategy 2's "GPU is still accessible").
+		r.dev.InjectDriverCorrupt()
+		if _, err := r.drv.Malloc(p, 1, 0, "x"); !errors.Is(err, gpu.ErrCorrupt) {
+			t.Errorf("Malloc under corruption = %v", err)
+		}
+		if _, err := r.drv.BufData(b); err != nil {
+			t.Errorf("BufData under corruption = %v", err)
+		}
+		// Sticky: state not accessible (strategy 3).
+		r.dev.InjectSticky()
+		if _, err := r.drv.BufData(b); !errors.Is(err, gpu.ErrSticky) {
+			t.Errorf("BufData under sticky = %v", err)
+		}
+	})
+}

@@ -1,0 +1,228 @@
+// Package failure injects the fault classes the paper's recovery
+// mechanisms handle (§1 "Failure types and frequencies", Table 1): hard
+// GPU failures, sticky CUDA errors, driver-state corruption, and transient
+// network faults that hang or error collectives.
+//
+// Failures arrive either on a deterministic schedule (to exercise each
+// recovery path at an exact point in a minibatch) or as a Poisson process
+// with a per-GPU rate f — the same parameter the §5 analytical model uses,
+// e.g. the OPT-175B job's ~2 failures/day across 992 GPUs.
+package failure
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"jitckpt/internal/gpu"
+	"jitckpt/internal/nccl"
+	"jitckpt/internal/vclock"
+)
+
+// Kind classifies an injected fault.
+type Kind int
+
+const (
+	// GPUHard is an unrecoverable hardware failure: the device is lost
+	// and the worker must migrate (§4.3).
+	GPUHard Kind = iota
+	// GPUSticky is a CUDA sticky error: the context is corrupt until the
+	// device is reset (§4.2 strategy 3).
+	GPUSticky
+	// DriverCorrupt marks GPU/network driver state as suspect; clearing
+	// it requires restarting the device proxy (§4.2 strategy 2).
+	DriverCorrupt
+	// NetworkHang is a transient interconnect fault that wedges
+	// collectives on a communicator until it is re-initialized (§4.2
+	// strategy 1).
+	NetworkHang
+	// NetworkError is a NCCL async error on a communicator.
+	NetworkError
+)
+
+// String renders the fault kind.
+func (k Kind) String() string {
+	switch k {
+	case GPUHard:
+		return "gpu-hard"
+	case GPUSticky:
+		return "gpu-sticky"
+	case DriverCorrupt:
+		return "driver-corrupt"
+	case NetworkHang:
+		return "network-hang"
+	case NetworkError:
+		return "network-error"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// IsTransient reports whether recovery can reuse the same GPU.
+func (k Kind) IsTransient() bool { return k != GPUHard }
+
+// Injection is one scheduled fault.
+type Injection struct {
+	At   vclock.Time
+	Rank int
+	Kind Kind
+	// CommKey targets network faults at a specific communicator; empty
+	// means the injector picks the rank's gradient communicator via its
+	// CommKeyOf hook.
+	CommKey string
+}
+
+// Plan is a time-ordered set of injections.
+type Plan struct {
+	Injections []Injection
+}
+
+// Sort orders injections by time (stable on equal times).
+func (pl *Plan) Sort() {
+	sort.SliceStable(pl.Injections, func(i, j int) bool {
+		return pl.Injections[i].At < pl.Injections[j].At
+	})
+}
+
+// DefaultMix reflects the paper's observed failure mix: mostly single-GPU
+// or network faults, with transient network issues the most common.
+func DefaultMix() map[Kind]float64 {
+	return map[Kind]float64{
+		GPUHard:       0.20,
+		GPUSticky:     0.20,
+		DriverCorrupt: 0.15,
+		NetworkHang:   0.35,
+		NetworkError:  0.10,
+	}
+}
+
+// PoissonPlan samples failures over horizon for a job of n ranks with
+// per-GPU failure rate fPerGPUPerDay, mixing kinds by weight. The job
+// failure rate is n×f, as in §5.2.
+func PoissonPlan(rng *rand.Rand, n int, fPerGPUPerDay float64, horizon vclock.Time, mix map[Kind]float64) Plan {
+	var plan Plan
+	rate := fPerGPUPerDay * float64(n) / float64(vclock.Day) // events per ns
+	if rate <= 0 {
+		return plan
+	}
+	kinds, weights := flattenMix(mix)
+	t := vclock.Time(0)
+	for {
+		gap := vclock.Time(rng.ExpFloat64() / rate)
+		t += gap
+		if t >= horizon {
+			break
+		}
+		plan.Injections = append(plan.Injections, Injection{
+			At:   t,
+			Rank: rng.Intn(n),
+			Kind: pickKind(rng, kinds, weights),
+		})
+	}
+	return plan
+}
+
+func flattenMix(mix map[Kind]float64) ([]Kind, []float64) {
+	kinds := make([]Kind, 0, len(mix))
+	for k := range mix {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	weights := make([]float64, len(kinds))
+	total := 0.0
+	for i, k := range kinds {
+		total += mix[k]
+		weights[i] = total
+	}
+	for i := range weights {
+		weights[i] /= total
+	}
+	return kinds, weights
+}
+
+func pickKind(rng *rand.Rand, kinds []Kind, cumWeights []float64) Kind {
+	x := rng.Float64()
+	for i, w := range cumWeights {
+		if x <= w {
+			return kinds[i]
+		}
+	}
+	return kinds[len(kinds)-1]
+}
+
+// MTBF returns the expected time between job failures for n GPUs at
+// per-GPU rate f/day (the quantity reported as 3–30 h in the failure
+// studies the paper cites).
+func MTBF(n int, fPerGPUPerDay float64) vclock.Time {
+	if n <= 0 || fPerGPUPerDay <= 0 {
+		return vclock.Time(math.MaxInt64)
+	}
+	return vclock.Time(float64(vclock.Day) / (fPerGPUPerDay * float64(n)))
+}
+
+// Injector applies a plan to a running job.
+type Injector struct {
+	Env *vclock.Env
+	// DeviceOf resolves the device currently serving a rank.
+	DeviceOf func(rank int) *gpu.Device
+	// Engine is the collective engine for network faults.
+	Engine *nccl.Engine
+	// CommKeyOf resolves the communicator key a rank's network fault
+	// should target (typically its gradient-allreduce group).
+	CommKeyOf func(rank int) string
+	// GenOf resolves the current generation of a communicator key.
+	GenOf func(key string) int
+	// OnInject observes applied injections (metrics, test assertions).
+	OnInject func(inj Injection)
+
+	applied []Injection
+}
+
+// Applied returns the injections performed so far.
+func (in *Injector) Applied() []Injection { return in.applied }
+
+// Apply performs one injection immediately.
+func (in *Injector) Apply(inj Injection) {
+	switch inj.Kind {
+	case GPUHard:
+		in.DeviceOf(inj.Rank).InjectHard()
+	case GPUSticky:
+		in.DeviceOf(inj.Rank).InjectSticky()
+	case DriverCorrupt:
+		in.DeviceOf(inj.Rank).InjectDriverCorrupt()
+	case NetworkHang, NetworkError:
+		key := inj.CommKey
+		if key == "" && in.CommKeyOf != nil {
+			key = in.CommKeyOf(inj.Rank)
+		}
+		gen := 0
+		if in.GenOf != nil {
+			gen = in.GenOf(key)
+		}
+		fk := nccl.FaultHang
+		if inj.Kind == NetworkError {
+			fk = nccl.FaultError
+		}
+		in.Engine.InjectFault(key, gen, fk)
+	}
+	in.applied = append(in.applied, inj)
+	if in.OnInject != nil {
+		in.OnInject(inj)
+	}
+	in.Env.Tracef("failure: injected %v on rank %d", inj.Kind, inj.Rank)
+}
+
+// Start spawns a process that applies the plan on schedule.
+func (in *Injector) Start(plan Plan) {
+	plan.Sort()
+	injections := plan.Injections
+	in.Env.Go("failure-injector", func(p *vclock.Proc) {
+		for _, inj := range injections {
+			if d := inj.At - p.Now(); d > 0 {
+				p.Sleep(d)
+			}
+			in.Apply(inj)
+		}
+	})
+}

@@ -1,0 +1,480 @@
+// Package gpu models the GPU hardware that the simulated cluster exposes to
+// the CUDA-like driver layer: devices with memory, ordered execution
+// streams, and a health state machine covering the failure classes the
+// paper's recovery mechanisms distinguish (§4.2, §4.3).
+//
+// Two deliberate modelling choices:
+//
+//   - Buffers carry both a modelled byte size (ModelBytes, used for transfer
+//     and checkpoint timing at paper scale) and real float32 contents (Data,
+//     used to verify recovery preserves training semantics bit for bit). A
+//     simulated 1.5B-parameter model times its checkpoints as 18 GB while
+//     its verifiable payload is a few thousand floats.
+//
+//   - Each stream is a virtual-time process executing enqueued operations
+//     strictly in order. Kernel launches are therefore asynchronous with
+//     respect to the issuing worker, hangs at collectives are real hangs
+//     (the stream process blocks forever), and cudaStreamWaitEvent is an
+//     operation that blocks the stream, not the host.
+package gpu
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"jitckpt/internal/tensor"
+	"jitckpt/internal/vclock"
+)
+
+// Health is the device health state.
+type Health int
+
+// Device health states, ordered roughly by severity. They map onto the
+// paper's recovery strategies: DriverCorrupt is cleared by restarting the
+// device proxy, Sticky requires a device reset and replica state copy, and
+// Hard requires migrating the worker to a different GPU.
+const (
+	Healthy       Health = iota
+	DriverCorrupt        // device accessible, driver/network state suspect
+	Sticky               // CUDA "sticky" error: every subsequent op fails
+	Hard                 // unrecoverable hardware failure: device lost
+)
+
+// String renders the health state.
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case DriverCorrupt:
+		return "driver-corrupt"
+	case Sticky:
+		return "sticky-error"
+	case Hard:
+		return "hard-failure"
+	default:
+		return fmt.Sprintf("health(%d)", int(h))
+	}
+}
+
+// Errors returned by device operations.
+var (
+	ErrDeviceLost  = errors.New("gpu: device lost (hard failure)")
+	ErrSticky      = errors.New("gpu: sticky error, context corrupted")
+	ErrCorrupt     = errors.New("gpu: driver state corrupted")
+	ErrOutOfMemory = errors.New("gpu: out of device memory")
+	ErrNoSuchBuf   = errors.New("gpu: no such buffer")
+	ErrNoSuchQueue = errors.New("gpu: no such stream")
+)
+
+// Buffer is a device memory allocation.
+type Buffer struct {
+	ID         int
+	ModelBytes int64         // modelled size, drives transfer timing
+	Data       tensor.Vector // real contents, drives correctness checks
+	Tag        string        // allocation call-site tag (checkpoint naming, §4.3)
+	Seq        int           // per-tag allocation sequence number
+}
+
+// Op is one unit of work on a stream. Run executes in the stream's process:
+// it may sleep to model compute time and may block on events (collectives do
+// both). Done triggers when the op completes; Err carries its outcome.
+type Op struct {
+	Name string
+	Run  func(p *vclock.Proc, dev *Device) error
+	Done *vclock.Event
+	Err  error
+}
+
+// Stream is an in-order execution queue on a device.
+type Stream struct {
+	ID      int
+	dev     *Device
+	q       *vclock.Queue[*Op]
+	proc    *vclock.Proc
+	pending int
+	drain   *vclock.Event
+}
+
+// Device is a single simulated GPU.
+type Device struct {
+	env    *vclock.Env
+	NodeID int
+	Index  int
+
+	health     Health
+	buffers    map[int]*Buffer
+	nextBufID  int
+	tagSeq     map[string]int
+	streams    map[int]*Stream
+	nextStream int
+	memUsed    int64
+	memCap     int64
+}
+
+// NewDevice creates a healthy device with memCap bytes of modelled memory.
+func NewDevice(env *vclock.Env, nodeID, index int, memCap int64) *Device {
+	return &Device{
+		env:     env,
+		NodeID:  nodeID,
+		Index:   index,
+		health:  Healthy,
+		buffers: make(map[int]*Buffer),
+		tagSeq:  make(map[string]int),
+		streams: make(map[int]*Stream),
+		memCap:  memCap,
+	}
+}
+
+// Name returns a stable diagnostic identifier.
+func (d *Device) Name() string { return fmt.Sprintf("gpu[n%d.g%d]", d.NodeID, d.Index) }
+
+// Env returns the simulation environment.
+func (d *Device) Env() *vclock.Env { return d.env }
+
+// Health returns the current health state.
+func (d *Device) Health() Health { return d.health }
+
+// Accessible reports whether API calls can reach the device at all.
+func (d *Device) Accessible() bool { return d.health != Hard }
+
+// MemUsed returns the modelled bytes currently allocated.
+func (d *Device) MemUsed() int64 { return d.memUsed }
+
+// PendingOps returns the number of enqueued-but-incomplete operations
+// across all streams. Zero on a healthy device means the GPU has executed
+// everything the host issued — the recovery controller's signal that the
+// device's state is at a minibatch boundary.
+func (d *Device) PendingOps() int {
+	n := 0
+	for _, s := range d.streams {
+		n += s.pending
+	}
+	return n
+}
+
+// MemCap returns the modelled memory capacity in bytes.
+func (d *Device) MemCap() int64 { return d.memCap }
+
+// healthErr maps the current health to the error API calls should return,
+// or nil when the device accepts work.
+func (d *Device) healthErr() error {
+	switch d.health {
+	case Hard:
+		return ErrDeviceLost
+	case Sticky:
+		return ErrSticky
+	default:
+		return nil
+	}
+}
+
+// Alloc allocates a buffer of modelBytes modelled size holding elems real
+// float32 elements. tag identifies the allocation call-site; the (tag, seq,
+// size) triple is the replica-consistent checkpoint name from §4.3.
+func (d *Device) Alloc(modelBytes int64, elems int, tag string) (*Buffer, error) {
+	if err := d.healthErr(); err != nil {
+		return nil, err
+	}
+	if d.memUsed+modelBytes > d.memCap {
+		return nil, fmt.Errorf("%w: want %d, used %d of %d", ErrOutOfMemory, modelBytes, d.memUsed, d.memCap)
+	}
+	b := &Buffer{
+		ID:         d.nextBufID,
+		ModelBytes: modelBytes,
+		Data:       tensor.NewVector(elems),
+		Tag:        tag,
+		Seq:        d.tagSeq[tag],
+	}
+	d.nextBufID++
+	d.tagSeq[tag]++
+	d.buffers[b.ID] = b
+	d.memUsed += modelBytes
+	return b, nil
+}
+
+// Free releases a buffer.
+func (d *Device) Free(id int) error {
+	if d.health == Hard {
+		return ErrDeviceLost
+	}
+	b, ok := d.buffers[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoSuchBuf, id)
+	}
+	d.memUsed -= b.ModelBytes
+	delete(d.buffers, id)
+	return nil
+}
+
+// Buf looks up a buffer by ID.
+func (d *Device) Buf(id int) (*Buffer, error) {
+	b, ok := d.buffers[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoSuchBuf, id)
+	}
+	return b, nil
+}
+
+// Buffers returns all live buffers sorted by ID (deterministic iteration).
+func (d *Device) Buffers() []*Buffer {
+	out := make([]*Buffer, 0, len(d.buffers))
+	for _, b := range d.buffers {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// FreeWhere frees every buffer for which pred returns true and returns the
+// number freed. Recovery strategy 1 (§4.2) uses this to discard activation
+// and gradient buffers while retaining parameter and optimizer state.
+func (d *Device) FreeWhere(pred func(*Buffer) bool) int {
+	n := 0
+	for _, b := range d.Buffers() {
+		if pred(b) {
+			d.memUsed -= b.ModelBytes
+			delete(d.buffers, b.ID)
+			n++
+		}
+	}
+	return n
+}
+
+// NewStream creates an execution stream and starts its process.
+func (d *Device) NewStream() (*Stream, error) {
+	if err := d.healthErr(); err != nil {
+		return nil, err
+	}
+	s := &Stream{
+		ID:  d.nextStream,
+		dev: d,
+		q:   vclock.NewQueue[*Op](d.env, fmt.Sprintf("%s.s%d.q", d.Name(), d.nextStream)),
+	}
+	d.nextStream++
+	d.streams[s.ID] = s
+	s.proc = d.env.Go(fmt.Sprintf("%s.s%d", d.Name(), s.ID), s.run)
+	return s, nil
+}
+
+// Stream looks up a stream by ID.
+func (d *Device) Stream(id int) (*Stream, error) {
+	s, ok := d.streams[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoSuchQueue, id)
+	}
+	return s, nil
+}
+
+// DestroyStream kills a stream's process and forgets it.
+func (d *Device) DestroyStream(id int) error {
+	s, ok := d.streams[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoSuchQueue, id)
+	}
+	s.proc.Kill()
+	delete(d.streams, id)
+	return nil
+}
+
+// InjectHard makes the device fail hard: every stream process is killed so
+// in-flight and queued operations never complete, and all subsequent API
+// calls return ErrDeviceLost.
+func (d *Device) InjectHard() {
+	d.health = Hard
+	for _, id := range d.streamIDs() {
+		d.streams[id].proc.Kill()
+	}
+	d.env.Tracef("%s hard failure injected", d.Name())
+}
+
+// InjectSticky puts the device in the CUDA sticky-error state: queued and
+// future operations complete immediately with ErrSticky and API calls fail
+// until the device is reset.
+func (d *Device) InjectSticky() {
+	if d.health == Hard {
+		return
+	}
+	d.health = Sticky
+	d.env.Tracef("%s sticky error injected", d.Name())
+}
+
+// InjectDriverCorrupt marks driver state as suspect: operations still
+// execute, but the recovery layer is expected to restart the device proxy
+// and reset the device before trusting it again.
+func (d *Device) InjectDriverCorrupt() {
+	if d.health == Hard {
+		return
+	}
+	d.health = DriverCorrupt
+	d.env.Tracef("%s driver corruption injected", d.Name())
+}
+
+// Reset clears a non-hard device back to health: all streams are destroyed
+// (queued work is dropped) and sticky/corrupt states are cleared. Buffers
+// are NOT freed; callers choose what survives via Free/FreeWhere. Reset of
+// a hard-failed device returns ErrDeviceLost — hardware does not come back.
+func (d *Device) Reset() error {
+	if d.health == Hard {
+		return ErrDeviceLost
+	}
+	for _, id := range d.streamIDs() {
+		d.streams[id].proc.Kill()
+		delete(d.streams, id)
+	}
+	d.health = Healthy
+	d.env.Tracef("%s reset", d.Name())
+	return nil
+}
+
+func (d *Device) streamIDs() []int {
+	ids := make([]int, 0, len(d.streams))
+	for id := range d.streams {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Enqueue appends an op to the stream. It returns the op's completion event.
+// Enqueue never blocks the caller: launches are asynchronous, as on real
+// hardware. Enqueueing onto a hard-failed device is permitted (the op will
+// simply never complete), matching how an async launch into a dying context
+// behaves.
+func (s *Stream) Enqueue(op *Op) *vclock.Event {
+	if op.Done == nil {
+		op.Done = s.dev.env.NewEvent("op." + op.Name)
+	}
+	s.pending++
+	s.q.Push(op)
+	return op.Done
+}
+
+// Pending returns the number of enqueued-but-incomplete ops.
+func (s *Stream) Pending() int { return s.pending }
+
+// DrainEvent returns an event that triggers when every op enqueued so far
+// has completed. On an idle stream it is already triggered.
+func (s *Stream) DrainEvent() *vclock.Event {
+	if s.pending == 0 {
+		ev := s.dev.env.NewEvent("drain.idle")
+		ev.Trigger()
+		return ev
+	}
+	if s.drain == nil || s.drain.Triggered() {
+		s.drain = s.dev.env.NewEvent(fmt.Sprintf("%s.s%d.drain", s.dev.Name(), s.ID))
+	}
+	return s.drain
+}
+
+// Device returns the stream's device.
+func (s *Stream) Device() *Device { return s.dev }
+
+// run is the stream process body: execute ops strictly in order.
+func (s *Stream) run(p *vclock.Proc) {
+	for {
+		op := s.q.Pop(p)
+		switch s.dev.health {
+		case Hard:
+			// Unreachable in practice (hard failure kills this process),
+			// but guard anyway: hang forever.
+			p.Wait(s.dev.env.NewEvent("dead-device"))
+		case Sticky:
+			op.Err = ErrSticky
+			op.Done.Trigger()
+			s.complete()
+			continue
+		}
+		err := op.Run(p, s.dev)
+		if s.dev.health == Hard {
+			// Device died while the op was executing: never complete.
+			p.Wait(s.dev.env.NewEvent("died-mid-op"))
+		}
+		if err == nil && s.dev.health == Sticky {
+			err = ErrSticky
+		}
+		op.Err = err
+		op.Done.Trigger()
+		s.complete()
+	}
+}
+
+func (s *Stream) complete() {
+	s.pending--
+	if s.pending == 0 && s.drain != nil && !s.drain.Triggered() {
+		s.drain.Trigger()
+	}
+}
+
+// SleepOp returns an op that models pure compute time.
+func SleepOp(name string, dur vclock.Time) *Op {
+	return &Op{Name: name, Run: func(p *vclock.Proc, _ *Device) error {
+		p.Sleep(dur)
+		return nil
+	}}
+}
+
+// FuncOp returns an op that sleeps dur then applies fn to the device. fn
+// runs at op completion time, which is where kernels mutate buffer contents.
+func FuncOp(name string, dur vclock.Time, fn func(dev *Device) error) *Op {
+	return &Op{Name: name, Run: func(p *vclock.Proc, dev *Device) error {
+		p.Sleep(dur)
+		return fn(dev)
+	}}
+}
+
+// Node is a host machine with attached devices.
+type Node struct {
+	ID      int
+	Devices []*Device
+	// Failed marks whole-host failures (rare per the paper's failure data,
+	// but the control plane handles them by excluding the node).
+	Failed bool
+}
+
+// Cluster is the set of nodes available to a job, plus spares.
+type Cluster struct {
+	env   *vclock.Env
+	Nodes []*Node
+}
+
+// NewCluster builds nodes*gpus devices, each with memCap bytes.
+func NewCluster(env *vclock.Env, nodes, gpusPerNode int, memCap int64) *Cluster {
+	c := &Cluster{env: env}
+	for n := 0; n < nodes; n++ {
+		node := &Node{ID: n}
+		for g := 0; g < gpusPerNode; g++ {
+			node.Devices = append(node.Devices, NewDevice(env, n, g, memCap))
+		}
+		c.Nodes = append(c.Nodes, node)
+	}
+	return c
+}
+
+// Env returns the simulation environment.
+func (c *Cluster) Env() *vclock.Env { return c.env }
+
+// Device returns device g on node n.
+func (c *Cluster) Device(n, g int) *Device { return c.Nodes[n].Devices[g] }
+
+// AllDevices returns every device in node-major order.
+func (c *Cluster) AllDevices() []*Device {
+	var out []*Device
+	for _, n := range c.Nodes {
+		out = append(out, n.Devices...)
+	}
+	return out
+}
+
+// TransferTime returns the virtual time to move bytes at bw bytes/second,
+// with a minimum of one microsecond for any non-empty transfer.
+func TransferTime(bytes int64, bw float64) vclock.Time {
+	if bytes <= 0 || bw <= 0 {
+		return 0
+	}
+	t := vclock.Time(float64(bytes) / bw * float64(vclock.Second))
+	if t < vclock.Microsecond {
+		t = vclock.Microsecond
+	}
+	return t
+}

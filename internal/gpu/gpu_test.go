@@ -1,0 +1,395 @@
+package gpu
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"jitckpt/internal/vclock"
+)
+
+func newTestDevice(t *testing.T) (*vclock.Env, *Device) {
+	t.Helper()
+	env := vclock.NewEnv(1)
+	return env, NewDevice(env, 0, 0, 1<<30)
+}
+
+func TestAllocFreeAccounting(t *testing.T) {
+	_, d := newTestDevice(t)
+	b, err := d.Alloc(1<<20, 16, "weights")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MemUsed() != 1<<20 {
+		t.Fatalf("MemUsed = %d, want 1MiB", d.MemUsed())
+	}
+	if len(b.Data) != 16 {
+		t.Fatalf("Data len = %d, want 16", len(b.Data))
+	}
+	if err := d.Free(b.ID); err != nil {
+		t.Fatal(err)
+	}
+	if d.MemUsed() != 0 {
+		t.Fatalf("MemUsed after free = %d", d.MemUsed())
+	}
+	if err := d.Free(b.ID); !errors.Is(err, ErrNoSuchBuf) {
+		t.Fatalf("double free err = %v", err)
+	}
+}
+
+func TestAllocOutOfMemory(t *testing.T) {
+	env := vclock.NewEnv(1)
+	d := NewDevice(env, 0, 0, 100)
+	if _, err := d.Alloc(101, 0, "big"); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("err = %v, want OOM", err)
+	}
+}
+
+func TestAllocTagSequence(t *testing.T) {
+	_, d := newTestDevice(t)
+	a, _ := d.Alloc(8, 1, "layer1.w")
+	b, _ := d.Alloc(8, 1, "layer1.w")
+	c, _ := d.Alloc(8, 1, "layer2.w")
+	if a.Seq != 0 || b.Seq != 1 || c.Seq != 0 {
+		t.Fatalf("seqs = %d,%d,%d want 0,1,0", a.Seq, b.Seq, c.Seq)
+	}
+}
+
+func TestStreamExecutesInOrder(t *testing.T) {
+	env, d := newTestDevice(t)
+	s, err := d.NewStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order []string
+	var times []vclock.Time
+	env.Go("issuer", func(p *vclock.Proc) {
+		// Longer op first: in-order execution means the short op still
+		// finishes second.
+		e1 := s.Enqueue(FuncOp("long", vclock.Seconds(2), func(*Device) error {
+			order = append(order, "long")
+			return nil
+		}))
+		e2 := s.Enqueue(FuncOp("short", vclock.Millisecond, func(*Device) error {
+			order = append(order, "short")
+			return nil
+		}))
+		p.Wait(e1)
+		times = append(times, p.Now())
+		p.Wait(e2)
+		times = append(times, p.Now())
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "long" || order[1] != "short" {
+		t.Fatalf("order = %v", order)
+	}
+	if times[0] != vclock.Seconds(2) || times[1] != vclock.Seconds(2)+vclock.Millisecond {
+		t.Fatalf("completion times = %v", times)
+	}
+}
+
+func TestParallelStreamsOverlap(t *testing.T) {
+	env, d := newTestDevice(t)
+	s1, _ := d.NewStream()
+	s2, _ := d.NewStream()
+	var finished vclock.Time
+	env.Go("issuer", func(p *vclock.Proc) {
+		e1 := s1.Enqueue(SleepOp("compute", vclock.Seconds(3)))
+		e2 := s2.Enqueue(SleepOp("comm", vclock.Seconds(3)))
+		p.Wait(e1)
+		p.Wait(e2)
+		finished = p.Now()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if finished != vclock.Seconds(3) {
+		t.Fatalf("finished at %v, want 3s (parallel), not 6s (serial)", finished)
+	}
+}
+
+func TestDrainEvent(t *testing.T) {
+	env, d := newTestDevice(t)
+	s, _ := d.NewStream()
+	var syncAt vclock.Time
+	env.Go("issuer", func(p *vclock.Proc) {
+		s.Enqueue(SleepOp("a", vclock.Second))
+		s.Enqueue(SleepOp("b", vclock.Second))
+		p.Wait(s.DrainEvent())
+		syncAt = p.Now()
+		// Idle stream: drain returns immediately.
+		p.Wait(s.DrainEvent())
+		if p.Now() != syncAt {
+			t.Error("drain on idle stream blocked")
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if syncAt != vclock.Seconds(2) {
+		t.Fatalf("drained at %v, want 2s", syncAt)
+	}
+}
+
+func TestStickyErrorFailsQueuedOps(t *testing.T) {
+	env, d := newTestDevice(t)
+	s, _ := d.NewStream()
+	inflight := SleepOp("inflight", vclock.Second)
+	queued := SleepOp("queued", vclock.Second)
+	var inflightErr, queuedErr error
+	var queuedDoneAt vclock.Time
+	env.Go("issuer", func(p *vclock.Proc) {
+		ea := s.Enqueue(inflight)
+		eb := s.Enqueue(queued)
+		p.Sleep(vclock.Millisecond)
+		d.InjectSticky() // strikes while "inflight" is executing
+		p.Wait(ea)
+		inflightErr = inflight.Err
+		p.Wait(eb)
+		queuedErr = queued.Err
+		queuedDoneAt = p.Now()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(inflightErr, ErrSticky) {
+		t.Fatalf("in-flight op err = %v, want sticky", inflightErr)
+	}
+	if !errors.Is(queuedErr, ErrSticky) {
+		t.Fatalf("queued op err = %v, want sticky", queuedErr)
+	}
+	// The queued op fails fast: it must not have slept its full second.
+	if queuedDoneAt != vclock.Second {
+		t.Fatalf("queued op completed at %v, want 1s (fail-fast after in-flight)", queuedDoneAt)
+	}
+	// API calls also fail until reset.
+	if _, err := d.Alloc(1, 0, "x"); !errors.Is(err, ErrSticky) {
+		t.Fatalf("Alloc under sticky err = %v", err)
+	}
+}
+
+func TestHardFailureHangsOps(t *testing.T) {
+	env, d := newTestDevice(t)
+	s, _ := d.NewStream()
+	completed := false
+	detected := false
+	env.Go("issuer", func(p *vclock.Proc) {
+		done := s.Enqueue(SleepOp("kernel", vclock.Seconds(10)))
+		if p.WaitTimeout(done, vclock.Seconds(30)) {
+			completed = true
+		} else {
+			detected = true
+		}
+	})
+	env.Go("injector", func(p *vclock.Proc) {
+		p.Sleep(vclock.Second)
+		d.InjectHard()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if completed || !detected {
+		t.Fatalf("completed=%v detected=%v; hard failure must hang ops", completed, detected)
+	}
+	if _, err := d.Alloc(1, 0, "x"); !errors.Is(err, ErrDeviceLost) {
+		t.Fatalf("Alloc on dead device err = %v", err)
+	}
+	if err := d.Reset(); !errors.Is(err, ErrDeviceLost) {
+		t.Fatalf("Reset on dead device err = %v", err)
+	}
+}
+
+func TestResetClearsStickyAndKeepsBuffers(t *testing.T) {
+	env, d := newTestDevice(t)
+	b, _ := d.Alloc(1<<10, 4, "params")
+	b.Data[0] = 42
+	env.Go("w", func(p *vclock.Proc) {
+		d.InjectSticky()
+		if err := d.Reset(); err != nil {
+			t.Errorf("Reset: %v", err)
+		}
+		if d.Health() != Healthy {
+			t.Errorf("health after reset = %v", d.Health())
+		}
+		got, err := d.Buf(b.ID)
+		if err != nil || got.Data[0] != 42 {
+			t.Errorf("buffer lost across reset: %v %v", got, err)
+		}
+		// New work executes after reset on a fresh stream.
+		s, err := d.NewStream()
+		if err != nil {
+			t.Fatalf("NewStream after reset: %v", err)
+		}
+		op := SleepOp("post-reset", vclock.Second)
+		p.Wait(s.Enqueue(op))
+		if op.Err != nil {
+			t.Errorf("post-reset op err = %v", op.Err)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFreeWhere(t *testing.T) {
+	_, d := newTestDevice(t)
+	d.Alloc(100, 0, "param.w")
+	d.Alloc(100, 0, "opt.m")
+	d.Alloc(100, 0, "activation")
+	d.Alloc(100, 0, "grad")
+	n := d.FreeWhere(func(b *Buffer) bool { return b.Tag == "activation" || b.Tag == "grad" })
+	if n != 2 {
+		t.Fatalf("freed %d, want 2", n)
+	}
+	if d.MemUsed() != 200 {
+		t.Fatalf("MemUsed = %d, want 200", d.MemUsed())
+	}
+	for _, b := range d.Buffers() {
+		if b.Tag != "param.w" && b.Tag != "opt.m" {
+			t.Fatalf("unexpected survivor %q", b.Tag)
+		}
+	}
+}
+
+func TestDestroyStreamDropsWork(t *testing.T) {
+	env, d := newTestDevice(t)
+	s, _ := d.NewStream()
+	ran := false
+	env.Go("w", func(p *vclock.Proc) {
+		s.Enqueue(FuncOp("never", vclock.Seconds(10), func(*Device) error {
+			ran = true
+			return nil
+		}))
+		p.Sleep(vclock.Second)
+		if err := d.DestroyStream(s.ID); err != nil {
+			t.Errorf("DestroyStream: %v", err)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Fatal("op completed on destroyed stream")
+	}
+}
+
+func TestClusterTopology(t *testing.T) {
+	env := vclock.NewEnv(1)
+	c := NewCluster(env, 2, 8, 32<<30)
+	if len(c.AllDevices()) != 16 {
+		t.Fatalf("devices = %d, want 16", len(c.AllDevices()))
+	}
+	d := c.Device(1, 3)
+	if d.NodeID != 1 || d.Index != 3 {
+		t.Fatalf("Device(1,3) = %s", d.Name())
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	// 32 GB over PCIe gen4 at 32 GB/s ≈ 1 second.
+	got := TransferTime(32<<30, 32*float64(1<<30))
+	if got != vclock.Second {
+		t.Fatalf("TransferTime = %v, want 1s", got)
+	}
+	if TransferTime(0, 1e9) != 0 {
+		t.Fatal("zero bytes should take zero time")
+	}
+	if TransferTime(1, 1e12) != vclock.Microsecond {
+		t.Fatal("non-empty transfer must take at least 1µs")
+	}
+}
+
+// Property: memory accounting never goes negative and Free always restores
+// exactly what Alloc took, under arbitrary alloc/free interleavings.
+func TestMemAccountingProperty(t *testing.T) {
+	f := func(sizes []uint16, freeMask []bool) bool {
+		env := vclock.NewEnv(1)
+		d := NewDevice(env, 0, 0, 1<<40)
+		var live []int
+		var want int64
+		for i, sz := range sizes {
+			b, err := d.Alloc(int64(sz), 0, fmt.Sprintf("t%d", i%3))
+			if err != nil {
+				return false
+			}
+			live = append(live, b.ID)
+			want += int64(sz)
+			if i < len(freeMask) && freeMask[i] && len(live) > 0 {
+				id := live[0]
+				live = live[1:]
+				buf, _ := d.Buf(id)
+				want -= buf.ModelBytes
+				if err := d.Free(id); err != nil {
+					return false
+				}
+			}
+			if d.MemUsed() != want || want < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for any batch of op durations, a stream completes them in FIFO
+// order at the prefix-sum times.
+func TestStreamFIFOTimingProperty(t *testing.T) {
+	f := func(durs []uint8) bool {
+		if len(durs) == 0 {
+			return true
+		}
+		if len(durs) > 32 {
+			durs = durs[:32]
+		}
+		env := vclock.NewEnv(1)
+		d := NewDevice(env, 0, 0, 1<<30)
+		s, _ := d.NewStream()
+		times := make([]vclock.Time, len(durs))
+		env.Go("issuer", func(p *vclock.Proc) {
+			events := make([]*vclock.Event, len(durs))
+			for i, dur := range durs {
+				events[i] = s.Enqueue(SleepOp("op", vclock.Time(dur)*vclock.Millisecond))
+			}
+			for i, ev := range events {
+				p.Wait(ev)
+				times[i] = p.Now()
+			}
+		})
+		if err := env.Run(); err != nil {
+			return false
+		}
+		var sum vclock.Time
+		for i, dur := range durs {
+			sum += vclock.Time(dur) * vclock.Millisecond
+			if times[i] != sum {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkStreamOpThroughput(b *testing.B) {
+	env := vclock.NewEnv(1)
+	d := NewDevice(env, 0, 0, 1<<30)
+	s, _ := d.NewStream()
+	env.Go("issuer", func(p *vclock.Proc) {
+		for i := 0; i < b.N; i++ {
+			ev := s.Enqueue(SleepOp("op", vclock.Microsecond))
+			p.Wait(ev)
+		}
+	})
+	b.ResetTimer()
+	if err := env.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

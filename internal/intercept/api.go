@@ -1,0 +1,462 @@
+package intercept
+
+import (
+	"jitckpt/internal/cuda"
+	"jitckpt/internal/replay"
+	"jitckpt/internal/vclock"
+)
+
+// Malloc allocates device memory and returns a virtual handle. The layer
+// assigns the (tag, seq) tensor name so it is stable across replicas and
+// across re-allocations during recovery (§4.3). See cuda.API.
+func (l *Layer) Malloc(p *vclock.Proc, bytes int64, elems int, tag string) (cuda.Buf, error) {
+	var virt cuda.Buf
+	err := l.guard(p, "Malloc", true, func() error {
+		pb, err := l.inner.Malloc(p, bytes, elems, tag)
+		if err != nil {
+			return err
+		}
+		virt = l.nextBuf
+		l.nextBuf++
+		l.bufs[virt] = pb
+		seq := l.tagSeq[tag]
+		l.tagSeq[tag]++
+		l.bufMeta[virt] = cuda.BufInfo{Handle: virt, Bytes: bytes, Elems: elems, Tag: tag, Seq: seq}
+		l.record(replay.Call{Kind: replay.CallMalloc, Bytes: bytes, Elems: elems, Tag: tag, RBuf: virt})
+		return nil
+	})
+	return virt, err
+}
+
+// Free releases a virtual buffer. See cuda.API.
+func (l *Layer) Free(p *vclock.Proc, b cuda.Buf) error {
+	return l.guard(p, "Free", true, func() error {
+		pb, ok := l.bufs[b]
+		if !ok {
+			return badVirtual("buf", b)
+		}
+		if err := l.inner.Free(p, pb); err != nil {
+			return err
+		}
+		delete(l.bufs, b)
+		delete(l.bufMeta, b)
+		l.record(replay.Call{Kind: replay.CallFree, Buf: b})
+		return nil
+	})
+}
+
+// MemcpyH2D copies host data to a virtual buffer asynchronously. See
+// cuda.API.
+func (l *Layer) MemcpyH2D(p *vclock.Proc, dst cuda.Buf, src []float32, s cuda.Stream) error {
+	return l.guard(p, "MemcpyH2D", false, func() error {
+		pb, ok := l.bufs[dst]
+		if !ok {
+			return badVirtual("buf", dst)
+		}
+		ps, ok := l.streams[s]
+		if !ok {
+			return badVirtual("stream", s)
+		}
+		if err := l.inner.MemcpyH2D(p, pb, src, ps); err != nil {
+			return err
+		}
+		l.record(replay.Call{Kind: replay.CallMemcpyH2D, Buf: dst, Data: append([]float32(nil), src...), Stream: s})
+		return nil
+	})
+}
+
+// MemcpyD2H copies a virtual buffer to the host. In checkpoint mode the
+// copy is rerouted to a private fresh stream so it cannot deadlock behind
+// a StreamWaitEvent on a hung collective (§3.2). See cuda.API.
+func (l *Layer) MemcpyD2H(p *vclock.Proc, src cuda.Buf, s cuda.Stream) ([]float32, error) {
+	var out []float32
+	err := l.guardRead(p, "MemcpyD2H", true, func() error {
+		pb, ok := l.bufs[src]
+		if !ok {
+			return badVirtual("buf", src)
+		}
+		var ps cuda.Stream
+		if l.ckptMode && l.ckptStream != 0 {
+			ps = l.ckptStream
+		} else {
+			var okS bool
+			ps, okS = l.streams[s]
+			if !okS {
+				return badVirtual("stream", s)
+			}
+		}
+		data, err := l.inner.MemcpyD2H(p, pb, ps)
+		if err != nil {
+			return err
+		}
+		out = data
+		return nil
+	})
+	return out, err
+}
+
+// MemcpyD2D copies between virtual buffers asynchronously. See cuda.API.
+func (l *Layer) MemcpyD2D(p *vclock.Proc, dst, src cuda.Buf, s cuda.Stream) error {
+	return l.guard(p, "MemcpyD2D", false, func() error {
+		pd, ok := l.bufs[dst]
+		if !ok {
+			return badVirtual("buf", dst)
+		}
+		psrc, ok := l.bufs[src]
+		if !ok {
+			return badVirtual("buf", src)
+		}
+		ps, ok := l.streams[s]
+		if !ok {
+			return badVirtual("stream", s)
+		}
+		if err := l.inner.MemcpyD2D(p, pd, psrc, ps); err != nil {
+			return err
+		}
+		l.record(replay.Call{Kind: replay.CallMemcpyD2D, Buf: dst, Buf2: src, Stream: s})
+		return nil
+	})
+}
+
+// StreamCreate creates a stream and returns a virtual handle. See cuda.API.
+func (l *Layer) StreamCreate(p *vclock.Proc) (cuda.Stream, error) {
+	var virt cuda.Stream
+	err := l.guard(p, "StreamCreate", true, func() error {
+		ps, err := l.inner.StreamCreate(p)
+		if err != nil {
+			return err
+		}
+		virt = l.nextStr
+		l.nextStr++
+		l.streams[virt] = ps
+		l.record(replay.Call{Kind: replay.CallStreamCreate, RStream: virt})
+		return nil
+	})
+	return virt, err
+}
+
+// StreamDestroy destroys a virtual stream. See cuda.API.
+func (l *Layer) StreamDestroy(p *vclock.Proc, s cuda.Stream) error {
+	return l.guard(p, "StreamDestroy", true, func() error {
+		ps, ok := l.streams[s]
+		if !ok {
+			return badVirtual("stream", s)
+		}
+		if err := l.inner.StreamDestroy(p, ps); err != nil {
+			return err
+		}
+		delete(l.streams, s)
+		delete(l.ncclStreams, s)
+		l.record(replay.Call{Kind: replay.CallStreamDestroy, Stream: s})
+		return nil
+	})
+}
+
+// StreamSynchronize blocks until a virtual stream drains. The call is
+// tracked by the watchdog: if it never returns, a hang is raised. See
+// cuda.API.
+func (l *Layer) StreamSynchronize(p *vclock.Proc, s cuda.Stream) error {
+	return l.guardRead(p, "StreamSynchronize", true, func() error {
+		ps, ok := l.streams[s]
+		if !ok {
+			return badVirtual("stream", s)
+		}
+		return l.inner.StreamSynchronize(p, ps)
+	})
+}
+
+// StreamWaitEvent orders a virtual stream behind an event. If the event
+// was recorded on the NCCL stream, it joins the watchdog's watch-list
+// (§3.1), and the watchdog starts on the first such call. See cuda.API.
+func (l *Layer) StreamWaitEvent(p *vclock.Proc, s cuda.Stream, ev cuda.Event) error {
+	return l.guard(p, "StreamWaitEvent", false, func() error {
+		ps, ok := l.streams[s]
+		if !ok {
+			return badVirtual("stream", s)
+		}
+		pe, ok := l.events[ev]
+		if !ok {
+			return badVirtual("event", ev)
+		}
+		if err := l.inner.StreamWaitEvent(p, ps, pe); err != nil {
+			return err
+		}
+		l.record(replay.Call{Kind: replay.CallStreamWaitEvent, Stream: s, Event: ev})
+		l.noteStreamWaitEvent(ev)
+		return nil
+	})
+}
+
+// EventCreate creates an event and returns a virtual handle. See cuda.API.
+func (l *Layer) EventCreate(p *vclock.Proc) (cuda.Event, error) {
+	var virt cuda.Event
+	err := l.guard(p, "EventCreate", true, func() error {
+		pe, err := l.inner.EventCreate(p)
+		if err != nil {
+			return err
+		}
+		virt = l.nextEvt
+		l.nextEvt++
+		l.events[virt] = pe
+		l.record(replay.Call{Kind: replay.CallEventCreate, REvent: virt})
+		return nil
+	})
+	return virt, err
+}
+
+// EventRecord records an event on a virtual stream. Events recorded on an
+// identified NCCL stream become watch-list candidates (§3.1). See cuda.API.
+func (l *Layer) EventRecord(p *vclock.Proc, ev cuda.Event, s cuda.Stream) error {
+	return l.guard(p, "EventRecord", false, func() error {
+		pe, ok := l.events[ev]
+		if !ok {
+			return badVirtual("event", ev)
+		}
+		ps, ok := l.streams[s]
+		if !ok {
+			return badVirtual("stream", s)
+		}
+		if err := l.inner.EventRecord(p, pe, ps); err != nil {
+			return err
+		}
+		l.record(replay.Call{Kind: replay.CallEventRecord, Event: ev, Stream: s})
+		l.noteEventRecord(ev, s)
+		return nil
+	})
+}
+
+// EventQuery queries a virtual event. See cuda.API.
+func (l *Layer) EventQuery(p *vclock.Proc, ev cuda.Event) (bool, error) {
+	var done bool
+	err := l.guardRead(p, "EventQuery", false, func() error {
+		pe, ok := l.events[ev]
+		if !ok {
+			return badVirtual("event", ev)
+		}
+		d, err := l.inner.EventQuery(p, pe)
+		done = d
+		return err
+	})
+	return done, err
+}
+
+// EventSynchronize blocks on a virtual event, watchdog-tracked. See
+// cuda.API.
+func (l *Layer) EventSynchronize(p *vclock.Proc, ev cuda.Event) error {
+	return l.guardRead(p, "EventSynchronize", true, func() error {
+		pe, ok := l.events[ev]
+		if !ok {
+			return badVirtual("event", ev)
+		}
+		return l.inner.EventSynchronize(p, pe)
+	})
+}
+
+// EventDestroy destroys a virtual event. See cuda.API.
+func (l *Layer) EventDestroy(p *vclock.Proc, ev cuda.Event) error {
+	return l.guard(p, "EventDestroy", true, func() error {
+		pe, ok := l.events[ev]
+		if !ok {
+			return badVirtual("event", ev)
+		}
+		if err := l.inner.EventDestroy(p, pe); err != nil {
+			return err
+		}
+		delete(l.events, ev)
+		delete(l.watch, ev)
+		l.record(replay.Call{Kind: replay.CallEventDestroy, Event: ev})
+		return nil
+	})
+}
+
+// Launch launches a kernel with virtual buffer handles. See cuda.API.
+func (l *Layer) Launch(p *vclock.Proc, lp cuda.LaunchParams, s cuda.Stream) error {
+	return l.guard(p, "Launch", false, func() error {
+		ps, ok := l.streams[s]
+		if !ok {
+			return badVirtual("stream", s)
+		}
+		phys := lp
+		if len(lp.Bufs) > 0 {
+			phys.Bufs = make([]cuda.Buf, len(lp.Bufs))
+			for i, vb := range lp.Bufs {
+				pb, ok := l.bufs[vb]
+				if !ok {
+					return badVirtual("buf", vb)
+				}
+				phys.Bufs[i] = pb
+			}
+		}
+		if err := l.inner.Launch(p, phys, ps); err != nil {
+			return err
+		}
+		l.record(replay.Call{Kind: replay.CallLaunch, Launch: lp, Stream: s})
+		return nil
+	})
+}
+
+// DeviceSynchronize blocks until the device drains, watchdog-tracked. See
+// cuda.API.
+func (l *Layer) DeviceSynchronize(p *vclock.Proc) error {
+	return l.guardRead(p, "DeviceSynchronize", true, func() error {
+		return l.inner.DeviceSynchronize(p)
+	})
+}
+
+// GetLastError passes through to the wrapped API. In transparent mode
+// infrastructure errors are masked here too: the application never sees
+// them. See cuda.API.
+func (l *Layer) GetLastError(p *vclock.Proc) error {
+	return l.guardRead(p, "GetLastError", false, func() error {
+		return l.inner.GetLastError(p)
+	})
+}
+
+// BufList reports the layer's virtual buffers (the application-visible
+// truth, stable across recoveries). See cuda.API.
+func (l *Layer) BufList(p *vclock.Proc) ([]cuda.BufInfo, error) {
+	return l.VirtualBufs(), nil
+}
+
+// BufChecksum hashes a virtual buffer's contents. See cuda.API.
+func (l *Layer) BufChecksum(p *vclock.Proc, b cuda.Buf) (uint64, error) {
+	var sum uint64
+	err := l.guardRead(p, "BufChecksum", true, func() error {
+		pb, ok := l.bufs[b]
+		if !ok {
+			return badVirtual("buf", b)
+		}
+		s, err := l.inner.BufChecksum(p, pb)
+		sum = s
+		return err
+	})
+	return sum, err
+}
+
+// CommInit rendezvouses and returns a virtual communicator handle. It is
+// deliberately not watchdog-tracked: rendezvous legitimately blocks until
+// the last rank arrives. See cuda.API.
+func (l *Layer) CommInit(p *vclock.Proc, key string, gen, nranks, rank int) (cuda.Comm, error) {
+	var virt cuda.Comm
+	err := l.guard(p, "CommInit", false, func() error {
+		pc, err := l.inner.CommInit(p, key, gen, nranks, rank)
+		if err != nil {
+			return err
+		}
+		virt = l.nextCom
+		l.nextCom++
+		l.comms[virt] = pc
+		l.record(replay.Call{Kind: replay.CallCommInit, Key: key, Gen: gen, NRanks: nranks, Rank: rank, RComm: virt})
+		return nil
+	})
+	return virt, err
+}
+
+// CommDestroy destroys a virtual communicator. See cuda.API.
+func (l *Layer) CommDestroy(p *vclock.Proc, c cuda.Comm) error {
+	return l.guard(p, "CommDestroy", true, func() error {
+		pc, ok := l.comms[c]
+		if !ok {
+			return badVirtual("comm", c)
+		}
+		if err := l.inner.CommDestroy(p, pc); err != nil {
+			return err
+		}
+		delete(l.comms, c)
+		l.record(replay.Call{Kind: replay.CallCommDestroy, Comm: c})
+		return nil
+	})
+}
+
+// collective is the shared path for all collective calls: it marks the
+// stream as the NCCL stream (§3.1 stream discovery) and records the call.
+func (l *Layer) collective(p *vclock.Proc, kind replay.Kind, name string, c cuda.Comm, b, b2 cuda.Buf, peer, root int, s cuda.Stream,
+	issue func(pc cuda.Comm, pb, pb2 cuda.Buf, ps cuda.Stream) error) error {
+	return l.guard(p, name, false, func() error {
+		pc, ok := l.comms[c]
+		if !ok {
+			return badVirtual("comm", c)
+		}
+		var pb, pb2 cuda.Buf
+		if b != 0 {
+			var okB bool
+			pb, okB = l.bufs[b]
+			if !okB {
+				return badVirtual("buf", b)
+			}
+		}
+		if b2 != 0 {
+			var okB bool
+			pb2, okB = l.bufs[b2]
+			if !okB {
+				return badVirtual("buf", b2)
+			}
+		}
+		ps, ok := l.streams[s]
+		if !ok {
+			return badVirtual("stream", s)
+		}
+		if err := issue(pc, pb, pb2, ps); err != nil {
+			return err
+		}
+		l.ncclStreams[s] = true
+		l.record(replay.Call{Kind: kind, Comm: c, Buf: b, Buf2: b2, Peer: peer, Root: root, Stream: s})
+		return nil
+	})
+}
+
+// AllReduce enqueues an allreduce on virtual handles. See cuda.API.
+func (l *Layer) AllReduce(p *vclock.Proc, c cuda.Comm, b cuda.Buf, s cuda.Stream) error {
+	return l.collective(p, replay.CallAllReduce, "AllReduce", c, b, 0, 0, 0, s,
+		func(pc cuda.Comm, pb, _ cuda.Buf, ps cuda.Stream) error {
+			return l.inner.AllReduce(p, pc, pb, ps)
+		})
+}
+
+// Broadcast enqueues a broadcast on virtual handles. See cuda.API.
+func (l *Layer) Broadcast(p *vclock.Proc, c cuda.Comm, b cuda.Buf, root int, s cuda.Stream) error {
+	return l.collective(p, replay.CallBroadcast, "Broadcast", c, b, 0, 0, root, s,
+		func(pc cuda.Comm, pb, _ cuda.Buf, ps cuda.Stream) error {
+			return l.inner.Broadcast(p, pc, pb, root, ps)
+		})
+}
+
+// AllGather enqueues an allgather on virtual handles. See cuda.API.
+func (l *Layer) AllGather(p *vclock.Proc, c cuda.Comm, in, out cuda.Buf, s cuda.Stream) error {
+	return l.collective(p, replay.CallAllGather, "AllGather", c, in, out, 0, 0, s,
+		func(pc cuda.Comm, pin, pout cuda.Buf, ps cuda.Stream) error {
+			return l.inner.AllGather(p, pc, pin, pout, ps)
+		})
+}
+
+// ReduceScatter enqueues a reduce-scatter on virtual handles. See cuda.API.
+func (l *Layer) ReduceScatter(p *vclock.Proc, c cuda.Comm, in, out cuda.Buf, s cuda.Stream) error {
+	return l.collective(p, replay.CallReduceScatter, "ReduceScatter", c, in, out, 0, 0, s,
+		func(pc cuda.Comm, pin, pout cuda.Buf, ps cuda.Stream) error {
+			return l.inner.ReduceScatter(p, pc, pin, pout, ps)
+		})
+}
+
+// Send enqueues a point-to-point send on virtual handles. See cuda.API.
+func (l *Layer) Send(p *vclock.Proc, c cuda.Comm, b cuda.Buf, peer int, s cuda.Stream) error {
+	return l.collective(p, replay.CallSend, "Send", c, b, 0, peer, 0, s,
+		func(pc cuda.Comm, pb, _ cuda.Buf, ps cuda.Stream) error {
+			return l.inner.Send(p, pc, pb, peer, ps)
+		})
+}
+
+// Recv enqueues a point-to-point receive on virtual handles. See cuda.API.
+func (l *Layer) Recv(p *vclock.Proc, c cuda.Comm, b cuda.Buf, peer int, s cuda.Stream) error {
+	return l.collective(p, replay.CallRecv, "Recv", c, b, 0, peer, 0, s,
+		func(pc cuda.Comm, pb, _ cuda.Buf, ps cuda.Stream) error {
+			return l.inner.Recv(p, pc, pb, peer, ps)
+		})
+}
+
+// Barrier enqueues a barrier on virtual handles. See cuda.API.
+func (l *Layer) Barrier(p *vclock.Proc, c cuda.Comm, s cuda.Stream) error {
+	return l.collective(p, replay.CallBarrier, "Barrier", c, 0, 0, 0, 0, s,
+		func(pc cuda.Comm, _, _ cuda.Buf, ps cuda.Stream) error {
+			return l.inner.Barrier(p, pc, ps)
+		})
+}

@@ -1,0 +1,440 @@
+// Package intercept implements the domain-aware device-API interception
+// layer (§2, §3.1, §4): every device call the training worker makes passes
+// through it, which is what enables hang detection, steady-state replay
+// logging, virtual handles, and transparent error masking — all without the
+// "application" (the training loop) changing or even noticing.
+//
+// Responsibilities, mapped to the paper:
+//
+//   - Virtual handles (§4.2): the application receives virtual Buf / Stream
+//     / Event / Comm handles. After recovery re-creates GPU objects, the
+//     virtual handles are remapped to the new physical handles; the
+//     handles stored in application variables keep working.
+//
+//   - Watchdog hang detection (§3.1): the layer identifies the NCCL stream
+//     (the stream collectives are issued on), tracks cudaEvents recorded on
+//     it that have StreamWaitEvents waiting on them, and polls them with
+//     EventQuery from a watchdog process started at the first intercepted
+//     StreamWaitEvent. An event pending longer than the hang timeout, or a
+//     blocking call that never returns, raises a fault.
+//
+//   - Replay logging (§4.1): in transparent mode, every state-mutating call
+//     is recorded with its inputs; the log is cleared at each minibatch
+//     boundary via StartMinibatch.
+//
+//   - Fault gate (§4.2): in transparent mode, infrastructure errors
+//     (sticky, driver-corrupt, network, proxy-down) are never surfaced to
+//     the application. The calling thread parks at the interception layer
+//     until the recovery controller finishes, then the call is retried
+//     against the recovered state.
+//
+//   - Checkpoint-time memcpy rerouting (§3.2): while checkpoint mode is
+//     active, MemcpyD2H calls are rerouted from the (possibly wedged)
+//     default stream to a private fresh stream.
+package intercept
+
+import (
+	"errors"
+	"fmt"
+
+	"jitckpt/internal/cuda"
+	"jitckpt/internal/gpu"
+	"jitckpt/internal/nccl"
+	"jitckpt/internal/proxy"
+	"jitckpt/internal/replay"
+	"jitckpt/internal/vclock"
+)
+
+// Mode selects which solution the layer supports.
+type Mode int
+
+const (
+	// ModeUserLevel (§3): hang detection and checkpoint support only.
+	// Errors surface to the application; no replay logging (near-zero
+	// steady-state overhead).
+	ModeUserLevel Mode = iota
+	// ModeTransparent (§4): full replay logging, error masking, virtual
+	// handle remapping.
+	ModeTransparent
+)
+
+// FaultKind classifies a detected fault.
+type FaultKind int
+
+const (
+	// FaultHang means a watched collective or blocking call stopped making
+	// progress.
+	FaultHang FaultKind = iota
+	// FaultError means a device API returned an infrastructure error.
+	FaultError
+)
+
+// Fault describes a detected failure, delivered to the OnFault callback.
+type Fault struct {
+	Kind FaultKind
+	Err  error
+	Iter int
+	// InOptimizerStep reports whether the worker was inside the optimizer
+	// step when the fault was detected — the §4.2.2 case where state must
+	// roll forward to the next minibatch instead of back.
+	InOptimizerStep bool
+}
+
+// Config configures an interception layer.
+type Config struct {
+	Mode Mode
+	// WatchdogPoll is the EventQuery polling period (default 50 ms).
+	WatchdogPoll vclock.Time
+	// HangTimeout is how long a watched event or blocking call may pend
+	// before it is declared hung (default 30 s).
+	HangTimeout vclock.Time
+	// OnFault is invoked exactly once per fault episode, with the
+	// simulation process that detected the fault (the watchdog process
+	// for hangs, the calling thread for API errors). Transparent-mode
+	// controllers should signal a recovery process and return quickly;
+	// the user-level handler may block in p to take its checkpoint (§3.2
+	// runs the save inside the watchdog thread).
+	OnFault func(p *vclock.Proc, f Fault)
+	// LogReplay enables replay logging (defaults on in transparent mode).
+	LogReplay bool
+}
+
+// Layer is the interception layer for one worker rank.
+type Layer struct {
+	env   *vclock.Env
+	inner cuda.API
+	cfg   Config
+	name  string
+
+	log *replay.Log
+
+	// Virtual -> physical handle maps.
+	bufs    map[cuda.Buf]cuda.Buf
+	streams map[cuda.Stream]cuda.Stream
+	events  map[cuda.Event]cuda.Event
+	comms   map[cuda.Comm]cuda.Comm
+	nextBuf cuda.Buf
+	nextStr cuda.Stream
+	nextEvt cuda.Event
+	nextCom cuda.Comm
+
+	// Virtual buffer metadata: the layer owns tag sequence numbering so
+	// checkpoint tensor names stay identical across replicas and across
+	// re-allocations during recovery (§4.3).
+	bufMeta map[cuda.Buf]cuda.BufInfo
+	tagSeq  map[string]int
+
+	// Watchdog state.
+	ncclStreams  map[cuda.Stream]bool // virtual streams collectives run on
+	eventsOnNCCL map[cuda.Event]bool  // events last recorded on an NCCL stream
+	watch        map[cuda.Event]*watchEntry
+	watchdogOn   bool
+	watchdogProc *vclock.Proc
+	inflight     map[*vclock.Proc]*inflightCall
+
+	// Fault/recovery state.
+	faultRaised bool
+	inRecovery  bool
+	gate        *vclock.Event
+	iter        int
+	inOptimizer bool
+	ignoreMut   bool
+
+	// Checkpoint mode: reroute D2H copies away from wedged streams.
+	ckptMode   bool
+	ckptStream cuda.Stream // physical; 0 = not yet created
+}
+
+type watchEntry struct {
+	event   cuda.Event // virtual
+	addedAt vclock.Time
+}
+
+type inflightCall struct {
+	name    string
+	started vclock.Time
+}
+
+var _ cuda.API = (*Layer)(nil)
+
+// New creates an interception layer wrapping inner.
+func New(env *vclock.Env, inner cuda.API, name string, cfg Config) *Layer {
+	if cfg.WatchdogPoll <= 0 {
+		cfg.WatchdogPoll = 50 * vclock.Millisecond
+	}
+	if cfg.HangTimeout <= 0 {
+		cfg.HangTimeout = 30 * vclock.Second
+	}
+	if cfg.Mode == ModeTransparent {
+		cfg.LogReplay = true
+	}
+	return &Layer{
+		env:         env,
+		inner:       inner,
+		cfg:         cfg,
+		name:        name,
+		log:         replay.NewLog(),
+		bufs:        make(map[cuda.Buf]cuda.Buf),
+		streams:     map[cuda.Stream]cuda.Stream{cuda.DefaultStream: cuda.DefaultStream},
+		events:      make(map[cuda.Event]cuda.Event),
+		comms:       make(map[cuda.Comm]cuda.Comm),
+		nextBuf:     1,
+		nextStr:     1,
+		nextEvt:     1,
+		nextCom:     1,
+		bufMeta:     make(map[cuda.Buf]cuda.BufInfo),
+		tagSeq:      make(map[string]int),
+		ncclStreams: make(map[cuda.Stream]bool),
+		watch:       make(map[cuda.Event]*watchEntry),
+		inflight:    make(map[*vclock.Proc]*inflightCall),
+	}
+}
+
+// Inner returns the wrapped API (the recovery controller needs it to issue
+// calls that bypass interception).
+func (l *Layer) Inner() cuda.API { return l.inner }
+
+// SetOnFault installs the fault callback after construction (the
+// user-level library wires its handler once the worker objects exist).
+func (l *Layer) SetOnFault(fn func(p *vclock.Proc, f Fault)) { l.cfg.OnFault = fn }
+
+// SetInner repoints the layer at a different device API. The hard-error
+// migration path uses it after attaching the worker to a replacement GPU
+// (§4.3): parked application threads retry their calls against the new
+// API. Only call between BeginRecovery and EndRecovery.
+func (l *Layer) SetInner(api cuda.API) { l.inner = api }
+
+// Log returns the replay log.
+func (l *Layer) Log() *replay.Log { return l.log }
+
+// Iter returns the current minibatch iteration.
+func (l *Layer) Iter() int { return l.iter }
+
+// InOptimizerStep reports whether the worker is inside the optimizer step.
+func (l *Layer) InOptimizerStep() bool { return l.inOptimizer }
+
+// StartMinibatch marks a minibatch boundary: the replay log rolls over and
+// any "ignore mutations" state from an optimizer-step recovery ends.
+func (l *Layer) StartMinibatch(iter int) {
+	l.iter = iter
+	l.inOptimizer = false
+	l.ignoreMut = false
+	if l.cfg.LogReplay {
+		l.log.StartMinibatch(iter)
+	}
+}
+
+// PreOptimizerStep is the framework hook marking optimizer-step entry
+// (§4.2.2): it tells the layer which recovery path applies to faults from
+// here until PostOptimizerStep.
+func (l *Layer) PreOptimizerStep() { l.inOptimizer = true }
+
+// PostOptimizerStep marks optimizer-step exit.
+func (l *Layer) PostOptimizerStep() { l.inOptimizer = false }
+
+// IgnoreMutationsUntilNextMinibatch makes the layer swallow state-mutating
+// calls (returning success) until StartMinibatch. The §4.2.2 recovery uses
+// it: after rolling a failed rank forward to next-minibatch state copied
+// from a replica, the remaining optimizer-step device calls of the current
+// minibatch must not re-modify parameters.
+func (l *Layer) IgnoreMutationsUntilNextMinibatch() { l.ignoreMut = true }
+
+// EnterCheckpointMode reroutes subsequent MemcpyD2H calls to a private
+// fresh stream (§3.2). It is safe to call while the default stream is
+// wedged.
+func (l *Layer) EnterCheckpointMode(p *vclock.Proc) error {
+	l.ckptMode = true
+	if l.ckptStream == 0 {
+		s, err := l.inner.StreamCreate(p)
+		if err != nil {
+			return err
+		}
+		l.ckptStream = s
+	}
+	return nil
+}
+
+// ExitCheckpointMode restores normal memcpy routing.
+func (l *Layer) ExitCheckpointMode() { l.ckptMode = false }
+
+// BufMeta returns the layer's metadata for a virtual buffer handle.
+func (l *Layer) BufMeta(b cuda.Buf) (cuda.BufInfo, bool) {
+	m, ok := l.bufMeta[b]
+	return m, ok
+}
+
+// VirtualBufs returns all live virtual buffer handles in creation order.
+func (l *Layer) VirtualBufs() []cuda.BufInfo {
+	out := make([]cuda.BufInfo, 0, len(l.bufMeta))
+	for h := cuda.Buf(1); h < l.nextBuf; h++ {
+		if m, ok := l.bufMeta[h]; ok {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// PhysBuf resolves a virtual buffer handle (for controller-side copies).
+func (l *Layer) PhysBuf(b cuda.Buf) (cuda.Buf, bool) {
+	pb, ok := l.bufs[b]
+	return pb, ok
+}
+
+// PhysStream resolves a virtual stream handle.
+func (l *Layer) PhysStream(s cuda.Stream) (cuda.Stream, bool) {
+	ps, ok := l.streams[s]
+	return ps, ok
+}
+
+// NCCLStreams returns the virtual streams identified as carrying
+// collectives.
+func (l *Layer) NCCLStreams() []cuda.Stream {
+	var out []cuda.Stream
+	for s := cuda.Stream(0); s <= l.nextStr; s++ {
+		if l.ncclStreams[s] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// isInfraFault classifies errors the transparent mode must mask.
+func isInfraFault(err error) bool {
+	return errors.Is(err, gpu.ErrSticky) ||
+		errors.Is(err, gpu.ErrCorrupt) ||
+		errors.Is(err, gpu.ErrDeviceLost) ||
+		errors.Is(err, nccl.ErrNetwork) ||
+		errors.Is(err, proxy.ErrProxyDown)
+}
+
+// raiseFault reports a fault once per episode.
+func (l *Layer) raiseFault(p *vclock.Proc, kind FaultKind, err error) {
+	if l.faultRaised {
+		return
+	}
+	l.faultRaised = true
+	l.env.Tracef("%s: fault raised: kind=%d err=%v iter=%d opt=%v", l.name, kind, err, l.iter, l.inOptimizer)
+	if l.cfg.OnFault != nil {
+		l.cfg.OnFault(p, Fault{Kind: kind, Err: err, Iter: l.iter, InOptimizerStep: l.inOptimizer})
+	}
+}
+
+// BeginRecovery closes the gate: application threads entering (or
+// retrying) calls park until EndRecovery.
+func (l *Layer) BeginRecovery() {
+	l.inRecovery = true
+	if l.gate == nil || l.gate.Triggered() {
+		l.gate = l.env.NewEvent(l.name + ".recovery-gate")
+	}
+}
+
+// EndRecovery adopts the handle translations produced by recovery replay
+// (virtual handles whose objects were re-created get new physical handles;
+// others keep their old mapping), clears watchdog and fault state, and
+// releases parked threads.
+func (l *Layer) EndRecovery(tr *replay.Translator) {
+	if tr != nil {
+		for virt := range l.bufs {
+			if np, ok := tr.Bufs[virt]; ok {
+				l.bufs[virt] = np
+			}
+		}
+		for virt := range l.streams {
+			if np, ok := tr.Streams[virt]; ok {
+				l.streams[virt] = np
+			}
+		}
+		for virt := range l.events {
+			if np, ok := tr.Events[virt]; ok {
+				l.events[virt] = np
+			}
+		}
+		for virt := range l.comms {
+			if np, ok := tr.Comms[virt]; ok {
+				l.comms[virt] = np
+			}
+		}
+	}
+	l.watch = make(map[cuda.Event]*watchEntry)
+	l.inflight = make(map[*vclock.Proc]*inflightCall)
+	l.ckptStream = 0 // private stream may be gone after a proxy restart
+	l.faultRaised = false
+	l.inRecovery = false
+	if l.gate != nil {
+		l.gate.Trigger()
+	}
+	l.env.Tracef("%s: recovery ended, threads released", l.name)
+}
+
+// parkWhileRecovering blocks p while a recovery is in progress.
+func (l *Layer) parkWhileRecovering(p *vclock.Proc) {
+	for l.inRecovery {
+		p.Wait(l.gate)
+	}
+}
+
+// guard wraps a call in transparent-mode fault masking: infrastructure
+// errors raise a fault and the thread parks, then retries. In user-level
+// mode errors pass through (the user script sees the exception, §3).
+// While the §4.2.2 ignore window is active, state-mutating calls are
+// swallowed (returning success); read-only calls still execute.
+func (l *Layer) guard(p *vclock.Proc, name string, blocking bool, do func() error) error {
+	return l.guardMut(p, name, blocking, true, do)
+}
+
+// guardRead is guard for read-only calls, which execute even inside the
+// ignore-mutations window.
+func (l *Layer) guardRead(p *vclock.Proc, name string, blocking bool, do func() error) error {
+	return l.guardMut(p, name, blocking, false, do)
+}
+
+func (l *Layer) guardMut(p *vclock.Proc, name string, blocking, mutating bool, do func() error) error {
+	for {
+		l.parkWhileRecovering(p)
+		if l.ignoreMut && mutating {
+			return nil
+		}
+		if blocking {
+			l.inflight[p] = &inflightCall{name: name, started: p.Now()}
+		}
+		err := do()
+		if blocking {
+			delete(l.inflight, p)
+		}
+		if err == nil || !isInfraFault(err) {
+			return err
+		}
+		if l.cfg.Mode == ModeUserLevel {
+			l.raiseFault(p, FaultError, err)
+			return err
+		}
+		l.raiseFault(p, FaultError, err)
+		// Park until the controller finishes recovery, then retry the
+		// call against the recovered state.
+		l.waitRecovered(p)
+		l.env.Tracef("%s: retrying %s after recovery", l.name, name)
+	}
+}
+
+// waitRecovered parks until a recovery that was (or is about to be)
+// triggered by a raised fault completes.
+func (l *Layer) waitRecovered(p *vclock.Proc) {
+	for l.faultRaised || l.inRecovery {
+		if l.inRecovery {
+			p.Wait(l.gate)
+			continue
+		}
+		// Fault raised but controller hasn't begun recovery yet: yield.
+		p.Sleep(vclock.Millisecond)
+	}
+}
+
+func (l *Layer) record(c replay.Call) {
+	if l.cfg.LogReplay && !l.ignoreMut {
+		l.log.Record(c)
+	}
+}
+
+func badVirtual(kind string, h any) error {
+	return fmt.Errorf("%w: virtual %s %v", cuda.ErrBadHandle, kind, h)
+}

@@ -1,0 +1,127 @@
+package intercept
+
+import (
+	"sort"
+
+	"jitckpt/internal/cuda"
+	"jitckpt/internal/vclock"
+)
+
+// noteEventRecord tracks which events were last recorded on an identified
+// NCCL stream. Only those events become watch-list candidates: they
+// trigger exactly when the collectives ahead of them complete (§3.1).
+func (l *Layer) noteEventRecord(ev cuda.Event, s cuda.Stream) {
+	if l.eventsOnNCCL == nil {
+		l.eventsOnNCCL = make(map[cuda.Event]bool)
+	}
+	l.eventsOnNCCL[ev] = l.ncclStreams[s]
+}
+
+// noteStreamWaitEvent adds an NCCL-recorded event to the watch-list when a
+// StreamWaitEvent starts waiting on it, and starts the watchdog on the
+// first such call (§3.1: "we start a watchdog thread at the first
+// intercepted cudaStreamWaitEvent").
+func (l *Layer) noteStreamWaitEvent(ev cuda.Event) {
+	l.startWatchdog()
+	if !l.eventsOnNCCL[ev] {
+		return
+	}
+	if _, ok := l.watch[ev]; !ok {
+		l.watch[ev] = &watchEntry{event: ev, addedAt: l.env.Now()}
+	}
+}
+
+// startWatchdog launches the watchdog process once.
+func (l *Layer) startWatchdog() {
+	if l.watchdogOn {
+		return
+	}
+	l.watchdogOn = true
+	l.watchdogProc = l.env.Go(l.name+".watchdog", l.watchdogLoop)
+}
+
+// WatchdogRunning reports whether the watchdog process has been started.
+func (l *Layer) WatchdogRunning() bool { return l.watchdogOn }
+
+// StopWatchdog kills the watchdog process. The job-restart path uses it
+// when an incarnation's processes are torn down.
+func (l *Layer) StopWatchdog() {
+	if l.watchdogProc != nil {
+		l.watchdogProc.Kill()
+		l.watchdogProc = nil
+		l.watchdogOn = false
+	}
+}
+
+// WatchedEvents returns the virtual events currently on the watch-list.
+func (l *Layer) WatchedEvents() []cuda.Event {
+	out := make([]cuda.Event, 0, len(l.watch))
+	for ev := range l.watch {
+		out = append(out, ev)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// watchdogLoop polls watched events with EventQuery and checks the ages of
+// in-flight blocking calls. Completed events leave the watch-list; an
+// event or blocking call pending longer than the hang timeout raises a
+// hang fault (§3.1, §4.2). The watchdog idles during recovery.
+func (l *Layer) watchdogLoop(p *vclock.Proc) {
+	for {
+		p.Sleep(l.cfg.WatchdogPoll)
+		if l.inRecovery || l.faultRaised {
+			continue
+		}
+		now := p.Now()
+
+		for _, ev := range l.WatchedEvents() {
+			we, ok := l.watch[ev]
+			if !ok {
+				continue
+			}
+			pe, ok := l.events[ev]
+			if !ok {
+				delete(l.watch, ev) // event destroyed or remapped away
+				continue
+			}
+			done, err := l.inner.EventQuery(p, pe)
+			if err != nil {
+				if isInfraFault(err) {
+					l.raiseFault(p, FaultError, err)
+					break
+				}
+				delete(l.watch, ev)
+				continue
+			}
+			if done {
+				delete(l.watch, ev)
+				continue
+			}
+			if now-we.addedAt > l.cfg.HangTimeout {
+				l.raiseFault(p, FaultHang, nil)
+				break
+			}
+		}
+		if l.faultRaised {
+			continue
+		}
+
+		// Blocking device calls that never return are the other hang
+		// signal (§4.2: "detect hangs when device APIs never return").
+		procs := make([]*vclock.Proc, 0, len(l.inflight))
+		for proc := range l.inflight {
+			procs = append(procs, proc)
+		}
+		sort.Slice(procs, func(i, j int) bool {
+			return l.inflight[procs[i]].started < l.inflight[procs[j]].started
+		})
+		for _, proc := range procs {
+			c := l.inflight[proc]
+			if now-c.started > l.cfg.HangTimeout {
+				l.raiseFault(p, FaultHang, nil)
+				break
+			}
+		}
+	}
+}

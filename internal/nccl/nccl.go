@@ -1,0 +1,564 @@
+// Package nccl implements the collective-communication substrate the
+// training framework runs on: communicators created through a rendezvous,
+// and collectives (AllReduce, Broadcast, AllGather, ReduceScatter, Send,
+// Recv) that execute as stream operations with barrier semantics.
+//
+// Two properties of real NCCL are load-bearing for the paper and are
+// reproduced exactly:
+//
+//   - A collective is a barrier: no rank's operation completes until every
+//     rank in the communicator has entered it. This is what guarantees that
+//     when any rank fails before its optimizer step, every healthy replica
+//     is still holding the unmodified parameter and optimizer state of the
+//     current minibatch (§4.2).
+//
+//   - If a participant never arrives — because its GPU failed or the
+//     network dropped — the collective hangs forever on every other rank.
+//     Hangs, not errors, are the failure signal the watchdog detects (§3.1).
+//
+// Collectives do real arithmetic on buffer contents (summation in a fixed
+// rank order for determinism), so recovered training runs can be compared
+// bit for bit against failure-free runs.
+package nccl
+
+import (
+	"errors"
+	"fmt"
+
+	"jitckpt/internal/gpu"
+	"jitckpt/internal/vclock"
+)
+
+// Errors returned by communicator operations.
+var (
+	ErrNetwork      = errors.New("nccl: network error")
+	ErrCommDead     = errors.New("nccl: communicator destroyed")
+	ErrMismatch     = errors.New("nccl: collective mismatch across ranks")
+	ErrBufSizes     = errors.New("nccl: buffer sizes differ across ranks")
+	ErrInvalidRank  = errors.New("nccl: invalid rank")
+	ErrDeviceFailed = errors.New("nccl: device not usable")
+)
+
+// Params models the interconnect and bootstrap costs.
+type Params struct {
+	// BusBandwidth is the effective collective bandwidth in bytes/second
+	// (NVLink within a node, InfiniBand across nodes; we use a single
+	// effective figure per job, as ring-allreduce throughput is gated by
+	// the slowest hop).
+	BusBandwidth float64
+	// BaseLatency is the fixed per-collective launch latency.
+	BaseLatency vclock.Time
+	// CommInitBase and CommInitPerRank model communicator bootstrap
+	// (rendezvous, topology detection, channel setup). Table 7 shows this
+	// dominates transparent recovery time, so it is modelled explicitly.
+	CommInitBase    vclock.Time
+	CommInitPerRank vclock.Time
+}
+
+// DefaultParams returns interconnect parameters roughly matching a single
+// 8-GPU NVLink node with IB uplinks.
+func DefaultParams() Params {
+	return Params{
+		BusBandwidth:    150e9, // 150 GB/s effective bus bandwidth
+		BaseLatency:     20 * vclock.Microsecond,
+		CommInitBase:    800 * vclock.Millisecond,
+		CommInitPerRank: 30 * vclock.Millisecond,
+	}
+}
+
+// FaultKind selects how an injected network fault manifests.
+type FaultKind int
+
+const (
+	// FaultNone means the communicator is healthy.
+	FaultNone FaultKind = iota
+	// FaultHang makes collectives on the communicator hang forever: the
+	// transient InfiniBand congestion / link-flap case. Cleared by
+	// re-initializing the communicator (new generation).
+	FaultHang
+	// FaultError makes collectives complete with ErrNetwork: the NCCL
+	// async-error case.
+	FaultError
+)
+
+// Engine is the cluster-wide collective engine: it owns the rendezvous
+// namespace and per-communicator match state.
+type Engine struct {
+	env    *vclock.Env
+	params Params
+	inits  map[initKey]*initState
+	groups map[groupKey]*commGroup
+}
+
+type initKey struct {
+	key string
+	gen int
+}
+
+type groupKey = initKey
+
+type initState struct {
+	arrived map[int]bool
+	ready   *vclock.Event
+}
+
+// NewEngine creates a collective engine bound to env.
+func NewEngine(env *vclock.Env, params Params) *Engine {
+	return &Engine{
+		env:    env,
+		params: params,
+		inits:  make(map[initKey]*initState),
+		groups: make(map[groupKey]*commGroup),
+	}
+}
+
+// Params returns the engine's interconnect parameters.
+func (e *Engine) Params() Params { return e.params }
+
+// commGroup is the state shared by all ranks of one communicator
+// generation.
+type commGroup struct {
+	engine *Engine
+	key    string
+	gen    int
+	nranks int
+	fault  FaultKind
+	colls  map[int]*collState
+	p2ps   map[p2pKey]*p2pState
+}
+
+type collState struct {
+	kind    string
+	count   int // elements, for size validation
+	bytes   int64
+	arrived map[int]*collArrival
+	ready   *vclock.Event
+	err     error
+	root    int
+}
+
+type collArrival struct {
+	in, out *gpu.Buffer
+}
+
+type p2pKey struct {
+	src, dst, seq int
+}
+
+type p2pState struct {
+	srcBuf, dstBuf *gpu.Buffer
+	ready          *vclock.Event
+	bytes          int64
+	failure        error
+}
+
+// Comm is one rank's handle on a communicator.
+type Comm struct {
+	engine *Engine
+	group  *commGroup
+	Rank   int
+	NRanks int
+	dead   bool
+
+	collSeq int
+	sendSeq map[int]int
+	recvSeq map[int]int
+}
+
+// CommInitRank performs the blocking rendezvous that creates one rank's
+// communicator handle. All nranks ranks must call it with the same key and
+// generation; the call blocks until the last rank arrives (hanging forever
+// if a rank never does — the paper's "rendezvous synchronization point"),
+// then charges the bootstrap cost. gen distinguishes re-initializations
+// after recovery: stale arrivals from an aborted attempt can never satisfy
+// a new generation's rendezvous.
+func (e *Engine) CommInitRank(p *vclock.Proc, key string, gen, nranks, rank int, dev *gpu.Device) (*Comm, error) {
+	if rank < 0 || rank >= nranks {
+		return nil, fmt.Errorf("%w: %d of %d", ErrInvalidRank, rank, nranks)
+	}
+	if dev != nil && !dev.Accessible() {
+		return nil, ErrDeviceFailed
+	}
+	ik := initKey{key, gen}
+	st, ok := e.inits[ik]
+	if !ok {
+		st = &initState{
+			arrived: make(map[int]bool),
+			ready:   e.env.NewEvent(fmt.Sprintf("nccl.init.%s.g%d", key, gen)),
+		}
+		e.inits[ik] = st
+	}
+	st.arrived[rank] = true
+	if len(st.arrived) == nranks {
+		st.ready.Trigger()
+	} else {
+		p.Wait(st.ready) // hangs if some rank never arrives
+	}
+	// Bootstrap cost: every rank pays it after the barrier.
+	p.Sleep(e.params.CommInitBase + vclock.Time(nranks)*e.params.CommInitPerRank)
+
+	gk := groupKey{key, gen}
+	g, ok := e.groups[gk]
+	if !ok {
+		g = &commGroup{
+			engine: e,
+			key:    key,
+			gen:    gen,
+			nranks: nranks,
+			colls:  make(map[int]*collState),
+			p2ps:   make(map[p2pKey]*p2pState),
+		}
+		e.groups[gk] = g
+	}
+	return &Comm{
+		engine:  e,
+		group:   g,
+		Rank:    rank,
+		NRanks:  nranks,
+		sendSeq: make(map[int]int),
+		recvSeq: make(map[int]int),
+	}, nil
+}
+
+// InjectFault sets the fault mode for the current generation of the
+// communicator named key. A FaultHang makes in-flight and future
+// collectives hang; re-initializing under a new generation clears it
+// (transient faults resolve on reconnect).
+func (e *Engine) InjectFault(key string, gen int, kind FaultKind) {
+	if g, ok := e.groups[groupKey{key, gen}]; ok {
+		g.fault = kind
+		e.env.Tracef("nccl: fault %d injected on %s.g%d", kind, key, gen)
+	}
+}
+
+// Destroy invalidates the handle. Pending collectives on other ranks are
+// unaffected (they hang until their streams are destroyed), matching
+// ncclCommDestroy semantics for a wedged communicator.
+func (c *Comm) Destroy() { c.dead = true }
+
+// Key returns the communicator's rendezvous key.
+func (c *Comm) Key() string { return c.group.key }
+
+// Generation returns the communicator's generation.
+func (c *Comm) Generation() int { return c.group.gen }
+
+// collective enqueues a collective op on stream s. The returned op
+// completes when all ranks have arrived and the transfer time has elapsed.
+func (c *Comm) collective(s *gpu.Stream, kind string, in, out *gpu.Buffer, root int, costBytes func(int64, int) int64) (*gpu.Op, error) {
+	if c.dead {
+		return nil, ErrCommDead
+	}
+	seq := c.collSeq
+	c.collSeq++
+	g := c.group
+	rank := c.Rank
+	op := &gpu.Op{
+		Name: fmt.Sprintf("nccl.%s.%s.g%d.#%d.r%d", kind, g.key, g.gen, seq, rank),
+		Run: func(p *vclock.Proc, dev *gpu.Device) error {
+			return g.arriveColl(p, kind, seq, rank, in, out, root, costBytes)
+		},
+	}
+	s.Enqueue(op)
+	return op, nil
+}
+
+func (g *commGroup) arriveColl(p *vclock.Proc, kind string, seq, rank int, in, out *gpu.Buffer, root int, costBytes func(int64, int) int64) error {
+	cs, ok := g.colls[seq]
+	if !ok {
+		cs = &collState{
+			kind:    kind,
+			arrived: make(map[int]*collArrival),
+			ready:   g.engine.env.NewEvent(fmt.Sprintf("nccl.%s.%s.#%d", kind, g.key, seq)),
+			root:    root,
+		}
+		g.colls[seq] = cs
+	}
+	if cs.kind != kind || cs.root != root {
+		cs.err = fmt.Errorf("%w: rank %d issued %s(root=%d), group expects %s(root=%d)",
+			ErrMismatch, rank, kind, root, cs.kind, cs.root)
+		cs.ready.Trigger()
+		return cs.err
+	}
+	if g.fault == FaultError {
+		// Async network error: this rank fails immediately, and ranks
+		// already blocked inside the collective are released with the
+		// same error (NCCL async error propagation).
+		if cs.err == nil {
+			cs.err = ErrNetwork
+		}
+		cs.ready.Trigger()
+		delete(g.colls, seq)
+		return ErrNetwork
+	}
+	if prev, dup := cs.arrived[rank]; dup && prev != nil {
+		return fmt.Errorf("%w: rank %d arrived twice at %s #%d", ErrMismatch, rank, kind, seq)
+	}
+	cs.arrived[rank] = &collArrival{in: in, out: out}
+	if len(cs.arrived) == g.nranks && g.fault != FaultHang {
+		// Last arriver: validate, compute, charge the transfer, release.
+		if err := cs.validateSizes(); err != nil {
+			cs.err = err
+		} else {
+			cs.err = cs.apply(g.nranks)
+		}
+		bytes := cs.maxBytes()
+		cost := g.engine.params.BaseLatency +
+			gpu.TransferTime(costBytes(bytes, g.nranks), g.engine.params.BusBandwidth)
+		p.Sleep(cost)
+		err := cs.err
+		cs.ready.Trigger()
+		delete(g.colls, seq)
+		return err
+	}
+	p.Wait(cs.ready) // barrier: hangs if a rank never arrives or fault==hang
+	return cs.err
+}
+
+func (cs *collState) maxBytes() int64 {
+	var m int64
+	for _, a := range cs.arrived {
+		if a.in != nil && a.in.ModelBytes > m {
+			m = a.in.ModelBytes
+		}
+	}
+	return m
+}
+
+func (cs *collState) validateSizes() error {
+	n := -1
+	for _, a := range cs.arrived {
+		if a.in == nil {
+			continue
+		}
+		if n == -1 {
+			n = len(a.in.Data)
+		} else if len(a.in.Data) != n {
+			return ErrBufSizes
+		}
+	}
+	return nil
+}
+
+// apply performs the collective's arithmetic on real buffer contents, in
+// fixed rank order for determinism.
+func (cs *collState) apply(nranks int) error {
+	switch cs.kind {
+	case "allreduce":
+		// Sum over ranks, written back to every rank's buffer.
+		var first *gpu.Buffer
+		for r := 0; r < nranks; r++ {
+			a := cs.arrived[r]
+			if a == nil || a.in == nil {
+				continue
+			}
+			if first == nil {
+				first = a.in
+				continue
+			}
+			if len(a.in.Data) > 0 {
+				first.Data.Add(a.in.Data)
+			}
+		}
+		if first == nil {
+			return nil
+		}
+		for r := 0; r < nranks; r++ {
+			a := cs.arrived[r]
+			if a == nil || a.in == nil || a.in == first {
+				continue
+			}
+			copy(a.in.Data, first.Data)
+		}
+	case "broadcast":
+		rootArr := cs.arrived[cs.root]
+		if rootArr == nil || rootArr.in == nil {
+			return fmt.Errorf("%w: broadcast root %d missing", ErrMismatch, cs.root)
+		}
+		for r := 0; r < nranks; r++ {
+			a := cs.arrived[r]
+			if a == nil || a.in == nil || r == cs.root {
+				continue
+			}
+			copy(a.in.Data, rootArr.in.Data)
+		}
+	case "allgather":
+		// out = concat of in across ranks; each rank's out must hold
+		// nranks*len(in) elements.
+		for r := 0; r < nranks; r++ {
+			src := cs.arrived[r]
+			if src == nil || src.in == nil {
+				continue
+			}
+			chunk := len(src.in.Data)
+			for q := 0; q < nranks; q++ {
+				dst := cs.arrived[q]
+				if dst == nil || dst.out == nil || len(dst.out.Data) < (r+1)*chunk {
+					continue
+				}
+				copy(dst.out.Data[r*chunk:(r+1)*chunk], src.in.Data)
+			}
+		}
+	case "reducescatter":
+		// Sum inputs elementwise, then rank r receives chunk r.
+		var sum []float32
+		for r := 0; r < nranks; r++ {
+			a := cs.arrived[r]
+			if a == nil || a.in == nil {
+				continue
+			}
+			if sum == nil {
+				sum = append([]float32(nil), a.in.Data...)
+			} else {
+				for i := range sum {
+					sum[i] += a.in.Data[i]
+				}
+			}
+		}
+		if sum == nil {
+			return nil
+		}
+		chunk := len(sum) / nranks
+		for r := 0; r < nranks; r++ {
+			a := cs.arrived[r]
+			if a == nil || a.out == nil || chunk == 0 {
+				continue
+			}
+			copy(a.out.Data, sum[r*chunk:(r+1)*chunk])
+		}
+	case "barrier":
+		// No data movement.
+	default:
+		return fmt.Errorf("%w: unknown collective %q", ErrMismatch, cs.kind)
+	}
+	return nil
+}
+
+// AllReduce enqueues a sum-allreduce of buf across all ranks. Every rank's
+// buffer ends up holding the elementwise sum.
+func (c *Comm) AllReduce(s *gpu.Stream, buf *gpu.Buffer) (*gpu.Op, error) {
+	return c.collective(s, "allreduce", buf, nil, 0, func(b int64, n int) int64 {
+		if n <= 1 {
+			return 0
+		}
+		return 2 * b * int64(n-1) / int64(n) // ring allreduce traffic
+	})
+}
+
+// Broadcast enqueues a broadcast of root's buffer contents to all ranks.
+func (c *Comm) Broadcast(s *gpu.Stream, buf *gpu.Buffer, root int) (*gpu.Op, error) {
+	if root < 0 || root >= c.NRanks {
+		return nil, fmt.Errorf("%w: broadcast root %d", ErrInvalidRank, root)
+	}
+	return c.collective(s, "broadcast", buf, nil, root, func(b int64, n int) int64 { return b })
+}
+
+// AllGather enqueues an allgather: every rank contributes in and receives
+// the rank-ordered concatenation in out.
+func (c *Comm) AllGather(s *gpu.Stream, in, out *gpu.Buffer) (*gpu.Op, error) {
+	return c.collective(s, "allgather", in, out, 0, func(b int64, n int) int64 {
+		if n <= 1 {
+			return 0
+		}
+		return b * int64(n-1)
+	})
+}
+
+// ReduceScatter enqueues a reduce-scatter: inputs are summed and rank r
+// receives chunk r of the sum in out.
+func (c *Comm) ReduceScatter(s *gpu.Stream, in, out *gpu.Buffer) (*gpu.Op, error) {
+	return c.collective(s, "reducescatter", in, out, 0, func(b int64, n int) int64 {
+		if n <= 1 {
+			return 0
+		}
+		return b * int64(n-1) / int64(n)
+	})
+}
+
+// Barrier enqueues a data-free synchronization across all ranks.
+func (c *Comm) Barrier(s *gpu.Stream) (*gpu.Op, error) {
+	return c.collective(s, "barrier", nil, nil, 0, func(int64, int) int64 { return 0 })
+}
+
+// Send enqueues a point-to-point send of buf to peer. It matches the
+// peer's Recv with the same sequence number (per direction, in issue
+// order), the scheme pipeline-parallel stages use.
+func (c *Comm) Send(s *gpu.Stream, buf *gpu.Buffer, peer int) (*gpu.Op, error) {
+	if c.dead {
+		return nil, ErrCommDead
+	}
+	if peer < 0 || peer >= c.NRanks {
+		return nil, fmt.Errorf("%w: send peer %d", ErrInvalidRank, peer)
+	}
+	seq := c.sendSeq[peer]
+	c.sendSeq[peer]++
+	g := c.group
+	src := c.Rank
+	op := &gpu.Op{
+		Name: fmt.Sprintf("nccl.send.%s.%d->%d.#%d", g.key, src, peer, seq),
+		Run: func(p *vclock.Proc, dev *gpu.Device) error {
+			return g.arriveP2P(p, src, peer, seq, buf, true)
+		},
+	}
+	s.Enqueue(op)
+	return op, nil
+}
+
+// Recv enqueues a point-to-point receive into buf from peer.
+func (c *Comm) Recv(s *gpu.Stream, buf *gpu.Buffer, peer int) (*gpu.Op, error) {
+	if c.dead {
+		return nil, ErrCommDead
+	}
+	if peer < 0 || peer >= c.NRanks {
+		return nil, fmt.Errorf("%w: recv peer %d", ErrInvalidRank, peer)
+	}
+	seq := c.recvSeq[peer]
+	c.recvSeq[peer]++
+	g := c.group
+	dst := c.Rank
+	op := &gpu.Op{
+		Name: fmt.Sprintf("nccl.recv.%s.%d<-%d.#%d", g.key, dst, peer, seq),
+		Run: func(p *vclock.Proc, dev *gpu.Device) error {
+			return g.arriveP2P(p, peer, dst, seq, buf, false)
+		},
+	}
+	s.Enqueue(op)
+	return op, nil
+}
+
+func (g *commGroup) arriveP2P(p *vclock.Proc, src, dst, seq int, buf *gpu.Buffer, isSend bool) error {
+	if g.fault == FaultError {
+		return ErrNetwork
+	}
+	k := p2pKey{src, dst, seq}
+	st, ok := g.p2ps[k]
+	if !ok {
+		st = &p2pState{ready: g.engine.env.NewEvent(fmt.Sprintf("nccl.p2p.%d->%d.#%d", src, dst, seq))}
+		g.p2ps[k] = st
+	}
+	if isSend {
+		st.srcBuf = buf
+	} else {
+		st.dstBuf = buf
+	}
+	if buf != nil && buf.ModelBytes > st.bytes {
+		st.bytes = buf.ModelBytes
+	}
+	if st.srcBuf != nil && st.dstBuf != nil && g.fault != FaultHang {
+		if len(st.srcBuf.Data) > 0 && len(st.dstBuf.Data) > 0 {
+			if len(st.srcBuf.Data) != len(st.dstBuf.Data) {
+				st.failure = ErrBufSizes
+			} else {
+				copy(st.dstBuf.Data, st.srcBuf.Data)
+			}
+		}
+		if st.failure == nil {
+			p.Sleep(g.engine.params.BaseLatency + gpu.TransferTime(st.bytes, g.engine.params.BusBandwidth))
+		}
+		err := st.failure
+		st.ready.Trigger()
+		delete(g.p2ps, k)
+		return err
+	}
+	p.Wait(st.ready) // hangs if the peer never shows up
+	return st.failure
+}

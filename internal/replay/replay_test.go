@@ -1,0 +1,322 @@
+package replay
+
+import (
+	"testing"
+	"testing/quick"
+
+	"jitckpt/internal/cuda"
+	"jitckpt/internal/gpu"
+	"jitckpt/internal/nccl"
+	"jitckpt/internal/tensor"
+	"jitckpt/internal/vclock"
+)
+
+func TestStartMinibatchFoldsCreations(t *testing.T) {
+	l := NewLog()
+	l.Record(Call{Kind: CallMalloc, Bytes: 64, RBuf: 1})
+	l.Record(Call{Kind: CallStreamCreate, RStream: 2})
+	l.Record(Call{Kind: CallLaunch, Launch: cuda.LaunchParams{Kernel: "k"}})
+	l.StartMinibatch(1)
+	if len(l.Minibatch) != 0 {
+		t.Fatalf("minibatch log not cleared: %d", len(l.Minibatch))
+	}
+	if len(l.Creation) != 2 {
+		t.Fatalf("creation log = %d entries, want 2", len(l.Creation))
+	}
+	// A destruction inside the next minibatch removes the creation record.
+	l.Record(Call{Kind: CallFree, Buf: 1})
+	l.StartMinibatch(2)
+	if len(l.Creation) != 1 || l.Creation[0].Kind != CallStreamCreate {
+		t.Fatalf("creation log after free = %+v", l.Creation)
+	}
+}
+
+func TestRecordStampsIteration(t *testing.T) {
+	l := NewLog()
+	l.StartMinibatch(7)
+	l.Record(Call{Kind: CallLaunch})
+	if l.Minibatch[0].Iter != 7 {
+		t.Fatalf("iter = %d", l.Minibatch[0].Iter)
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	l := NewLog()
+	l.Record(Call{Kind: CallMalloc, Bytes: 128, Elems: 4, Tag: "w", RBuf: 3})
+	l.StartMinibatch(1)
+	l.Record(Call{Kind: CallMemcpyH2D, Buf: 3, Data: []float32{1, 2}, Stream: 0})
+	l.Record(Call{Kind: CallLaunch, Launch: cuda.LaunchParams{
+		Kernel: "fwd", Dur: vclock.Millisecond, Bufs: []cuda.Buf{3}, FArgs: []float32{0.5},
+	}})
+	raw, err := l.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := FromBytes(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Iter != 1 || len(got.Creation) != 1 || len(got.Minibatch) != 2 {
+		t.Fatalf("round trip shape: %+v", got)
+	}
+	if got.Minibatch[1].Launch.Kernel != "fwd" || got.Minibatch[1].Launch.FArgs[0] != 0.5 {
+		t.Fatalf("launch params lost: %+v", got.Minibatch[1].Launch)
+	}
+}
+
+func TestTranslatorDefaults(t *testing.T) {
+	tr := NewTranslator()
+	if tr.Stream(cuda.DefaultStream) != cuda.DefaultStream {
+		t.Fatal("default stream must map to itself")
+	}
+	if tr.Buf(5) != 5 || tr.EventH(9) != 9 || tr.CommH(2) != 2 {
+		t.Fatal("unmapped handles must pass through")
+	}
+	tr.Bufs[5] = 12
+	if tr.Buf(5) != 12 {
+		t.Fatal("mapped handle not translated")
+	}
+}
+
+// recordingDriver drives a real local Driver while recording, then replays
+// onto a fresh driver and compares buffer contents.
+func TestReplayReproducesState(t *testing.T) {
+	kernels := cuda.Registry{
+		"axpy": func(a cuda.KernelArgs) error {
+			a.Bufs[0].AXPY(a.FArgs[0], a.Bufs[1])
+			return nil
+		},
+	}
+	env := vclock.NewEnv(1)
+	engine := nccl.NewEngine(env, nccl.DefaultParams())
+	dev := gpu.NewDevice(env, 0, 0, 1<<30)
+	drv, err := cuda.NewDriver(dev, engine, kernels, cuda.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := NewLog()
+	var origSum, replaySum uint64
+	env.Go("record-and-replay", func(p *vclock.Proc) {
+		// --- Original execution, recorded. ---
+		w, _ := drv.Malloc(p, 64, 3, "w")
+		log.Record(Call{Kind: CallMalloc, Bytes: 64, Elems: 3, Tag: "w", RBuf: w})
+		g, _ := drv.Malloc(p, 64, 3, "g")
+		log.Record(Call{Kind: CallMalloc, Bytes: 64, Elems: 3, Tag: "g", RBuf: g})
+		log.StartMinibatch(1)
+
+		drv.MemcpyH2D(p, w, []float32{1, 2, 3}, cuda.DefaultStream)
+		log.Record(Call{Kind: CallMemcpyH2D, Buf: w, Data: []float32{1, 2, 3}})
+		drv.MemcpyH2D(p, g, []float32{10, 10, 10}, cuda.DefaultStream)
+		log.Record(Call{Kind: CallMemcpyH2D, Buf: g, Data: []float32{10, 10, 10}})
+		lp := cuda.LaunchParams{Kernel: "axpy", Dur: vclock.Millisecond, Bufs: []cuda.Buf{w, g}, FArgs: []float32{0.5}}
+		drv.Launch(p, lp, cuda.DefaultStream)
+		log.Record(Call{Kind: CallLaunch, Launch: lp})
+		drv.StreamSynchronize(p, cuda.DefaultStream)
+		origSum, _ = drv.BufChecksum(p, w)
+
+		// --- Replay onto a fresh driver on a fresh device. ---
+		dev2 := gpu.NewDevice(env, 0, 1, 1<<30)
+		drv2, err := cuda.NewDriver(dev2, engine, kernels, cuda.DefaultParams())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		tr := NewTranslator()
+		if err := Apply(p, drv2, log.Creation, tr, Options{}); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := Apply(p, drv2, log.Minibatch, tr, Options{}); err != nil {
+			t.Error(err)
+			return
+		}
+		drv2.StreamSynchronize(p, cuda.DefaultStream)
+		replaySum, _ = drv2.BufChecksum(p, tr.Buf(w))
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if origSum == 0 || origSum != replaySum {
+		t.Fatalf("replayed checksum %#x != original %#x", replaySum, origSum)
+	}
+}
+
+func TestReplayTranslatesStreamsAndEvents(t *testing.T) {
+	env := vclock.NewEnv(1)
+	engine := nccl.NewEngine(env, nccl.DefaultParams())
+	kernels := cuda.Registry{"nop": func(cuda.KernelArgs) error { return nil }}
+	dev := gpu.NewDevice(env, 0, 0, 1<<30)
+	drv, _ := cuda.NewDriver(dev, engine, kernels, cuda.DefaultParams())
+	env.Go("w", func(p *vclock.Proc) {
+		// Record a creation log with a stream and event, plus a minibatch
+		// using them; replay must rewire handles.
+		log := NewLog()
+		s, _ := drv.StreamCreate(p)
+		log.Record(Call{Kind: CallStreamCreate, RStream: s})
+		ev, _ := drv.EventCreate(p)
+		log.Record(Call{Kind: CallEventCreate, REvent: ev})
+		log.StartMinibatch(1)
+		log.Record(Call{Kind: CallLaunch, Launch: cuda.LaunchParams{Kernel: "nop", Dur: vclock.Millisecond}, Stream: s})
+		log.Record(Call{Kind: CallEventRecord, Event: ev, Stream: s})
+		log.Record(Call{Kind: CallStreamWaitEvent, Stream: cuda.DefaultStream, Event: ev})
+
+		dev2 := gpu.NewDevice(env, 0, 1, 1<<30)
+		drv2, _ := cuda.NewDriver(dev2, engine, kernels, cuda.DefaultParams())
+		tr := NewTranslator()
+		if err := Apply(p, drv2, log.Creation, tr, Options{}); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := Apply(p, drv2, log.Minibatch, tr, Options{}); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, ok := tr.Streams[s]; !ok {
+			t.Error("stream handle mapping missing after replay")
+		}
+		if _, ok := tr.Events[ev]; !ok {
+			t.Error("event handle mapping missing after replay")
+		}
+		if err := drv2.DeviceSynchronize(p); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplaySkipData(t *testing.T) {
+	env := vclock.NewEnv(1)
+	engine := nccl.NewEngine(env, nccl.DefaultParams())
+	dev := gpu.NewDevice(env, 0, 0, 1<<30)
+	drv, _ := cuda.NewDriver(dev, engine, nil, cuda.DefaultParams())
+	env.Go("w", func(p *vclock.Proc) {
+		b, _ := drv.Malloc(p, 64, 2, "w")
+		calls := []Call{{Kind: CallMemcpyH2D, Buf: b, Data: []float32{9, 9}}}
+		tr := NewTranslator()
+		if err := Apply(p, drv, calls, tr, Options{SkipData: true}); err != nil {
+			t.Error(err)
+			return
+		}
+		drv.StreamSynchronize(p, cuda.DefaultStream)
+		got, _ := drv.MemcpyD2H(p, b, cuda.DefaultStream)
+		if !tensor.Vector(got).Equal(tensor.Vector{0, 0}) {
+			t.Errorf("SkipData leaked payload: %v", got)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayGenOverrideForCommInit(t *testing.T) {
+	env := vclock.NewEnv(1)
+	engine := nccl.NewEngine(env, nccl.DefaultParams())
+	dev := gpu.NewDevice(env, 0, 0, 1<<30)
+	drv, _ := cuda.NewDriver(dev, engine, nil, cuda.DefaultParams())
+	env.Go("w", func(p *vclock.Proc) {
+		calls := []Call{{Kind: CallCommInit, Key: "dp", Gen: 0, NRanks: 1, Rank: 0, RComm: 1}}
+		tr := NewTranslator()
+		err := Apply(p, drv, calls, tr, Options{
+			GenFor: func(key string, recorded int) int { return recorded + 5 },
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		if tr.CommH(1) == 0 {
+			t.Error("comm handle not mapped")
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyStopsAtFirstError(t *testing.T) {
+	env := vclock.NewEnv(1)
+	engine := nccl.NewEngine(env, nccl.DefaultParams())
+	dev := gpu.NewDevice(env, 0, 0, 1<<30)
+	drv, _ := cuda.NewDriver(dev, engine, nil, cuda.DefaultParams())
+	env.Go("w", func(p *vclock.Proc) {
+		calls := []Call{
+			{Kind: CallFree, Buf: 99}, // bad handle
+			{Kind: CallMalloc, Bytes: 64, RBuf: 1},
+		}
+		tr := NewTranslator()
+		if err := Apply(p, drv, calls, tr, Options{}); err == nil {
+			t.Error("expected error from bad free")
+		}
+		if _, ok := tr.Bufs[1]; ok {
+			t.Error("apply continued past failing call")
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: folding semantics — after any sequence of create/destroy pairs
+// within minibatches, the creation log contains exactly the live objects.
+func TestCreationLogTracksLiveObjectsProperty(t *testing.T) {
+	f := func(ops []bool) bool {
+		l := NewLog()
+		live := map[cuda.Buf]bool{}
+		next := cuda.Buf(1)
+		var order []cuda.Buf
+		for i, create := range ops {
+			if create || len(order) == 0 {
+				l.Record(Call{Kind: CallMalloc, RBuf: next})
+				live[next] = true
+				order = append(order, next)
+				next++
+			} else {
+				victim := order[0]
+				order = order[1:]
+				l.Record(Call{Kind: CallFree, Buf: victim})
+				delete(live, victim)
+			}
+			if i%3 == 2 {
+				l.StartMinibatch(i)
+			}
+		}
+		l.StartMinibatch(len(ops))
+		if len(l.Creation) != len(live) {
+			return false
+		}
+		for _, c := range l.Creation {
+			if !live[c.RBuf] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRecord(b *testing.B) {
+	l := NewLog()
+	c := Call{Kind: CallLaunch, Launch: cuda.LaunchParams{Kernel: "fwd", Bufs: []cuda.Buf{1, 2, 3}}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Record(c)
+		if i%1024 == 1023 {
+			l.StartMinibatch(i)
+		}
+	}
+}
+
+func BenchmarkSerialize(b *testing.B) {
+	l := NewLog()
+	for i := 0; i < 512; i++ {
+		l.Record(Call{Kind: CallLaunch, Launch: cuda.LaunchParams{Kernel: "fwd", Bufs: []cuda.Buf{1, 2}}})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Bytes(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

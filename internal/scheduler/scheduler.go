@@ -1,0 +1,262 @@
+// Package scheduler models the cluster control plane the paper's recovery
+// flows lean on: a node pool with spares and failure exclusion, rank
+// placement, the monitor that healthy ranks notify after JIT checkpoints
+// (§3.3: the scheduler waits for at least one data-parallel replica of
+// every pipeline stage and model-parallel partition before restarting),
+// and the CRIU-style process checkpoint used to migrate worker CPU state
+// to replacement nodes (§4.3).
+package scheduler
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"jitckpt/internal/gpu"
+	"jitckpt/internal/train"
+	"jitckpt/internal/vclock"
+)
+
+// ErrNoCapacity is returned when the pool cannot satisfy an allocation.
+var ErrNoCapacity = errors.New("scheduler: not enough healthy free nodes")
+
+// Pool manages nodes, including spares and failed-node exclusion.
+type Pool struct {
+	env    *vclock.Env
+	nodes  []*gpu.Node
+	inUse  map[int]bool
+	failed map[int]bool
+}
+
+// NewPool wraps a cluster's nodes.
+func NewPool(env *vclock.Env, nodes []*gpu.Node) *Pool {
+	return &Pool{env: env, nodes: nodes, inUse: make(map[int]bool), failed: make(map[int]bool)}
+}
+
+// Allocate reserves n healthy free nodes, skipping excluded IDs.
+func (p *Pool) Allocate(n int, exclude map[int]bool) ([]*gpu.Node, error) {
+	var got []*gpu.Node
+	for _, node := range p.nodes {
+		if len(got) == n {
+			break
+		}
+		if p.inUse[node.ID] || p.failed[node.ID] || exclude[node.ID] || node.Failed {
+			continue
+		}
+		// A node with any hard-failed GPU is not schedulable.
+		healthy := true
+		for _, d := range node.Devices {
+			if d.Health() == gpu.Hard {
+				healthy = false
+				break
+			}
+		}
+		if !healthy {
+			p.failed[node.ID] = true
+			continue
+		}
+		got = append(got, node)
+	}
+	if len(got) < n {
+		return nil, fmt.Errorf("%w: want %d, have %d", ErrNoCapacity, n, len(got))
+	}
+	for _, node := range got {
+		p.inUse[node.ID] = true
+	}
+	return got, nil
+}
+
+// Release returns nodes to the free pool.
+func (p *Pool) Release(nodes []*gpu.Node) {
+	for _, n := range nodes {
+		delete(p.inUse, n.ID)
+	}
+}
+
+// ReleaseByID returns nodes to the free pool by ID (migration paths hold
+// node IDs, not node pointers).
+func (p *Pool) ReleaseByID(ids ...int) {
+	for _, id := range ids {
+		delete(p.inUse, id)
+	}
+}
+
+// MarkFailed permanently excludes a node.
+func (p *Pool) MarkFailed(nodeID int) {
+	p.failed[nodeID] = true
+	delete(p.inUse, nodeID)
+	p.env.Tracef("scheduler: node %d marked failed", nodeID)
+}
+
+// FreeHealthy returns how many nodes remain allocatable.
+func (p *Pool) FreeHealthy() int {
+	n := 0
+	for _, node := range p.nodes {
+		if !p.inUse[node.ID] && !p.failed[node.ID] && !node.Failed {
+			n++
+		}
+	}
+	return n
+}
+
+// Placement maps ranks to devices.
+type Placement map[int]*gpu.Device
+
+// Place assigns world ranks to devices across nodes, rank-major.
+func Place(nodes []*gpu.Node, world int) (Placement, error) {
+	pl := make(Placement, world)
+	r := 0
+	for _, node := range nodes {
+		for _, d := range node.Devices {
+			if r == world {
+				return pl, nil
+			}
+			pl[r] = d
+			r++
+		}
+	}
+	if r < world {
+		return nil, fmt.Errorf("scheduler: %d devices for %d ranks", r, world)
+	}
+	return pl, nil
+}
+
+// NodeOf returns the node ID hosting a rank.
+func (pl Placement) NodeOf(rank int) int { return pl[rank].NodeID }
+
+// EventKind classifies monitor notifications.
+type EventKind int
+
+const (
+	// EvFailureDetected: a rank's watchdog detected a failure.
+	EvFailureDetected EventKind = iota
+	// EvCheckpointDone: a rank completed its JIT checkpoint at Iter.
+	EvCheckpointDone
+	// EvRankExited: a rank's process exited (crash or kill).
+	EvRankExited
+)
+
+// Event is one monitor notification.
+type Event struct {
+	Kind EventKind
+	Rank int
+	Iter int
+	Err  error
+}
+
+// Monitor is the scheduler's notification sink.
+type Monitor struct {
+	env    *vclock.Env
+	events *vclock.Queue[Event]
+	log    []Event
+}
+
+// NewMonitor creates a monitor.
+func NewMonitor(env *vclock.Env) *Monitor {
+	return &Monitor{env: env, events: vclock.NewQueue[Event](env, "sched.monitor")}
+}
+
+// Notify records an event and wakes waiters.
+func (m *Monitor) Notify(ev Event) {
+	m.log = append(m.log, ev)
+	m.events.Push(ev)
+	m.env.Tracef("scheduler: event kind=%d rank=%d iter=%d err=%v", ev.Kind, ev.Rank, ev.Iter, ev.Err)
+}
+
+// Log returns all events received so far.
+func (m *Monitor) Log() []Event { return m.log }
+
+// WaitCheckpointQuorum blocks until, for some iteration, at least one
+// replica of every position (pipeline stage × tensor partition × shard
+// slot) has reported EvCheckpointDone — the §3.3 restart precondition. It
+// returns the quorum iteration, or ok=false on timeout.
+func (m *Monitor) WaitCheckpointQuorum(p *vclock.Proc, topo train.Topology, timeout vclock.Time) (iter int, ok bool) {
+	need := positionCount(topo)
+	cover := make(map[int]map[string]bool) // iter -> positions covered
+	check := func(ev Event) (int, bool) {
+		if ev.Kind != EvCheckpointDone {
+			return 0, false
+		}
+		if cover[ev.Iter] == nil {
+			cover[ev.Iter] = make(map[string]bool)
+		}
+		cover[ev.Iter][positionOf(topo, ev.Rank)] = true
+		if len(cover[ev.Iter]) == need {
+			return ev.Iter, true
+		}
+		return 0, false
+	}
+	// Replay anything already logged, then wait for fresh events.
+	for _, ev := range m.log {
+		if it, done := check(ev); done {
+			return it, true
+		}
+	}
+	deadline := p.Now() + timeout
+	for {
+		remain := deadline - p.Now()
+		if remain <= 0 {
+			return 0, false
+		}
+		ev, got := m.events.PopTimeout(p, remain)
+		if !got {
+			return 0, false
+		}
+		if it, done := check(ev); done {
+			return it, true
+		}
+	}
+}
+
+func positionCount(topo train.Topology) int {
+	if topo.FSDP() {
+		return topo.P * topo.T * topo.FSDPShard
+	}
+	return topo.P * topo.T
+}
+
+func positionOf(topo train.Topology, rank int) string {
+	d, p, t := topo.Coords(rank)
+	if topo.FSDP() {
+		return fmt.Sprintf("p%d.t%d.s%d", p, t, d%topo.FSDPShard)
+	}
+	return fmt.Sprintf("p%d.t%d", p, t)
+}
+
+// CRIU models checkpoint/restore of worker CPU processes. The payload is
+// opaque bytes (in this simulation, the worker's serialized Snapshot plus
+// its replay log); Take and Restore charge the measured process
+// checkpoint costs.
+type CRIU struct {
+	SnapshotTime vclock.Time
+	RestoreTime  vclock.Time
+}
+
+// Image is a captured process image.
+type Image struct {
+	Rank    int
+	Payload []byte
+}
+
+// Take checkpoints a process image, charging snapshot time.
+func (c CRIU) Take(p *vclock.Proc, rank int, payload []byte) Image {
+	p.Sleep(c.SnapshotTime)
+	return Image{Rank: rank, Payload: append([]byte(nil), payload...)}
+}
+
+// Restore restores a process image on (conceptually) a new host, charging
+// restore time, and returns the payload.
+func (c CRIU) Restore(p *vclock.Proc, img Image) []byte {
+	p.Sleep(c.RestoreTime)
+	return append([]byte(nil), img.Payload...)
+}
+
+// SortedNodeIDs is a test/debug helper listing pool node IDs in order.
+func (p *Pool) SortedNodeIDs() []int {
+	ids := make([]int, 0, len(p.nodes))
+	for _, n := range p.nodes {
+		ids = append(ids, n.ID)
+	}
+	sort.Ints(ids)
+	return ids
+}

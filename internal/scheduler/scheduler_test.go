@@ -1,0 +1,176 @@
+package scheduler
+
+import (
+	"errors"
+	"testing"
+
+	"jitckpt/internal/gpu"
+	"jitckpt/internal/train"
+	"jitckpt/internal/vclock"
+)
+
+func TestPoolAllocateExcludesFailedAndBusy(t *testing.T) {
+	env := vclock.NewEnv(1)
+	c := gpu.NewCluster(env, 4, 2, 1<<30)
+	pool := NewPool(env, c.Nodes)
+	first, err := pool.Allocate(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first[0].ID != 0 || first[1].ID != 1 {
+		t.Fatalf("allocated %v %v", first[0].ID, first[1].ID)
+	}
+	// Node 2 has a hard-failed GPU: it must be skipped.
+	c.Device(2, 0).InjectHard()
+	second, err := pool.Allocate(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second[0].ID != 3 {
+		t.Fatalf("allocated node %d, want 3 (2 is failed)", second[0].ID)
+	}
+	if _, err := pool.Allocate(1, nil); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("err = %v, want no capacity", err)
+	}
+	pool.Release(first)
+	if pool.FreeHealthy() != 2 {
+		t.Fatalf("free = %d, want 2", pool.FreeHealthy())
+	}
+}
+
+func TestPoolExplicitExclusion(t *testing.T) {
+	env := vclock.NewEnv(1)
+	c := gpu.NewCluster(env, 3, 1, 1<<30)
+	pool := NewPool(env, c.Nodes)
+	got, err := pool.Allocate(1, map[int]bool{0: true, 1: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].ID != 2 {
+		t.Fatalf("allocated %d, want 2", got[0].ID)
+	}
+}
+
+func TestPlacement(t *testing.T) {
+	env := vclock.NewEnv(1)
+	c := gpu.NewCluster(env, 2, 4, 1<<30)
+	pl, err := Place(c.Nodes, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.NodeOf(0) != 0 || pl.NodeOf(4) != 1 {
+		t.Fatalf("placement wrong: rank0@%d rank4@%d", pl.NodeOf(0), pl.NodeOf(4))
+	}
+	if _, err := Place(c.Nodes[:1], 8); err == nil {
+		t.Fatal("expected placement failure with too few devices")
+	}
+}
+
+func TestWaitCheckpointQuorum(t *testing.T) {
+	// 2D-2P job: quorum needs one checkpoint per pipeline stage, from any
+	// replica. Rank 0 (d0,p0) and rank 3 (d1,p1) suffice.
+	env := vclock.NewEnv(1)
+	topo := train.Topology{D: 2, P: 2, T: 1}
+	m := NewMonitor(env)
+	var iter int
+	var ok bool
+	env.Go("scheduler", func(p *vclock.Proc) {
+		iter, ok = m.WaitCheckpointQuorum(p, topo, vclock.Minute)
+	})
+	env.Go("ranks", func(p *vclock.Proc) {
+		p.Sleep(vclock.Second)
+		m.Notify(Event{Kind: EvFailureDetected, Rank: 1})
+		m.Notify(Event{Kind: EvCheckpointDone, Rank: 0, Iter: 7})
+		p.Sleep(vclock.Second)
+		m.Notify(Event{Kind: EvCheckpointDone, Rank: 3, Iter: 7})
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ok || iter != 7 {
+		t.Fatalf("quorum = %v iter %d, want iter 7", ok, iter)
+	}
+}
+
+func TestQuorumRequiresMatchingIteration(t *testing.T) {
+	env := vclock.NewEnv(1)
+	topo := train.Topology{D: 2, P: 2, T: 1}
+	m := NewMonitor(env)
+	var ok bool
+	env.Go("scheduler", func(p *vclock.Proc) {
+		_, ok = m.WaitCheckpointQuorum(p, topo, vclock.Seconds(10))
+	})
+	env.Go("ranks", func(p *vclock.Proc) {
+		// Stage 0 checkpoints iter 7, stage 1 checkpoints iter 8: torn —
+		// no quorum forms at either iteration.
+		m.Notify(Event{Kind: EvCheckpointDone, Rank: 0, Iter: 7})
+		m.Notify(Event{Kind: EvCheckpointDone, Rank: 3, Iter: 8})
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("quorum formed from mismatched iterations")
+	}
+}
+
+func TestQuorumSeesEventsLoggedBeforeWait(t *testing.T) {
+	env := vclock.NewEnv(1)
+	topo := train.Topology{D: 2, P: 1, T: 1}
+	m := NewMonitor(env)
+	m.Notify(Event{Kind: EvCheckpointDone, Rank: 1, Iter: 3})
+	var ok bool
+	env.Go("late-scheduler", func(p *vclock.Proc) {
+		_, ok = m.WaitCheckpointQuorum(p, topo, vclock.Second)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("pre-logged checkpoint not counted toward quorum")
+	}
+}
+
+func TestQuorumFSDPNeedsEveryShardSlot(t *testing.T) {
+	env := vclock.NewEnv(1)
+	topo := train.Topology{D: 4, P: 1, T: 1, FSDPShard: 2}
+	m := NewMonitor(env)
+	var ok bool
+	env.Go("scheduler", func(p *vclock.Proc) {
+		_, ok = m.WaitCheckpointQuorum(p, topo, vclock.Seconds(5))
+	})
+	env.Go("ranks", func(p *vclock.Proc) {
+		// Ranks 0 and 2 are both shard slot 0: slot 1 never reports.
+		m.Notify(Event{Kind: EvCheckpointDone, Rank: 0, Iter: 1})
+		m.Notify(Event{Kind: EvCheckpointDone, Rank: 2, Iter: 1})
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("quorum must require every shard slot")
+	}
+}
+
+func TestCRIUChargesTime(t *testing.T) {
+	env := vclock.NewEnv(1)
+	criu := CRIU{SnapshotTime: 10 * vclock.Second, RestoreTime: 5 * vclock.Second}
+	env.Go("w", func(p *vclock.Proc) {
+		t0 := p.Now()
+		img := criu.Take(p, 3, []byte("worker-state"))
+		if p.Now()-t0 != 10*vclock.Second {
+			t.Errorf("snapshot took %v", p.Now()-t0)
+		}
+		t0 = p.Now()
+		payload := criu.Restore(p, img)
+		if p.Now()-t0 != 5*vclock.Second {
+			t.Errorf("restore took %v", p.Now()-t0)
+		}
+		if string(payload) != "worker-state" || img.Rank != 3 {
+			t.Error("payload lost")
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

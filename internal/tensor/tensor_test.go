@@ -1,0 +1,240 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAXPYAndScale(t *testing.T) {
+	v := Vector{1, 2, 3}
+	x := Vector{10, 20, 30}
+	v.AXPY(0.5, x)
+	want := Vector{6, 12, 18}
+	if !v.Equal(want) {
+		t.Fatalf("AXPY: got %v want %v", v, want)
+	}
+	v.Scale(2)
+	want = Vector{12, 24, 36}
+	if !v.Equal(want) {
+		t.Fatalf("Scale: got %v want %v", v, want)
+	}
+}
+
+func TestDotAndNorm(t *testing.T) {
+	v := Vector{1, 2, 3}
+	x := Vector{4, 5, 6}
+	if got := v.Dot(x); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+	if got := v.Norm2(); got != 14 {
+		t.Fatalf("Norm2 = %v, want 14", got)
+	}
+}
+
+func TestShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	Vector{1}.AXPY(1, Vector{1, 2})
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	v := Vector{1, 2, 3}
+	c := v.Clone()
+	c[0] = 99
+	if v[0] != 1 {
+		t.Fatal("Clone shares backing array")
+	}
+}
+
+func TestRoundTripBytes(t *testing.T) {
+	v := Vector{0, 1, -1, math.MaxFloat32, float32(math.Inf(1)), 1e-40}
+	got, err := FromBytes(v.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(v) {
+		t.Fatalf("round trip: got %v want %v", got, v)
+	}
+	if _, err := FromBytes([]byte{1, 2, 3}); err == nil {
+		t.Fatal("expected error for ragged byte slice")
+	}
+}
+
+func TestChecksumDetectsSingleBitChange(t *testing.T) {
+	rng := NewRNG(42)
+	v := NewVector(1024)
+	rng.FillUniform(v, 1)
+	before := v.Checksum()
+	bits := math.Float32bits(v[512]) ^ 1
+	v[512] = math.Float32frombits(bits)
+	if v.Checksum() == before {
+		t.Fatal("checksum unchanged after bit flip")
+	}
+}
+
+func TestHasNonFinite(t *testing.T) {
+	if (Vector{1, 2, 3}).HasNonFinite() {
+		t.Fatal("finite vector reported non-finite")
+	}
+	if !(Vector{1, float32(math.NaN())}).HasNonFinite() {
+		t.Fatal("NaN not detected")
+	}
+	if !(Vector{float32(math.Inf(-1))}).HasNonFinite() {
+		t.Fatal("-Inf not detected")
+	}
+}
+
+func TestMatrixMulVec(t *testing.T) {
+	m := NewMatrix(2, 3)
+	// [1 2 3; 4 5 6]
+	for i := 0; i < 6; i++ {
+		m.Data[i] = float32(i + 1)
+	}
+	out := NewVector(2)
+	m.MulVec(Vector{1, 1, 1}, out)
+	if !out.Equal(Vector{6, 15}) {
+		t.Fatalf("MulVec = %v, want [6 15]", out)
+	}
+	outT := NewVector(3)
+	m.MulVecT(Vector{1, 1}, outT)
+	if !outT.Equal(Vector{5, 7, 9}) {
+		t.Fatalf("MulVecT = %v, want [5 7 9]", outT)
+	}
+}
+
+func TestAddOuter(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.AddOuter(2, Vector{1, 2}, Vector{3, 4})
+	want := Vector{6, 8, 12, 16}
+	if !m.Data.Equal(want) {
+		t.Fatalf("AddOuter = %v, want %v", m.Data, want)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if NewRNG(7).Uint64() == NewRNG(8).Uint64() {
+		t.Fatal("different seeds produced identical first value")
+	}
+}
+
+func TestRNGZeroSeedRemapped(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced a stuck generator")
+	}
+}
+
+func TestRNGStateIsCheckpointable(t *testing.T) {
+	r := NewRNG(99)
+	for i := 0; i < 17; i++ {
+		r.Uint64()
+	}
+	saved := r.State
+	want := []uint64{r.Uint64(), r.Uint64(), r.Uint64()}
+	restored := &RNG{State: saved}
+	for i, w := range want {
+		if got := restored.Uint64(); got != w {
+			t.Fatalf("restored RNG diverged at draw %d: %d vs %d", i, got, w)
+		}
+	}
+}
+
+func TestRNGFloat32Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float32()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float32 out of range: %v", f)
+		}
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := NewRNG(5)
+	const n = 50000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := float64(r.Normal())
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Fatalf("mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.1 {
+		t.Fatalf("variance = %v, want ~1", variance)
+	}
+}
+
+// Property: checksum is a pure function of content.
+func TestChecksumPureProperty(t *testing.T) {
+	f := func(data []float32) bool {
+		v := Vector(data)
+		return v.Checksum() == v.Clone().Checksum()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: serialize/deserialize is the identity on bit patterns.
+func TestBytesRoundTripProperty(t *testing.T) {
+	f := func(data []float32) bool {
+		v := Vector(data)
+		got, err := FromBytes(v.Bytes())
+		return err == nil && got.Equal(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Dot is symmetric.
+func TestDotSymmetryProperty(t *testing.T) {
+	f := func(a, b []float32) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		x, y := Vector(a[:n]), Vector(b[:n])
+		d1, d2 := x.Dot(y), y.Dot(x)
+		return math.Float32bits(d1) == math.Float32bits(d2) ||
+			(math.IsNaN(float64(d1)) && math.IsNaN(float64(d2)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMulVec(b *testing.B) {
+	m := NewMatrix(256, 256)
+	NewRNG(1).FillUniform(m.Data, 1)
+	x, out := NewVector(256), NewVector(256)
+	NewRNG(2).FillUniform(x, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MulVec(x, out)
+	}
+}
+
+func BenchmarkChecksum(b *testing.B) {
+	v := NewVector(1 << 16)
+	NewRNG(1).FillUniform(v, 1)
+	b.SetBytes(int64(4 * len(v)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.Checksum()
+	}
+}

@@ -1,0 +1,160 @@
+package train
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+
+	"jitckpt/internal/cuda"
+	"jitckpt/internal/tensor"
+	"jitckpt/internal/vclock"
+)
+
+// ModelState is the checkpointable training state of one rank: parameter
+// and optimizer tensors keyed by their stable names, plus the host CPU
+// state (iteration number) needed to resume. Two ranks at the same
+// pipeline/tensor/shard position produce interchangeable ModelStates —
+// the replica redundancy JIT checkpointing exploits.
+type ModelState struct {
+	Iter    int
+	Rank    int
+	Tensors map[string]tensor.Vector
+}
+
+// TensorName builds the stable checkpoint name of a buffer: its
+// interception-layer tag plus sequence. It is identical across replicas
+// and across re-allocations (§4.3's call-stack-hash naming).
+func TensorName(tag string, seq int) string { return fmt.Sprintf("%s#%d", tag, seq) }
+
+// SaveModelState copies every parameter and optimizer buffer to the host.
+// It uses only D2H memcpys — deliberately no collectives, per §3.2's rule
+// for checkpoint functions called during failure handling.
+func (w *Worker) SaveModelState(p *vclock.Proc) (*ModelState, error) {
+	ms := &ModelState{Iter: w.iter, Rank: w.cfg.Rank, Tensors: make(map[string]tensor.Vector)}
+	save := func(b cuda.Buf, tag string) error {
+		if b == 0 {
+			return nil
+		}
+		data, err := w.cfg.API.MemcpyD2H(p, b, w.compute)
+		if err != nil {
+			return fmt.Errorf("train: save %s: %w", tag, err)
+		}
+		ms.Tensors[TensorName(tag, 0)] = data
+		return nil
+	}
+	for _, ls := range w.layers {
+		if err := save(ls.w, fmt.Sprintf("%sL%d.w", TagParamPrefix, ls.global)); err != nil {
+			return nil, err
+		}
+		if err := save(ls.m, fmt.Sprintf("%sL%d.m", TagOptPrefix, ls.global)); err != nil {
+			return nil, err
+		}
+		if err := save(ls.v, fmt.Sprintf("%sL%d.v", TagOptPrefix, ls.global)); err != nil {
+			return nil, err
+		}
+	}
+	return ms, nil
+}
+
+// LoadModelState restores parameter and optimizer buffers from a saved
+// state (typically a replica's) and fast-forwards the iteration counter.
+func (w *Worker) LoadModelState(p *vclock.Proc, ms *ModelState) error {
+	load := func(b cuda.Buf, tag string) error {
+		if b == 0 {
+			return nil
+		}
+		data, ok := ms.Tensors[TensorName(tag, 0)]
+		if !ok {
+			return fmt.Errorf("train: checkpoint missing tensor %s", tag)
+		}
+		return w.cfg.API.MemcpyH2D(p, b, data, w.compute)
+	}
+	for _, ls := range w.layers {
+		if err := load(ls.w, fmt.Sprintf("%sL%d.w", TagParamPrefix, ls.global)); err != nil {
+			return err
+		}
+		if err := load(ls.m, fmt.Sprintf("%sL%d.m", TagOptPrefix, ls.global)); err != nil {
+			return err
+		}
+		if err := load(ls.v, fmt.Sprintf("%sL%d.v", TagOptPrefix, ls.global)); err != nil {
+			return err
+		}
+	}
+	if err := w.cfg.API.StreamSynchronize(p, w.compute); err != nil {
+		return err
+	}
+	w.iter = ms.Iter
+	return nil
+}
+
+// Encode serializes a ModelState for a checkpoint store.
+func (ms *ModelState) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(ms); err != nil {
+		return nil, fmt.Errorf("train: encode model state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeModelState deserializes a ModelState written by Encode.
+func DecodeModelState(b []byte) (*ModelState, error) {
+	var ms ModelState
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&ms); err != nil {
+		return nil, fmt.Errorf("train: decode model state: %w", err)
+	}
+	return &ms, nil
+}
+
+// Checksum returns a content hash of the state, name-ordered, for
+// comparing replicas and validating recovery.
+func (ms *ModelState) Checksum() uint64 {
+	names := make([]string, 0, len(ms.Tensors))
+	for n := range ms.Tensors {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var sum uint64 = 1469598103934665603
+	for _, n := range names {
+		sum ^= ms.Tensors[n].Checksum()
+		sum *= 1099511628211
+	}
+	return sum
+}
+
+// ModelStateBytes returns the modelled byte size of the rank's parameter
+// plus optimizer state — the volume a checkpoint must move.
+func (w *Worker) ModelStateBytes() int64 {
+	return w.cfg.Model.ParamBytesPerGPU + w.cfg.Model.OptBytesPerGPU
+}
+
+// Snapshot is the worker's host CPU state captured by the CRIU-style
+// process checkpoint: everything needed to resume the loop at a minibatch
+// boundary. GPU-side state travels separately (JIT checkpoint files).
+type Snapshot struct {
+	Iter int
+	Gen  int
+}
+
+// Snapshot captures the worker's CPU-side state.
+func (w *Worker) Snapshot() Snapshot { return Snapshot{Iter: w.iter, Gen: w.gen} }
+
+// RestoreSnapshot reinstates captured CPU-side state.
+func (w *Worker) RestoreSnapshot(s Snapshot) {
+	w.iter = s.Iter
+	w.gen = s.Gen
+}
+
+// ParamBufs returns the virtual handles of parameter and optimizer
+// buffers, with their tags, for controller-side replica copies (§4.2.2).
+func (w *Worker) ParamBufs() map[string]cuda.Buf {
+	out := make(map[string]cuda.Buf)
+	for _, ls := range w.layers {
+		out[TensorName(fmt.Sprintf("%sL%d.w", TagParamPrefix, ls.global), 0)] = ls.w
+		out[TensorName(fmt.Sprintf("%sL%d.m", TagOptPrefix, ls.global), 0)] = ls.m
+		if ls.v != 0 {
+			out[TensorName(fmt.Sprintf("%sL%d.v", TagOptPrefix, ls.global), 0)] = ls.v
+		}
+	}
+	return out
+}

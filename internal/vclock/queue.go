@@ -1,0 +1,165 @@
+package vclock
+
+// Queue is an unbounded FIFO queue usable from simulation processes. Pop
+// blocks the calling process until an item is available. Queues are the
+// building block for stream work queues and proxy IPC channels.
+type Queue[T any] struct {
+	env   *Env
+	items []T
+	wake  *Event
+	name  string
+}
+
+// NewQueue creates an empty queue bound to env.
+func NewQueue[T any](env *Env, name string) *Queue[T] {
+	return &Queue[T]{env: env, name: name}
+}
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Push appends v and wakes any processes blocked in Pop.
+func (q *Queue[T]) Push(v T) {
+	q.items = append(q.items, v)
+	if q.wake != nil && !q.wake.triggered {
+		q.wake.Trigger()
+	}
+}
+
+// Pop removes and returns the head item, blocking p while the queue is
+// empty.
+func (q *Queue[T]) Pop(p *Proc) T {
+	for len(q.items) == 0 {
+		p.Wait(q.waitEvent())
+	}
+	v := q.items[0]
+	var zero T
+	q.items[0] = zero
+	q.items = q.items[1:]
+	return v
+}
+
+// PopTimeout is Pop with a deadline; ok reports whether an item was
+// obtained before d elapsed.
+func (q *Queue[T]) PopTimeout(p *Proc, d Time) (v T, ok bool) {
+	deadline := p.Now() + d
+	for len(q.items) == 0 {
+		remain := deadline - p.Now()
+		if remain <= 0 || !p.WaitTimeout(q.waitEvent(), remain) {
+			if len(q.items) > 0 {
+				break
+			}
+			return v, false
+		}
+	}
+	v = q.items[0]
+	var zero T
+	q.items[0] = zero
+	q.items = q.items[1:]
+	return v, true
+}
+
+// TryPop removes the head item without blocking; ok reports success.
+func (q *Queue[T]) TryPop() (v T, ok bool) {
+	if len(q.items) == 0 {
+		return v, false
+	}
+	v = q.items[0]
+	var zero T
+	q.items[0] = zero
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Drain removes and returns all queued items.
+func (q *Queue[T]) Drain() []T {
+	out := q.items
+	q.items = nil
+	return out
+}
+
+func (q *Queue[T]) waitEvent() *Event {
+	if q.wake == nil || q.wake.triggered {
+		q.wake = q.env.NewEvent(q.name + ".wake")
+	}
+	return q.wake
+}
+
+// Mutex is a virtual-time mutual-exclusion lock with owner tracking. It
+// models locks whose holder can block inside the lock (such as the Python
+// GIL in the paper's §3.2), which is why it exposes the owner and a forced
+// release: a watchdog can steal the lock from a process that is hung in a
+// device call and will never release it.
+type Mutex struct {
+	env     *Env
+	owner   *Proc
+	waiters []*waitToken
+	name    string
+}
+
+// NewMutex creates an unlocked mutex.
+func NewMutex(env *Env, name string) *Mutex {
+	return &Mutex{env: env, name: name}
+}
+
+// Lock acquires the mutex, blocking p until it is free. Lock panics if p
+// already owns the mutex (the lock is not reentrant).
+func (m *Mutex) Lock(p *Proc) {
+	if m.owner == p {
+		panic("vclock: recursive Mutex.Lock by " + p.name)
+	}
+	for m.owner != nil {
+		tok := &waitToken{p: p}
+		m.waiters = append(m.waiters, tok)
+		p.yield()
+	}
+	m.owner = p
+}
+
+// TryLock acquires the mutex if it is free, reporting success.
+func (m *Mutex) TryLock(p *Proc) bool {
+	if m.owner != nil {
+		return false
+	}
+	m.owner = p
+	return true
+}
+
+// Unlock releases the mutex. It panics if p is not the owner.
+func (m *Mutex) Unlock(p *Proc) {
+	if m.owner != p {
+		panic("vclock: Mutex.Unlock by non-owner " + p.name)
+	}
+	m.release()
+}
+
+// ForceRelease releases the mutex regardless of owner, waking the next
+// waiter. It models the paper's SIGUSR1 handler that releases the GIL held
+// by a thread hung in a synchronization API. It returns the process that
+// owned the lock, or nil if it was free.
+func (m *Mutex) ForceRelease() *Proc {
+	prev := m.owner
+	if prev != nil {
+		m.release()
+	}
+	return prev
+}
+
+// Owner returns the current owner, or nil if the mutex is free.
+func (m *Mutex) Owner() *Proc { return m.owner }
+
+func (m *Mutex) release() {
+	m.owner = nil
+	for len(m.waiters) > 0 {
+		tok := m.waiters[0]
+		m.waiters = m.waiters[1:]
+		if tok.fired {
+			continue
+		}
+		tok.fired = true
+		tok.cause = wakeEvent
+		tok.p.token = tok
+		m.env.runq = append(m.env.runq, tok.p)
+		break
+	}
+}

@@ -1,0 +1,137 @@
+package workload
+
+import (
+	"testing"
+
+	"jitckpt/internal/vclock"
+)
+
+func TestCatalogCoversTable2(t *testing.T) {
+	for _, name := range Table2Names() {
+		w, err := ByName(name)
+		if err != nil {
+			t.Fatalf("missing Table 2 workload %s", name)
+		}
+		if err := w.Topo.Validate(); err != nil {
+			t.Errorf("%s topology: %v", name, err)
+		}
+		if w.GPUs() != w.Topo.World() {
+			t.Errorf("%s: %d GPUs but world %d", name, w.GPUs(), w.Topo.World())
+		}
+		if w.Minibatch <= 0 {
+			t.Errorf("%s: no minibatch time", name)
+		}
+		if w.Layers%w.Topo.P != 0 {
+			t.Errorf("%s: layers %d not divisible by P %d", name, w.Layers, w.Topo.P)
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestTable2Geometry(t *testing.T) {
+	// Spot-check against the paper's Table 2.
+	w, _ := ByName("GPT2-18B")
+	if w.GPUs() != 32 || w.Topo.D != 2 || w.Topo.P != 4 || w.Topo.T != 4 {
+		t.Fatalf("GPT2-18B geometry wrong: %+v", w.Topo)
+	}
+	if w.Topo.String() != "2D-4P-4T" {
+		t.Fatalf("notation = %s", w.Topo.String())
+	}
+	t5, _ := ByName("T5-3B")
+	if !t5.Topo.FSDP() || t5.Topo.FSDPGroups() != 2 {
+		t.Fatalf("T5-3B should be hybrid-sharded FSDP across 2 nodes: %+v", t5.Topo)
+	}
+}
+
+func TestStateBytesScaleWithParams(t *testing.T) {
+	small, _ := ByName("BERT-B-FT")
+	big, _ := ByName("GPT2-18B")
+	if small.StateBytesPerGPU() >= big.StateBytesPerGPU() {
+		t.Fatal("per-GPU state should grow with model size")
+	}
+	// GPT2-18B: 18e9 params / (4P*4T) * 16 B = 18 GB per GPU.
+	want := int64(18e9 / 16 * 16)
+	got := big.StateBytesPerGPU()
+	if got < want*9/10 || got > want*11/10 {
+		t.Fatalf("GPT2-18B state = %d, want ~%d", got, want)
+	}
+}
+
+func TestCalibrationRecoversCkptTargets(t *testing.T) {
+	// Writing StateBytes at the derived bandwidth must take about the
+	// paper's Table 4 checkpoint time.
+	for _, name := range []string{"BERT-L-PT", "GPT2-XL", "GPT2-8B", "GPT2-18B"} {
+		w, _ := ByName(name)
+		simulated := vclock.Seconds(float64(w.StateBytesPerGPU()) / w.CkptBandwidth())
+		if diff := simulated - w.CkptTarget; diff < -w.CkptTarget/10 || diff > w.CkptTarget/10 {
+			t.Errorf("%s: calibrated ckpt %v vs target %v", name, simulated, w.CkptTarget)
+		}
+	}
+}
+
+func TestRestoreInitNonNegative(t *testing.T) {
+	for _, w := range Catalog() {
+		if w.RestoreInit() < 0 {
+			t.Errorf("%s: negative restore init", w.Name)
+		}
+		read := vclock.Seconds(float64(w.StateBytesPerGPU()) / w.RestoreBandwidth())
+		h2d := vclock.Seconds(float64(w.StateBytesPerGPU()) / w.CUDAParams().H2DBandwidth)
+		total := read + h2d + w.RestoreInit()
+		if w.RestoreTarget > 0 {
+			if diff := total - w.RestoreTarget; diff < -vclock.Second || diff > vclock.Second {
+				t.Errorf("%s: restore decomposition %v vs target %v", w.Name, total, w.RestoreTarget)
+			}
+		}
+	}
+}
+
+func TestNCCLCalibrationOrdering(t *testing.T) {
+	// Megatron-DS jobs re-create communicators much slower than
+	// HF/PyTorch jobs (Table 7: 8.34 s vs ~1.0 s).
+	gpt, _ := ByName("GPT2-S/V100x8")
+	bert, _ := ByName("BERT-B-FT/V100x8")
+	if gpt.NCCLParams().CommInitBase <= 3*bert.NCCLParams().CommInitBase {
+		t.Fatal("Megatron-DS comm init should dwarf HuggingFace's")
+	}
+}
+
+func TestCUDAParamsPerGPUKind(t *testing.T) {
+	v100, _ := ByName("BERT-L-PT")
+	a100, _ := ByName("GPT2-S")
+	if v100.CUDAParams().D2HBandwidth >= a100.CUDAParams().D2HBandwidth {
+		t.Fatal("V100 PCIe should be slower than A100")
+	}
+}
+
+func TestVariantsExist(t *testing.T) {
+	for _, name := range []string{"BERT-B-FT/V100x8", "GPT2-S/V100x8", "PyramidNet/V100x8",
+		"BERT-B-FT/A100x4", "GPT2-S/A100x4", "PyramidNet/A100x4"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("missing variant %s", name)
+		}
+	}
+}
+
+func TestCkptStoreParamsSeriesComposition(t *testing.T) {
+	// The end-to-end checkpoint path is PCIe D2H + serialization + store
+	// write; the three legs must reconstruct the calibrated Table 4 time.
+	w, _ := ByName("BERT-L-PT")
+	sp := w.CkptStoreParams()
+	pcie := w.CUDAParams().D2HBandwidth
+	bytes := float64(w.StateBytesPerGPU())
+	endToEnd := bytes/pcie + bytes/w.SerializeBW() + bytes/sp.WriteBW
+	target := w.CkptTarget.Sec()
+	if endToEnd < target*0.9 || endToEnd > target*1.1 {
+		t.Fatalf("series composition gives %.2fs, target %.2fs", endToEnd, target)
+	}
+	// The store-write leg alone is the small share tmpfs saves (Table 3:
+	// PC_mem ≈ 0.85 × PC_disk).
+	if share := (bytes / sp.WriteBW) / target; share < 0.1 || share > 0.2 {
+		t.Fatalf("store-write share = %.2f, want ~0.15", share)
+	}
+}
