@@ -1,13 +1,23 @@
 // Command jitbench regenerates the paper's evaluation tables (Tables 1–8
 // plus the §5.1 cost estimates and the §6.5 worked example) from the
-// simulation and prints them in the paper's layout.
+// simulation and prints them in the paper's layout, followed by the
+// peer-shelter comparison (table 9): steady-state overhead versus
+// catastrophic-failure cost for PC_disk, UserJIT+PC_1/day, PeerShelter
+// and UserJIT+Peer.
 //
 // Usage:
 //
-//	jitbench               # all tables
-//	jitbench -table 5      # one table
-//	jitbench -iters 20     # longer measurement runs
-//	jitbench -quick        # small model subset (fast smoke run)
+//	jitbench                              # all tables
+//	jitbench -table 5                     # one table (9 = peer comparison)
+//	jitbench -iters 20                    # longer measurement runs
+//	jitbench -quick                       # small model subset (fast smoke run)
+//	jitbench -table 9 -policies PeerShelter,UserJIT+Peer
+//	                                      # filter the comparison's policies
+//
+// The checked-in reference output lives at docs/jitbench_output.txt;
+// regenerate it after changing the simulation with:
+//
+//	go run ./cmd/jitbench > docs/jitbench_output.txt
 package main
 
 import (
@@ -23,16 +33,22 @@ func main() {
 	iters := flag.Int("iters", 10, "minibatches per measurement run")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	quick := flag.Bool("quick", false, "run a small model subset")
+	policySpec := flag.String("policies", "", "comma-separated policy filter for the peer comparison (e.g. PeerShelter,UserJIT+Peer)")
 	flag.Parse()
 
+	policies, err := experiments.ParsePolicies(*policySpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jitbench: %v\n", err)
+		os.Exit(2)
+	}
 	opt := experiments.Options{Iters: *iters, Seed: *seed}
-	if err := run(*table, opt, *quick); err != nil {
+	if err := run(*table, opt, *quick, policies); err != nil {
 		fmt.Fprintf(os.Stderr, "jitbench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(table int, opt experiments.Options, quick bool) error {
+func run(table int, opt experiments.Options, quick bool, policies []experiments.Policy) error {
 	want := func(n int) bool { return table == 0 || table == n }
 
 	t3models := experiments.Table3Models()
@@ -97,6 +113,17 @@ func run(table int, opt experiments.Options, quick bool) error {
 	}
 	if want(8) {
 		fmt.Println(experiments.RenderTable8(experiments.RunTable8(t4rows, t3rows)).Render())
+	}
+	if want(9) {
+		pmodels := experiments.PeerModels()
+		if quick {
+			pmodels = pmodels[:1]
+		}
+		rows, err := experiments.RunPeerComparison(pmodels, policies, opt)
+		if err != nil {
+			return fmt.Errorf("peer comparison: %w", err)
+		}
+		fmt.Println(experiments.RenderPeerComparison(rows).Render())
 	}
 	if table == 0 {
 		fmt.Println(experiments.DollarCostTable().Render())

@@ -32,6 +32,8 @@ var policies = map[string]core.Policy{
 	"userjit":     core.PolicyUserJIT,
 	"transparent": core.PolicyTransparentJIT,
 	"jit+daily":   core.PolicyJITWithDaily,
+	"peer":        core.PolicyPeerShelter,
+	"jit+peer":    core.PolicyJITWithPeer,
 }
 
 var kinds = map[string]failure.Kind{
@@ -44,7 +46,7 @@ var kinds = map[string]failure.Kind{
 
 func main() {
 	wlName := flag.String("workload", "BERT-B-FT", "workload name (see jitbench -table 2)")
-	policy := flag.String("policy", "transparent", "none|pc_disk|pc_mem|checkfreq|pc_daily|userjit|transparent|jit+daily")
+	policy := flag.String("policy", "transparent", "none|pc_disk|pc_mem|checkfreq|pc_daily|userjit|transparent|jit+daily|peer|jit+peer")
 	iters := flag.Int("iters", 12, "useful minibatches to complete")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	failKind := flag.String("fail", "", "inject failure: gpu-hard|gpu-sticky|driver-corrupt|network-hang|network-error")

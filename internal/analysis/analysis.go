@@ -87,6 +87,63 @@ func WastedTransparentJIT(p Params) float64 {
 	return p.OJit + float64(p.N)*p.F*p.M/2
 }
 
+// FallbackParams extend the §5.2 model to the catastrophic failures JIT
+// checkpointing cannot handle by itself: failures that destroy every
+// healthy replica of some position simultaneously, so no JIT checkpoint
+// of it can be taken and recovery falls back to a second tier.
+type FallbackParams struct {
+	// FCat is the rate of catastrophic (all-replica-loss) failures for
+	// the whole job, per second. It is a small fraction of N·f: most
+	// failures hit a single GPU or node.
+	FCat float64
+	// MeanRollback is the expected work redone per catastrophic failure,
+	// seconds: half the fallback tier's checkpoint interval for a daily
+	// disk checkpoint (43200 s), versus at most one minibatch m for a
+	// per-iteration peer shelter.
+	MeanRollback float64
+}
+
+// DailyFallback returns the fallback term for a 1/day periodic disk
+// companion: mean rollback is half a day.
+func DailyFallback(fCat float64) FallbackParams {
+	return FallbackParams{FCat: fCat, MeanRollback: 43200}
+}
+
+// PeerFallback returns the fallback term for a per-iteration peer
+// shelter: mean rollback is at most one minibatch (the previous
+// iteration's replication may still be in flight, so the sheltered state
+// is at most one iteration old).
+func PeerFallback(fCat float64, p Params) FallbackParams {
+	return FallbackParams{FCat: fCat, MeanRollback: p.M}
+}
+
+// WastedJITWithFallback returns wasted time per GPU per unit useful time
+// for user-level JIT checkpointing combined with a catastrophic fallback
+// tier: eq. 7's terms plus f_cat·(rollback + r) — each catastrophic
+// failure redoes the expected rollback and pays the fixed recovery cost
+// once more.
+func WastedJITWithFallback(p Params, fb FallbackParams) float64 {
+	return WastedUserJIT(p) + fb.FCat*(fb.MeanRollback+p.R)
+}
+
+// PeerReplicationOverhead returns the critical-path overhead per unit
+// useful time of streaming `bytes` of post-optimizer state at `linkBW`
+// bytes/second every minibatch of length m seconds. Replication overlaps
+// the next minibatch's compute, so the overhead is zero while the
+// transfer fits inside a minibatch; only the excess, if any, stalls
+// training. (The bandwidth itself rides along with the gradient
+// all-reduce window — Checkmate-style piggybacking.)
+func PeerReplicationOverhead(bytes int64, linkBW, m float64) float64 {
+	if linkBW <= 0 || m <= 0 {
+		return math.Inf(1)
+	}
+	repl := float64(bytes) / linkBW
+	if repl <= m {
+		return 0
+	}
+	return (repl - m) / m
+}
+
 // DollarCost estimates the monthly cost of failure-wasted GPU time under
 // periodic checkpointing (§5.1): N GPUs, errorsPerDay failures/day for the
 // whole job, each wasting lostHours across all N GPUs, at $/GPU-hour.

@@ -180,3 +180,46 @@ func BenchmarkScaleModel(b *testing.B) {
 		ScaleModel(base, ns)
 	}
 }
+
+// TestPeerFallbackBeatsDailyFallback: for the same catastrophic failure
+// rate, the peer-shelter fallback's wasted time is far below the
+// daily-disk fallback's — rollback shrinks from half a day to one
+// minibatch.
+func TestPeerFallbackBeatsDailyFallback(t *testing.T) {
+	p := Params{O: 5, F: PerDay(0.002), R: 9.9, N: 992, M: 0.418}
+	fCat := 0.01 * float64(p.N) * p.F // 1% of failures destroy all replicas
+	base := WastedUserJIT(p)
+	daily := WastedJITWithFallback(p, DailyFallback(fCat))
+	peer := WastedJITWithFallback(p, PeerFallback(fCat, p))
+	if daily <= base || peer <= base {
+		t.Fatalf("fallback terms not additive: base=%g daily=%g peer=%g", base, daily, peer)
+	}
+	if peer >= daily {
+		t.Fatalf("peer fallback (%g) not cheaper than daily (%g)", peer, daily)
+	}
+	// The gap is the rollback ratio: half a day versus one minibatch.
+	if ratio := (daily - base) / (peer - base); ratio < 1000 {
+		t.Fatalf("daily/peer excess-waste ratio = %.0f, want >= 1000x", ratio)
+	}
+	// Zero catastrophic rate degenerates to plain user-level JIT.
+	if got := WastedJITWithFallback(p, FallbackParams{}); got != base {
+		t.Fatalf("zero-rate fallback = %g, want %g", got, base)
+	}
+}
+
+// TestPeerReplicationOverheadHiddenByOverlap: replication that fits
+// inside one minibatch is free; only the excess stalls training.
+func TestPeerReplicationOverheadHiddenByOverlap(t *testing.T) {
+	// 30 GB state at 12.5 GB/s = 2.4 s transfer.
+	if got := PeerReplicationOverhead(30e9, 12.5e9, 3.0); got != 0 {
+		t.Fatalf("overlapped replication charged %g", got)
+	}
+	// Minibatch 1.2 s: 1.2 s of the 2.4 s transfer is exposed -> 100%.
+	got := PeerReplicationOverhead(30e9, 12.5e9, 1.2)
+	if got < 0.99 || got > 1.01 {
+		t.Fatalf("exposed overhead = %g, want ~1.0", got)
+	}
+	if !math.IsInf(PeerReplicationOverhead(1e9, 0, 1), 1) {
+		t.Fatal("zero bandwidth should be infinite overhead")
+	}
+}

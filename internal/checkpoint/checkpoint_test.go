@@ -382,12 +382,12 @@ func TestDueRespectsInterval(t *testing.T) {
 	}
 }
 
-// Property: RankDir/parseRankDir round trip.
+// Property: RankDir/ParseRankDir round trip.
 func TestRankDirRoundTripProperty(t *testing.T) {
 	f := func(iterRaw, rankRaw uint16) bool {
 		iter, rank := int(iterRaw), int(rankRaw)%10000
 		dir := RankDir("some/job", "jit", iter, rank)
-		gi, gr, ok := parseRankDir(dir)
+		gi, gr, ok := ParseRankDir(dir)
 		return ok && gi == iter && gr == rank
 	}
 	if err := quick.Check(f, nil); err != nil {

@@ -29,8 +29,9 @@ func RankDir(job, policy string, iter, rank int) string {
 	return fmt.Sprintf("%s/ckpt/%s/iter%08d/rank%04d", job, policy, iter, rank)
 }
 
-// parseRankDir extracts (iter, rank) from a RankDir path.
-func parseRankDir(dir string) (iter, rank int, ok bool) {
+// ParseRankDir extracts (iter, rank) from a RankDir path. The peer-shelter
+// tier uses it to enumerate sheltered entries and prune old iterations.
+func ParseRankDir(dir string) (iter, rank int, ok bool) {
 	parts := strings.Split(dir, "/")
 	if len(parts) < 2 {
 		return 0, 0, false
@@ -100,6 +101,18 @@ func Valid(p *vclock.Proc, st *Store, dir string) bool {
 	return ok && length == m.DataLen
 }
 
+// HasComplete reports whether dir holds a complete rank checkpoint using
+// only zero-time metadata lookups (META written last certifies the commit,
+// and the data object must exist). Scheduler-side coverage scans use it
+// where charging store latency per probed entry would distort timing.
+func HasComplete(st *Store, dir string) bool {
+	if n, ok := st.Stat(nil, metaPath(dir)); !ok || n == 0 {
+		return false
+	}
+	_, ok := st.Stat(nil, dataPath(dir))
+	return ok
+}
+
 // ReadRank reads and validates one rank's checkpoint.
 func ReadRank(p *vclock.Proc, st *Store, dir string) (*train.ModelState, error) {
 	m, err := ReadMeta(p, st, dir)
@@ -132,21 +145,63 @@ type Assembly struct {
 // torn rank checkpoints are skipped, so a rank that died mid-save is
 // simply ignored in favour of a replica.
 func Assemble(p *vclock.Proc, st *Store, job, policy string, topo train.Topology) (*Assembly, error) {
-	prefix := fmt.Sprintf("%s/ckpt/%s/", job, policy)
-	// Collect candidate dirs grouped by iteration.
-	byIter := make(map[int][]string)
-	seen := make(map[string]bool)
-	for _, path := range st.List(prefix) {
-		dir := path[:strings.LastIndex(path, "/")]
-		if seen[dir] {
-			continue
+	ma, err := AssembleSources(p, job, []Source{{Store: st, Policy: policy}}, topo)
+	if err != nil {
+		return nil, err
+	}
+	asm := &Assembly{Iter: ma.Iter, Dir: make(map[int]string, len(ma.From))}
+	for r, loc := range ma.From {
+		asm.Dir[r] = loc.Dir
+	}
+	return asm, nil
+}
+
+// Source pairs a checkpoint store with the policy namespace to scan inside
+// it. Multi-tier restore paths (JIT disk checkpoints plus peer-sheltered
+// CPU-memory entries) list one Source per tier.
+type Source struct {
+	Store  *Store
+	Policy string
+}
+
+// Located identifies one rank checkpoint within a specific store.
+type Located struct {
+	Store *Store
+	Dir   string
+}
+
+// MultiAssembly maps each rank of a job to the located checkpoint it
+// should restore from, possibly spanning stores of different tiers.
+type MultiAssembly struct {
+	Iter int
+	From map[int]Located
+}
+
+// AssembleSources builds a consistent restore plan across several
+// checkpoint tiers. Because every tier records the same invariant —
+// Iter = N means "state at the start of minibatch N" — entries from
+// different tiers at the same iteration are interchangeable per position,
+// and the newest iteration where every position is covered by *some*
+// valid entry wins. Within an iteration, earlier sources take precedence
+// (callers list the preferred tier first).
+func AssembleSources(p *vclock.Proc, job string, srcs []Source, topo train.Topology) (*MultiAssembly, error) {
+	byIter := make(map[int][]Located)
+	for si, src := range srcs {
+		prefix := fmt.Sprintf("%s/ckpt/%s/", job, src.Policy)
+		seen := make(map[string]bool)
+		for _, path := range src.Store.List(prefix) {
+			dir := path[:strings.LastIndex(path, "/")]
+			key := fmt.Sprintf("%d|%s", si, dir)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			iter, _, ok := ParseRankDir(dir)
+			if !ok {
+				continue
+			}
+			byIter[iter] = append(byIter[iter], Located{Store: src.Store, Dir: dir})
 		}
-		seen[dir] = true
-		iter, _, ok := parseRankDir(dir)
-		if !ok {
-			continue
-		}
-		byIter[iter] = append(byIter[iter], dir)
 	}
 	iters := make([]int, 0, len(byIter))
 	for it := range byIter {
@@ -155,7 +210,7 @@ func Assemble(p *vclock.Proc, st *Store, job, policy string, topo train.Topology
 	sort.Sort(sort.Reverse(sort.IntSlice(iters)))
 
 	for _, it := range iters {
-		asm, ok := tryAssemble(p, st, byIter[it], it, topo)
+		asm, ok := tryAssembleSources(p, byIter[it], it, topo)
 		if ok {
 			return asm, nil
 		}
@@ -163,39 +218,30 @@ func Assemble(p *vclock.Proc, st *Store, job, policy string, topo train.Topology
 	return nil, ErrUnassembled
 }
 
-// positionKey identifies ranks whose checkpoints are interchangeable.
-func positionKey(topo train.Topology, rank int) string {
-	d, pp, tt := topo.Coords(rank)
-	if topo.FSDP() {
-		return fmt.Sprintf("p%d.t%d.s%d", pp, tt, d%topo.FSDPShard)
-	}
-	return fmt.Sprintf("p%d.t%d", pp, tt)
-}
-
-func tryAssemble(p *vclock.Proc, st *Store, dirs []string, iter int, topo train.Topology) (*Assembly, bool) {
-	// Valid checkpoint per position.
-	havePos := make(map[string]string)
-	for _, dir := range dirs {
-		_, rank, ok := parseRankDir(dir)
+func tryAssembleSources(p *vclock.Proc, cands []Located, iter int, topo train.Topology) (*MultiAssembly, bool) {
+	// First valid checkpoint per position, in source order.
+	havePos := make(map[string]Located)
+	for _, c := range cands {
+		_, rank, ok := ParseRankDir(c.Dir)
 		if !ok || rank >= topo.World() {
 			continue
 		}
-		key := positionKey(topo, rank)
+		key := topo.PositionKey(rank)
 		if _, done := havePos[key]; done {
 			continue
 		}
-		if Valid(p, st, dir) {
-			havePos[key] = dir
+		if Valid(p, c.Store, c.Dir) {
+			havePos[key] = c
 		}
 	}
 	// Every position must be covered.
-	asm := &Assembly{Iter: iter, Dir: make(map[int]string)}
+	asm := &MultiAssembly{Iter: iter, From: make(map[int]Located)}
 	for r := 0; r < topo.World(); r++ {
-		dir, ok := havePos[positionKey(topo, r)]
+		loc, ok := havePos[topo.PositionKey(r)]
 		if !ok {
 			return nil, false
 		}
-		asm.Dir[r] = dir
+		asm.From[r] = loc
 	}
 	return asm, true
 }

@@ -67,6 +67,19 @@ const (
 	// every replica of some position falls back to the most recent
 	// periodic checkpoint.
 	PolicyJITWithDaily
+	// PolicyPeerShelter replicates every iteration's post-optimizer state
+	// into peer CPU memory in other failure domains (internal/peerckpt),
+	// overlapped with the next minibatch. Failure-time JIT flushes also go
+	// to the shelter instead of disk, so recovery never touches remote
+	// storage and any failure — including one destroying every replica of
+	// a shard — rolls back at most one minibatch.
+	PolicyPeerShelter
+	// PolicyJITWithPeer combines user-level JIT checkpointing to disk
+	// (the common-case path) with per-iteration peer-shelter replication
+	// replacing the daily-disk catastrophic fallback of
+	// PolicyJITWithDaily: when every replica of a position is lost, the
+	// sheltered copy is at most one iteration old, versus up to a day.
+	PolicyJITWithPeer
 )
 
 // String renders the policy as the paper names it.
@@ -88,6 +101,10 @@ func (p Policy) String() string {
 		return "TransparentJIT"
 	case PolicyJITWithDaily:
 		return "UserJIT+PC_1/day"
+	case PolicyPeerShelter:
+		return "PeerShelter"
+	case PolicyJITWithPeer:
+		return "UserJIT+Peer"
 	default:
 		return fmt.Sprintf("Policy(%d)", int(p))
 	}
@@ -111,11 +128,27 @@ func (p Policy) PeriodicKind() (checkpoint.PeriodicKind, bool) {
 
 // UserLevelJIT reports whether the policy includes the user-level JIT
 // library (§3).
-func (p Policy) UserLevelJIT() bool { return p == PolicyUserJIT || p == PolicyJITWithDaily }
+func (p Policy) UserLevelJIT() bool {
+	return p == PolicyUserJIT || p == PolicyJITWithDaily ||
+		p == PolicyPeerShelter || p == PolicyJITWithPeer
+}
+
+// DiskJIT reports whether the policy's failure-time JIT flush targets
+// persistent storage (versus the peer shelter).
+func (p Policy) DiskJIT() bool {
+	return p == PolicyUserJIT || p == PolicyJITWithDaily || p == PolicyJITWithPeer
+}
+
+// UsesPeerShelter reports whether the policy runs the peer-to-peer
+// in-memory checkpoint tier (internal/peerckpt).
+func (p Policy) UsesPeerShelter() bool {
+	return p == PolicyPeerShelter || p == PolicyJITWithPeer
+}
 
 // IsJIT reports whether the policy is one of the paper's contributions.
 func (p Policy) IsJIT() bool {
-	return p == PolicyUserJIT || p == PolicyTransparentJIT || p == PolicyJITWithDaily
+	return p == PolicyUserJIT || p == PolicyTransparentJIT || p == PolicyJITWithDaily ||
+		p == PolicyPeerShelter || p == PolicyJITWithPeer
 }
 
 // Solution is a row of the paper's Table 1.

@@ -12,6 +12,7 @@ import (
 	"jitckpt/internal/intercept"
 	"jitckpt/internal/metrics"
 	"jitckpt/internal/nccl"
+	"jitckpt/internal/peerckpt"
 	"jitckpt/internal/proxy"
 	"jitckpt/internal/scheduler"
 	"jitckpt/internal/train"
@@ -86,6 +87,9 @@ type RunResult struct {
 	// ItersExecuted counts every minibatch executed, including redone
 	// ones.
 	ItersExecuted int
+	// Peer summarizes the peer-shelter tier's replication activity
+	// (UsesPeerShelter policies only).
+	Peer peerckpt.Stats
 }
 
 // OptimalInterval computes the periodic-checkpoint interval 1/c* for a
@@ -142,6 +146,8 @@ type harness struct {
 	kernels cuda.Registry
 
 	placement scheduler.Placement
+	shelter   *peerckpt.Shelter
+	peerPlan  map[int][]int
 	gen       int
 
 	res        *RunResult
@@ -178,6 +184,43 @@ func (h *harness) run() (*RunResult, error) {
 	h.iterStarts = make(map[int]vclock.Time)
 	h.refRank = wl.Topo.Rank(0, wl.Topo.P-1, 0)
 
+	if cfg.Policy.UsesPeerShelter() {
+		if wl.Nodes < 2 {
+			return nil, errors.New("core: peer-shelter policies need at least 2 nodes (no peer failure domain otherwise)")
+		}
+		h.shelter = peerckpt.NewShelter(h.env, "job", peerckpt.Params{
+			LinkBandwidth: wl.PeerLinkBandwidth(),
+		})
+		// Peer replication rides along with the gradient all-reduce traffic
+		// (Checkmate-style piggybacking): record each all-reduce window so
+		// the shelter can report its relative bandwidth cost.
+		h.engine.SetObserver(func(cd nccl.CollectiveDone) {
+			if cd.Kind == "allreduce" {
+				h.shelter.NotePiggyback(cd.Bytes)
+			}
+		})
+	}
+
+	// nodeOf resolves the node currently hosting a rank (for whole-host
+	// failure injection and shelter bookkeeping).
+	nodeOf := func(rank int) *gpu.Node {
+		var dev *gpu.Device
+		if h.deviceOf != nil {
+			dev = h.deviceOf(rank)
+		} else {
+			dev = h.placement[rank]
+		}
+		if dev == nil {
+			return nil
+		}
+		for _, n := range h.cluster.Nodes {
+			if n.ID == dev.NodeID {
+				return n
+			}
+		}
+		return nil
+	}
+
 	// Failure injector resolves targets against the current placement.
 	injector := &failure.Injector{
 		Env: h.env,
@@ -202,6 +245,19 @@ func (h *harness) run() (*RunResult, error) {
 			}
 			return h.gen
 		},
+		NodeOf: nodeOf,
+	}
+	if h.shelter != nil {
+		// A whole-host failure takes its sheltered entries with it the
+		// instant it happens — not at incarnation teardown.
+		injector.OnInject = func(inj failure.Injection) {
+			if inj.Kind != failure.NodeDown {
+				return
+			}
+			if n := nodeOf(inj.Rank); n != nil {
+				h.shelter.MarkNodeLost(n.ID)
+			}
+		}
 	}
 	injector.Start(cfg.Failures)
 	h.injector = injector
@@ -343,6 +399,9 @@ func (h *harness) finish() {
 
 	if h.collectReports != nil {
 		h.collectReports()
+	}
+	if h.shelter != nil {
+		res.Peer = h.shelter.Stats()
 	}
 	mb := res.Minibatch
 	acct := metrics.Accounting{N: h.cfg.WL.GPUs()}
@@ -499,6 +558,17 @@ func (h *harness) runOneIncarnation(p *vclock.Proc) incarnationEnd {
 		return endHorizon
 	}
 	h.placement = placement
+	if h.shelter != nil {
+		// Failure-domain-aware shelter placement: each rank's state goes to
+		// host nodes outside its own (and, when possible, outside every
+		// data-parallel replica's) failure domain.
+		plan, err := scheduler.PeerPlan(placement, wl.Topo, h.shelter.Params().Copies)
+		if err != nil {
+			h.env.Tracef("harness: peer plan failed: %v", err)
+			return endHorizon
+		}
+		h.peerPlan = plan
+	}
 	// lastBeat entries appear when a rank starts its first minibatch;
 	// the heartbeat watchdog ignores ranks still in setup (communicator
 	// rendezvous and checkpoint restore legitimately take tens of
@@ -519,6 +589,7 @@ func (h *harness) runOneIncarnation(p *vclock.Proc) incarnationEnd {
 		layer  *intercept.Layer
 		ujit   *UserLevelRank
 		pc     *checkpoint.Periodic
+		rep    *peerckpt.Replicator
 		proc   *vclock.Proc
 	}
 	stacks := make([]*rankStack, world)
@@ -554,7 +625,21 @@ func (h *harness) runOneIncarnation(p *vclock.Proc) incarnationEnd {
 				Store: h.disk, Monitor: h.monitor,
 				StateBytes: wl.StateBytesPerGPU(), SerializeBW: wl.SerializeBW(),
 			}
+			if cfg.Policy == PolicyPeerShelter {
+				// The failure-time JIT flush also goes to peer CPU memory:
+				// recovery never touches remote storage.
+				ownNode := placement[r].NodeID
+				hosts := h.peerPlan[r]
+				st.ujit.Namespace = peerckpt.PolicyName
+				st.ujit.PickStore = func() *checkpoint.Store {
+					return h.shelter.FlushStore(ownNode, hosts)
+				}
+			}
 			st.layer.SetOnFault(st.ujit.Hook())
+		}
+		if h.shelter != nil {
+			st.rep = h.shelter.NewReplicator(r, placement[r], h.peerPlan[r],
+				wl.StateBytesPerGPU(), wl.CUDAParams().D2HBandwidth)
 		}
 		if kind, isPeriodic := cfg.Policy.PeriodicKind(); isPeriodic {
 			store := h.disk
@@ -593,6 +678,11 @@ func (h *harness) runOneIncarnation(p *vclock.Proc) incarnationEnd {
 					h.monitor.Notify(scheduler.Event{Kind: scheduler.EvRankExited, Rank: r, Iter: st.worker.Iter(), Err: err})
 					failed.Trigger()
 					return
+				}
+				if st.rep != nil && st.worker.Iter() < cfg.Iters {
+					// Stream the post-optimizer state to the shelter hosts,
+					// overlapped with the next minibatch's compute.
+					st.rep.Offer(st.worker)
 				}
 				if st.pc != nil && st.pc.Due(wp.Now()) {
 					stall, err := st.pc.Run(wp, st.worker)
@@ -676,9 +766,17 @@ func (h *harness) runOneIncarnation(p *vclock.Proc) incarnationEnd {
 	// Failure path: for user-level JIT, wait for the checkpoint quorum
 	// before killing the job (§3.3). A catastrophic failure that killed
 	// every replica of some position never forms a quorum; the timeout
-	// hands recovery to the periodic fallback, if configured.
+	// hands recovery to the periodic fallback, if configured. With a peer
+	// shelter, positions whose state survives in peer CPU memory count as
+	// covered up front — a catastrophic failure that destroyed every live
+	// replica of a shard needs no fresh JIT checkpoint for it, so the
+	// quorum forms (often instantly) instead of burning the timeout.
 	if cfg.Policy.UserLevelJIT() {
-		h.monitor.WaitCheckpointQuorum(p, wl.Topo, 2*vclock.Minute)
+		var pre map[string]bool
+		if h.shelter != nil {
+			pre = h.shelter.CoveredPositions(wl.Topo)
+		}
+		h.monitor.WaitCheckpointQuorumCovered(p, wl.Topo, 2*vclock.Minute, pre)
 	}
 	hbStop.Trigger()
 	for _, st := range stacks {
@@ -696,6 +794,16 @@ func (h *harness) runOneIncarnation(p *vclock.Proc) incarnationEnd {
 			h.pool.MarkFailed(placement[r].NodeID)
 		}
 	}
+	// Whole-host failures take their sheltered entries with them (the
+	// injector already marked injection-driven ones; this sweep catches
+	// any other path that failed a node).
+	if h.shelter != nil {
+		for _, n := range h.cluster.Nodes {
+			if n.Failed {
+				h.shelter.MarkNodeLost(n.ID)
+			}
+		}
+	}
 	h.gen++
 	return endFailed
 }
@@ -707,16 +815,16 @@ func (h *harness) hasCheckpoint(p *vclock.Proc) bool {
 			return true
 		}
 	}
-	return false
+	return h.shelter != nil && h.shelter.Any()
 }
 
-// policyNamespaces lists the checkpoint namespaces the policy may restore
-// from. The combined policy restores from whichever of the JIT and
-// periodic checkpoints is newest (§6.3: "the most recent checkpoint will
-// be used").
+// policyNamespaces lists the disk checkpoint namespaces the policy may
+// restore from. The combined policies restore from whichever of the JIT
+// and periodic checkpoints is newest (§6.3: "the most recent checkpoint
+// will be used"); shelter entries are separate sources (restoreSources).
 func (h *harness) policyNamespaces() []string {
 	var out []string
-	if h.cfg.Policy.UserLevelJIT() {
+	if h.cfg.Policy.DiskJIT() {
 		out = append(out, JITPolicyName)
 	}
 	if kind, ok := h.cfg.Policy.PeriodicKind(); ok {
@@ -725,25 +833,32 @@ func (h *harness) policyNamespaces() []string {
 	return out
 }
 
-// restoreRank loads the newest assembled checkpoint (across all of the
-// policy's namespaces) into a worker and charges the fixed
-// job-initialization cost; it reports success.
+// restoreSources lists every store the restore path may assemble from:
+// the policy's disk namespaces first, then the surviving peer-shelter
+// hosts. Cross-tier assembly is valid because every tier records the same
+// invariant — ms.Iter = N means "state at the start of minibatch N".
+func (h *harness) restoreSources() []checkpoint.Source {
+	var srcs []checkpoint.Source
+	for _, ns := range h.policyNamespaces() {
+		srcs = append(srcs, checkpoint.Source{Store: h.disk, Policy: ns})
+	}
+	if h.shelter != nil {
+		srcs = append(srcs, h.shelter.Sources()...)
+	}
+	return srcs
+}
+
+// restoreRank loads the newest assembled checkpoint (across the policy's
+// disk namespaces and any surviving peer-shelter hosts) into a worker and
+// charges the fixed job-initialization cost; it reports success.
 func (h *harness) restoreRank(p *vclock.Proc, w *train.Worker, rank int) bool {
 	t0 := p.Now()
-	var asm *checkpoint.Assembly
-	for _, ns := range h.policyNamespaces() {
-		a, err := checkpoint.Assemble(p, h.disk, "job", ns, h.cfg.WL.Topo)
-		if err != nil {
-			continue
-		}
-		if asm == nil || a.Iter > asm.Iter {
-			asm = a
-		}
-	}
-	if asm == nil {
+	asm, err := checkpoint.AssembleSources(p, "job", h.restoreSources(), h.cfg.WL.Topo)
+	if err != nil {
 		return false
 	}
-	ms, err := checkpoint.ReadRank(p, h.disk, asm.Dir[rank])
+	loc := asm.From[rank]
+	ms, err := checkpoint.ReadRank(p, loc.Store, loc.Dir)
 	if err != nil {
 		return false
 	}

@@ -29,6 +29,14 @@ type UserLevelRank struct {
 	GIL *vclock.Mutex
 	// Store is the shared checkpoint store.
 	Store *checkpoint.Store
+	// Namespace overrides the checkpoint namespace the JIT flush writes
+	// under; empty means JITPolicyName ("jit").
+	Namespace string
+	// PickStore, when set, selects the flush target at save time instead
+	// of Store — the peer-shelter policy uses it to route the failure-time
+	// flush to a surviving host outside this rank's failure domain. A nil
+	// result means no eligible target survives and the save fails.
+	PickStore func() *checkpoint.Store
 	// Monitor is the scheduler's notification sink.
 	Monitor *scheduler.Monitor
 	// StateBytes is the modelled size of the rank's checkpointable state.
@@ -105,8 +113,18 @@ func (u *UserLevelRank) saveCheckpoint(p *vclock.Proc) error {
 	if u.SerializeBW > 0 {
 		p.Sleep(vclock.Time(float64(u.StateBytes) / u.SerializeBW * float64(vclock.Second)))
 	}
-	dir := checkpoint.RankDir(u.Job, JITPolicyName, ms.Iter, u.Rank)
-	if err := checkpoint.WriteRank(p, u.Store, dir, ms, u.StateBytes); err != nil {
+	ns := u.Namespace
+	if ns == "" {
+		ns = JITPolicyName
+	}
+	st := u.Store
+	if u.PickStore != nil {
+		if st = u.PickStore(); st == nil {
+			return fmt.Errorf("core: rank %d JIT flush: no surviving peer host", u.Rank)
+		}
+	}
+	dir := checkpoint.RankDir(u.Job, ns, ms.Iter, u.Rank)
+	if err := checkpoint.WriteRank(p, st, dir, ms, u.StateBytes); err != nil {
 		return fmt.Errorf("core: rank %d JIT write: %w", u.Rank, err)
 	}
 	u.CheckpointDone = true

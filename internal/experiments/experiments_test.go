@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"jitckpt/internal/core"
 	"strings"
 	"testing"
 )
@@ -100,5 +101,52 @@ func TestTable8Composition(t *testing.T) {
 	last := rows[len(rows)-1]
 	if last.N != 8192 || last.WfPeriodic <= last.WfUserJIT {
 		t.Fatalf("JIT must win at 8192: %+v", last)
+	}
+}
+
+func TestPeerComparison(t *testing.T) {
+	rows, err := RunPeerComparison([]string{"GPT2-8B"}, nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(PeerComparisonPolicies()) {
+		t.Fatalf("%d rows, want %d", len(rows), len(PeerComparisonPolicies()))
+	}
+	byPolicy := map[core.Policy]PeerRow{}
+	for _, r := range rows {
+		if !r.Recovered {
+			t.Fatalf("%s/%v did not recover from the catastrophic failure", r.Model, r.Policy)
+		}
+		byPolicy[r.Policy] = r
+	}
+	daily, peer := byPolicy[core.PolicyJITWithDaily], byPolicy[core.PolicyJITWithPeer]
+	if peer.RedoIters > 1 {
+		t.Fatalf("UserJIT+Peer redid %d minibatches, want <= 1", peer.RedoIters)
+	}
+	if daily.RedoIters <= peer.RedoIters {
+		t.Fatalf("daily fallback redid %d <= peer's %d — rollback advantage vanished",
+			daily.RedoIters, peer.RedoIters)
+	}
+	if byPolicy[core.PolicyPeerShelter].ReplShare <= 0 {
+		t.Fatal("peer policies reported no replication traffic")
+	}
+	if rendered := RenderPeerComparison(rows).Render(); len(rendered) == 0 {
+		t.Fatal("empty render")
+	}
+}
+
+func TestParsePolicies(t *testing.T) {
+	got, err := ParsePolicies(" peershelter , UserJIT+Peer ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != core.PolicyPeerShelter || got[1] != core.PolicyJITWithPeer {
+		t.Fatalf("parsed %v", got)
+	}
+	if got, err := ParsePolicies("  "); err != nil || got != nil {
+		t.Fatalf("empty spec: %v %v", got, err)
+	}
+	if _, err := ParsePolicies("PC_disk,nope"); err == nil {
+		t.Fatal("unknown policy accepted")
 	}
 }

@@ -39,6 +39,12 @@ const (
 	NetworkHang
 	// NetworkError is a NCCL async error on a communicator.
 	NetworkError
+	// NodeDown is a whole-host failure: every GPU on the rank's node is
+	// lost *and* the node's CPU memory — including any peer-sheltered
+	// checkpoint entries it held — is gone. This is the failure class that
+	// distinguishes the peer-shelter tier's survival guarantees from plain
+	// GPU failures (where host RAM survives).
+	NodeDown
 )
 
 // String renders the fault kind.
@@ -54,13 +60,15 @@ func (k Kind) String() string {
 		return "network-hang"
 	case NetworkError:
 		return "network-error"
+	case NodeDown:
+		return "node-down"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
 }
 
 // IsTransient reports whether recovery can reuse the same GPU.
-func (k Kind) IsTransient() bool { return k != GPUHard }
+func (k Kind) IsTransient() bool { return k != GPUHard && k != NodeDown }
 
 // Injection is one scheduled fault.
 type Injection struct {
@@ -173,6 +181,9 @@ type Injector struct {
 	CommKeyOf func(rank int) string
 	// GenOf resolves the current generation of a communicator key.
 	GenOf func(key string) int
+	// NodeOf resolves the node currently hosting a rank; required for
+	// NodeDown injections (whole-host loss).
+	NodeOf func(rank int) *gpu.Node
 	// OnInject observes applied injections (metrics, test assertions).
 	OnInject func(inj Injection)
 
@@ -187,6 +198,18 @@ func (in *Injector) Apply(inj Injection) {
 	switch inj.Kind {
 	case GPUHard:
 		in.DeviceOf(inj.Rank).InjectHard()
+	case NodeDown:
+		if in.NodeOf == nil {
+			// Degraded: without a node resolver only the rank's device is
+			// lost.
+			in.DeviceOf(inj.Rank).InjectHard()
+			break
+		}
+		node := in.NodeOf(inj.Rank)
+		node.Failed = true
+		for _, d := range node.Devices {
+			d.InjectHard()
+		}
 	case GPUSticky:
 		in.DeviceOf(inj.Rank).InjectSticky()
 	case DriverCorrupt:

@@ -42,6 +42,7 @@ import (
 	"jitckpt/internal/nccl"
 	"jitckpt/internal/proxy"
 	"jitckpt/internal/replay"
+	"jitckpt/internal/tensor"
 	"jitckpt/internal/vclock"
 )
 
@@ -278,6 +279,28 @@ func (l *Layer) VirtualBufs() []cuda.BufInfo {
 func (l *Layer) PhysBuf(b cuda.Buf) (cuda.Buf, bool) {
 	pb, ok := l.bufs[b]
 	return pb, ok
+}
+
+// BufData is the privileged zero-time buffer read, lifted through the
+// interception layer: the virtual handle is translated and the read is
+// delegated to the wrapped API when it supports one (cuda.Driver does).
+// The peer-replication path uses it to capture post-optimizer state at a
+// minibatch boundary without issuing stream work, so the streaming of that
+// state to peer CPU memory can overlap the next minibatch (§3.1's
+// interception transparency extended to the shelter tier).
+func (l *Layer) BufData(b cuda.Buf) (tensor.Vector, error) {
+	pb, ok := l.bufs[b]
+	if !ok {
+		return nil, badVirtual("buf", b)
+	}
+	type peeker interface {
+		BufData(b cuda.Buf) (tensor.Vector, error)
+	}
+	in, ok := l.inner.(peeker)
+	if !ok {
+		return nil, fmt.Errorf("intercept: wrapped API %T has no privileged buffer read", l.inner)
+	}
+	return in.BufData(pb)
 }
 
 // PhysStream resolves a virtual stream handle.

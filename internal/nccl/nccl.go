@@ -84,10 +84,24 @@ const (
 // Engine is the cluster-wide collective engine: it owns the rendezvous
 // namespace and per-communicator match state.
 type Engine struct {
-	env    *vclock.Env
-	params Params
-	inits  map[initKey]*initState
-	groups map[groupKey]*commGroup
+	env      *vclock.Env
+	params   Params
+	inits    map[initKey]*initState
+	groups   map[groupKey]*commGroup
+	observer func(CollectiveDone)
+}
+
+// CollectiveDone describes one completed collective operation. The
+// peer-shelter tier observes these as its piggyback windows: a completed
+// gradient all-reduce marks both the traffic replication can ride along
+// with (Checkmate-style) and the instant all replicas hold identical
+// reduced gradients.
+type CollectiveDone struct {
+	Key   string
+	Gen   int
+	Kind  string
+	Bytes int64
+	Ranks int
 }
 
 type initKey struct {
@@ -114,6 +128,11 @@ func NewEngine(env *vclock.Env, params Params) *Engine {
 
 // Params returns the engine's interconnect parameters.
 func (e *Engine) Params() Params { return e.params }
+
+// SetObserver installs a callback invoked (in the last arriver's process,
+// at completion time) for every successful collective. One observer at a
+// time; nil uninstalls.
+func (e *Engine) SetObserver(fn func(CollectiveDone)) { e.observer = fn }
 
 // commGroup is the state shared by all ranks of one communicator
 // generation.
@@ -306,6 +325,9 @@ func (g *commGroup) arriveColl(p *vclock.Proc, kind string, seq, rank int, in, o
 			gpu.TransferTime(costBytes(bytes, g.nranks), g.engine.params.BusBandwidth)
 		p.Sleep(cost)
 		err := cs.err
+		if err == nil && g.engine.observer != nil {
+			g.engine.observer(CollectiveDone{Key: g.key, Gen: g.gen, Kind: kind, Bytes: bytes, Ranks: g.nranks})
+		}
 		cs.ready.Trigger()
 		delete(g.colls, seq)
 		return err

@@ -124,6 +124,69 @@ func Place(nodes []*gpu.Node, world int) (Placement, error) {
 // NodeOf returns the node ID hosting a rank.
 func (pl Placement) NodeOf(rank int) int { return pl[rank].NodeID }
 
+// ErrNoPeerHost is returned when a rank cannot be assigned any shelter
+// host outside its own failure domain.
+var ErrNoPeerHost = errors.New("scheduler: no peer host outside the rank's failure domain")
+
+// PeerPlan assigns each rank the nodes that will shelter its peer-replicated
+// checkpoint entries in CPU memory: `copies` hosts per rank, walking the
+// job's nodes ring-wise from the rank's own node. Placement is
+// failure-domain aware at two strengths: a shelter host is *never* the
+// rank's own node (losing one host must not take a rank's state and its
+// shelter copy together), and when enough nodes exist it also avoids every
+// node hosting a data-parallel replica of the rank's position — so a burst
+// of node losses that destroys all replicas of a shard still leaves a
+// sheltered copy elsewhere. It fails with ErrNoPeerHost when the job spans
+// too few nodes to place even the weaker guarantee.
+func PeerPlan(pl Placement, topo train.Topology, copies int) (map[int][]int, error) {
+	if copies <= 0 {
+		copies = 1
+	}
+	nodeSet := make(map[int]bool)
+	for r := 0; r < topo.World(); r++ {
+		nodeSet[pl.NodeOf(r)] = true
+	}
+	nodes := make([]int, 0, len(nodeSet))
+	for n := range nodeSet {
+		nodes = append(nodes, n)
+	}
+	sort.Ints(nodes)
+	idx := make(map[int]int, len(nodes))
+	for i, n := range nodes {
+		idx[n] = i
+	}
+
+	plan := make(map[int][]int, topo.World())
+	for r := 0; r < topo.World(); r++ {
+		own := pl.NodeOf(r)
+		avoid := map[int]bool{own: true}
+		for _, rr := range topo.ReplicaRanks(r) {
+			avoid[pl.NodeOf(rr)] = true
+		}
+		var hosts []int
+		taken := make(map[int]bool)
+		for pass := 0; pass < 2 && len(hosts) < copies; pass++ {
+			for i := 1; i <= len(nodes) && len(hosts) < copies; i++ {
+				n := nodes[(idx[own]+i)%len(nodes)]
+				if n == own || taken[n] {
+					continue
+				}
+				if pass == 0 && avoid[n] {
+					continue
+				}
+				taken[n] = true
+				hosts = append(hosts, n)
+			}
+		}
+		if len(hosts) < copies {
+			return nil, fmt.Errorf("%w: rank %d on node %d, %d nodes total",
+				ErrNoPeerHost, r, own, len(nodes))
+		}
+		plan[r] = hosts
+	}
+	return plan, nil
+}
+
 // EventKind classifies monitor notifications.
 type EventKind int
 
@@ -171,7 +234,19 @@ func (m *Monitor) Log() []Event { return m.log }
 // slot) has reported EvCheckpointDone — the §3.3 restart precondition. It
 // returns the quorum iteration, or ok=false on timeout.
 func (m *Monitor) WaitCheckpointQuorum(p *vclock.Proc, topo train.Topology, timeout vclock.Time) (iter int, ok bool) {
-	need := positionCount(topo)
+	return m.WaitCheckpointQuorumCovered(p, topo, timeout, nil)
+}
+
+// WaitCheckpointQuorumCovered is WaitCheckpointQuorum with a set of
+// positions that count as already covered at every iteration — positions
+// whose state is held by a surviving peer-shelter entry and therefore
+// needs no fresh JIT checkpoint. When the pre-covered set alone spans all
+// positions the wait returns immediately.
+func (m *Monitor) WaitCheckpointQuorumCovered(p *vclock.Proc, topo train.Topology, timeout vclock.Time, pre map[string]bool) (iter int, ok bool) {
+	need := topo.PositionCount()
+	if len(pre) >= need {
+		return 0, true
+	}
 	cover := make(map[int]map[string]bool) // iter -> positions covered
 	check := func(ev Event) (int, bool) {
 		if ev.Kind != EvCheckpointDone {
@@ -179,8 +254,11 @@ func (m *Monitor) WaitCheckpointQuorum(p *vclock.Proc, topo train.Topology, time
 		}
 		if cover[ev.Iter] == nil {
 			cover[ev.Iter] = make(map[string]bool)
+			for pos := range pre {
+				cover[ev.Iter][pos] = true
+			}
 		}
-		cover[ev.Iter][positionOf(topo, ev.Rank)] = true
+		cover[ev.Iter][topo.PositionKey(ev.Rank)] = true
 		if len(cover[ev.Iter]) == need {
 			return ev.Iter, true
 		}
@@ -206,21 +284,6 @@ func (m *Monitor) WaitCheckpointQuorum(p *vclock.Proc, topo train.Topology, time
 			return it, true
 		}
 	}
-}
-
-func positionCount(topo train.Topology) int {
-	if topo.FSDP() {
-		return topo.P * topo.T * topo.FSDPShard
-	}
-	return topo.P * topo.T
-}
-
-func positionOf(topo train.Topology, rank int) string {
-	d, p, t := topo.Coords(rank)
-	if topo.FSDP() {
-		return fmt.Sprintf("p%d.t%d.s%d", p, t, d%topo.FSDPShard)
-	}
-	return fmt.Sprintf("p%d.t%d", p, t)
 }
 
 // CRIU models checkpoint/restore of worker CPU processes. The payload is

@@ -174,3 +174,103 @@ func TestCRIUChargesTime(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// peerPlanPlacement builds a placement of world ranks over nodes with
+// perNode devices each, rank-major — the harness's layout.
+func peerPlanPlacement(t *testing.T, nodes, perNode, world int) Placement {
+	t.Helper()
+	env := vclock.NewEnv(1)
+	c := gpu.NewCluster(env, nodes, perNode, 1<<30)
+	pl, err := Place(c.Nodes, world)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+func TestPeerPlanNeverOwnFailureDomain(t *testing.T) {
+	cases := []struct {
+		nodes, perNode int
+		topo           train.Topology
+		copies         int
+	}{
+		{4, 1, train.Topology{D: 2, P: 2, T: 1}, 1},
+		{2, 2, train.Topology{D: 4, P: 1, T: 1}, 1},
+		{4, 2, train.Topology{D: 2, P: 2, T: 2}, 2},
+		{3, 4, train.Topology{D: 3, P: 2, T: 2}, 2},
+	}
+	for _, tc := range cases {
+		pl := peerPlanPlacement(t, tc.nodes, tc.perNode, tc.topo.World())
+		plan, err := PeerPlan(pl, tc.topo, tc.copies)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		for r := 0; r < tc.topo.World(); r++ {
+			hosts := plan[r]
+			if len(hosts) != tc.copies {
+				t.Fatalf("%+v rank %d: %d hosts, want %d", tc, r, len(hosts), tc.copies)
+			}
+			seen := map[int]bool{}
+			for _, n := range hosts {
+				if n == pl.NodeOf(r) {
+					t.Errorf("%+v rank %d sheltered in its own failure domain (node %d)", tc, r, n)
+				}
+				if seen[n] {
+					t.Errorf("%+v rank %d: duplicate host %d", tc, r, n)
+				}
+				seen[n] = true
+			}
+		}
+	}
+}
+
+// TestPeerPlanAvoidsReplicaDomainsWhenPossible: with one rank per node,
+// a rank's shelter host must also differ from every node hosting a
+// data-parallel replica of its position — so losing ALL replica nodes at
+// once still leaves the sheltered copy standing.
+func TestPeerPlanAvoidsReplicaDomainsWhenPossible(t *testing.T) {
+	topo := train.Topology{D: 2, P: 2, T: 1}
+	pl := peerPlanPlacement(t, 4, 1, topo.World())
+	plan, err := PeerPlan(pl, topo, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < topo.World(); r++ {
+		bad := map[int]bool{pl.NodeOf(r): true}
+		for _, rr := range topo.ReplicaRanks(r) {
+			bad[pl.NodeOf(rr)] = true
+		}
+		for _, n := range plan[r] {
+			if bad[n] {
+				t.Errorf("rank %d sheltered on replica-domain node %d", r, n)
+			}
+		}
+	}
+}
+
+func TestPeerPlanSingleNodeFails(t *testing.T) {
+	topo := train.Topology{D: 4, P: 1, T: 1}
+	pl := peerPlanPlacement(t, 1, 4, topo.World())
+	if _, err := PeerPlan(pl, topo, 1); !errors.Is(err, ErrNoPeerHost) {
+		t.Fatalf("err = %v, want ErrNoPeerHost", err)
+	}
+}
+
+// TestPeerPlanDegradesGracefully: when replica domains cannot all be
+// avoided (2 nodes, replicas on both), the plan still never picks the
+// rank's own node.
+func TestPeerPlanDegradesGracefully(t *testing.T) {
+	topo := train.Topology{D: 4, P: 1, T: 1}
+	pl := peerPlanPlacement(t, 2, 2, topo.World())
+	plan, err := PeerPlan(pl, topo, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < topo.World(); r++ {
+		for _, n := range plan[r] {
+			if n == pl.NodeOf(r) {
+				t.Errorf("rank %d sheltered on own node %d", r, n)
+			}
+		}
+	}
+}

@@ -57,6 +57,53 @@ func (w *Worker) SaveModelState(p *vclock.Proc) (*ModelState, error) {
 	return ms, nil
 }
 
+// statePeeker is the privileged zero-time buffer read some device APIs
+// expose outside the cuda.API interface (cuda.Driver.BufData, and the
+// interception layer's virtual-handle passthrough). The peer-replication
+// path uses it to capture state at a minibatch boundary without touching
+// the worker's streams; the caller charges transfer time separately.
+type statePeeker interface {
+	BufData(b cuda.Buf) (tensor.Vector, error)
+}
+
+// PeekModelState captures the rank's parameter and optimizer state through
+// the privileged BufData path, without issuing stream work or charging
+// virtual time. It is only meaningful at a minibatch boundary (after
+// RunIter returns, the compute stream is synchronized, so buffer contents
+// are the post-optimizer state of the iteration just finished and Iter
+// names the next minibatch). Callers model the actual D2H staging cost
+// themselves — that is what lets replication overlap the next minibatch.
+func (w *Worker) PeekModelState() (*ModelState, error) {
+	pk, ok := w.cfg.API.(statePeeker)
+	if !ok {
+		return nil, fmt.Errorf("train: device API %T has no privileged buffer read", w.cfg.API)
+	}
+	ms := &ModelState{Iter: w.iter, Rank: w.cfg.Rank, Tensors: make(map[string]tensor.Vector)}
+	peek := func(b cuda.Buf, tag string) error {
+		if b == 0 {
+			return nil
+		}
+		data, err := pk.BufData(b)
+		if err != nil {
+			return fmt.Errorf("train: peek %s: %w", tag, err)
+		}
+		ms.Tensors[TensorName(tag, 0)] = data
+		return nil
+	}
+	for _, ls := range w.layers {
+		if err := peek(ls.w, fmt.Sprintf("%sL%d.w", TagParamPrefix, ls.global)); err != nil {
+			return nil, err
+		}
+		if err := peek(ls.m, fmt.Sprintf("%sL%d.m", TagOptPrefix, ls.global)); err != nil {
+			return nil, err
+		}
+		if err := peek(ls.v, fmt.Sprintf("%sL%d.v", TagOptPrefix, ls.global)); err != nil {
+			return nil, err
+		}
+	}
+	return ms, nil
+}
+
 // LoadModelState restores parameter and optimizer buffers from a saved
 // state (typically a replica's) and fast-forwards the iteration counter.
 func (w *Worker) LoadModelState(p *vclock.Proc, ms *ModelState) error {

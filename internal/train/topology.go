@@ -91,6 +91,27 @@ func (t Topology) ReplicaRanks(rank int) []int {
 	return out
 }
 
+// PositionKey identifies the (pipeline stage × tensor partition × shard
+// slot) position whose ranks hold interchangeable parameter and optimizer
+// state. Checkpoint assembly, the §3.3 restart quorum, and peer-shelter
+// coverage all key on it.
+func (t Topology) PositionKey(rank int) string {
+	d, p, tt := t.Coords(rank)
+	if t.FSDP() {
+		return fmt.Sprintf("p%d.t%d.s%d", p, tt, d%t.FSDPShard)
+	}
+	return fmt.Sprintf("p%d.t%d", p, tt)
+}
+
+// PositionCount returns how many distinct positions the topology has — the
+// number of PositionKey values that must be covered for a full restore.
+func (t Topology) PositionCount() int {
+	if t.FSDP() {
+		return t.P * t.T * t.FSDPShard
+	}
+	return t.P * t.T
+}
+
 // HasReplica reports whether JIT recovery is possible for this topology
 // (at least one data-parallel replica of every rank's state exists).
 func (t Topology) HasReplica() bool {

@@ -61,6 +61,13 @@ type Workload struct {
 	// errors (§4.3, Table 6).
 	CRIU vclock.Time
 
+	// PeerLinkBW is the modelled point-to-point bandwidth (bytes/second)
+	// from a rank to a peer node's CPU memory, used by the peer-shelter
+	// replication tier. 0 selects the default (100 Gb/s-class datacenter
+	// Ethernet/IB, ~12.5 GB/s — the link the gradient all-reduce already
+	// crosses, which is what lets replication piggyback on it).
+	PeerLinkBW float64
+
 	// Logical model geometry for the real-math simulation.
 	Layers, Hidden int
 }
@@ -111,6 +118,15 @@ func (w Workload) RestoreInit() vclock.Time {
 		init = 0
 	}
 	return init
+}
+
+// PeerLinkBandwidth returns the rank→peer-CPU-memory streaming bandwidth
+// for the peer-shelter tier.
+func (w Workload) PeerLinkBandwidth() float64 {
+	if w.PeerLinkBW > 0 {
+		return w.PeerLinkBW
+	}
+	return 12.5e9
 }
 
 // NCCLParams returns the interconnect parameters for this workload.
