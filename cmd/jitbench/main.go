@@ -8,11 +8,14 @@
 // Usage:
 //
 //	jitbench                              # all tables
-//	jitbench -table 5                     # one table (9 = peer comparison)
+//	jitbench -table 5                     # one table (9 = peer comparison,
+//	                                      #            10 = chaos suite)
 //	jitbench -iters 20                    # longer measurement runs
 //	jitbench -quick                       # small model subset (fast smoke run)
 //	jitbench -table 9 -policies PeerShelter,UserJIT+Peer
 //	                                      # filter the comparison's policies
+//	jitbench -table 10 -mix "gpu-hard:0.3,network-hang:0.7"
+//	                                      # chaos suite under a custom fault mix
 //
 // The checked-in reference output lives at docs/jitbench_output.txt;
 // regenerate it after changing the simulation with:
@@ -26,6 +29,7 @@ import (
 	"os"
 
 	"jitckpt/internal/experiments"
+	"jitckpt/internal/failure"
 )
 
 func main() {
@@ -34,6 +38,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	quick := flag.Bool("quick", false, "run a small model subset")
 	policySpec := flag.String("policies", "", "comma-separated policy filter for the peer comparison (e.g. PeerShelter,UserJIT+Peer)")
+	mixSpec := flag.String("mix", "", "failure-kind mix for the chaos suite, e.g. \"gpu-hard:0.2,network-hang:0.5\" (empty = paper default)")
 	flag.Parse()
 
 	policies, err := experiments.ParsePolicies(*policySpec)
@@ -41,14 +46,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "jitbench: %v\n", err)
 		os.Exit(2)
 	}
+	mix, err := failure.ParseMix(*mixSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jitbench: %v\n", err)
+		os.Exit(2)
+	}
 	opt := experiments.Options{Iters: *iters, Seed: *seed}
-	if err := run(*table, opt, *quick, policies); err != nil {
+	if err := run(*table, opt, *quick, policies, mix); err != nil {
 		fmt.Fprintf(os.Stderr, "jitbench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(table int, opt experiments.Options, quick bool, policies []experiments.Policy) error {
+func run(table int, opt experiments.Options, quick bool, policies []experiments.Policy, mix map[failure.Kind]float64) error {
 	want := func(n int) bool { return table == 0 || table == n }
 
 	t3models := experiments.Table3Models()
@@ -124,6 +134,19 @@ func run(table int, opt experiments.Options, quick bool, policies []experiments.
 			return fmt.Errorf("peer comparison: %w", err)
 		}
 		fmt.Println(experiments.RenderPeerComparison(rows).Render())
+	}
+	if want(10) {
+		copt := experiments.DefaultChaosOptions()
+		copt.Mix = mix
+		copt.Policies = policies
+		if quick {
+			copt.Seeds = copt.Seeds[:1]
+		}
+		rows, err := experiments.RunChaos(copt)
+		if err != nil {
+			return fmt.Errorf("chaos suite: %w", err)
+		}
+		fmt.Println(experiments.RenderChaos(rows).Render())
 	}
 	if table == 0 {
 		fmt.Println(experiments.DollarCostTable().Render())

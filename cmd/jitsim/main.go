@@ -8,15 +8,19 @@
 //	jitsim -workload BERT-B-FT -policy transparent -fail network-hang -fail-iter 5
 //	jitsim -workload GPT2-18B -policy userjit -fail gpu-hard -iters 12
 //	jitsim -workload GPT2-S -policy pc_disk -iters 30 -trace
+//	jitsim -workload BERT-B-FT -policy userjit -chaos -fail gpu-hard
+//	jitsim -policy pc_disk -fail-rate 200 -mix "gpu-hard:0.5,network-hang:0.5"
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"sort"
 	"strings"
 
+	"jitckpt/internal/checkpoint"
 	"jitckpt/internal/core"
 	"jitckpt/internal/failure"
 	"jitckpt/internal/vclock"
@@ -36,23 +40,19 @@ var policies = map[string]core.Policy{
 	"jit+peer":    core.PolicyJITWithPeer,
 }
 
-var kinds = map[string]failure.Kind{
-	"gpu-hard":       failure.GPUHard,
-	"gpu-sticky":     failure.GPUSticky,
-	"driver-corrupt": failure.DriverCorrupt,
-	"network-hang":   failure.NetworkHang,
-	"network-error":  failure.NetworkError,
-}
-
 func main() {
 	wlName := flag.String("workload", "BERT-B-FT", "workload name (see jitbench -table 2)")
 	policy := flag.String("policy", "transparent", "none|pc_disk|pc_mem|checkfreq|pc_daily|userjit|transparent|jit+daily|peer|jit+peer")
 	iters := flag.Int("iters", 12, "useful minibatches to complete")
 	seed := flag.Int64("seed", 1, "simulation seed")
-	failKind := flag.String("fail", "", "inject failure: gpu-hard|gpu-sticky|driver-corrupt|network-hang|network-error")
+	failKind := flag.String("fail", "", "inject failure: gpu-hard|gpu-sticky|driver-corrupt|network-hang|network-error|node-down|storage-fault|rack-down")
 	failIter := flag.Int("fail-iter", 5, "iteration the failure fires in")
 	failFrac := flag.Float64("fail-frac", 0.4, "fraction of the minibatch before the failure fires")
 	failRank := flag.Int("fail-rank", -1, "rank to fail (-1 = last data-parallel replica)")
+	failRate := flag.Float64("fail-rate", 0, "Poisson failure rate in failures per GPU-day (0 = off); kinds drawn from -mix")
+	mixSpec := flag.String("mix", "", "failure-kind mix for -fail-rate, e.g. \"gpu-hard:0.2,network-hang:0.5\" (empty = paper default)")
+	chaos := flag.Bool("chaos", false, "chaos mode: randomly fail/tear/bit-flip checkpoint-store writes (seeded by -seed)")
+	chaosP := flag.Float64("chaos-p", 0.12, "per-write fault probability in -chaos mode")
 	trace := flag.Bool("trace", false, "print the simulation trace to stderr")
 	lossTail := flag.Int("loss", 5, "loss-trace entries to print")
 	flag.Parse()
@@ -75,7 +75,7 @@ func main() {
 		}
 	}
 	if *failKind != "" {
-		kind, ok := kinds[*failKind]
+		kind, ok := failure.KindByName(*failKind)
 		if !ok {
 			fatal(fmt.Errorf("unknown failure kind %q", *failKind))
 		}
@@ -84,6 +84,24 @@ func main() {
 			rank = wl.Topo.Rank(wl.Topo.D-1, 0, 0)
 		}
 		cfg.IterFailures = []core.IterInjection{{Iter: *failIter, Frac: *failFrac, Rank: rank, Kind: kind}}
+	}
+	if *failRate > 0 {
+		mix, err := failure.ParseMix(*mixSpec)
+		if err != nil {
+			fatal(err)
+		}
+		horizon := vclock.Time(*iters) * wl.Minibatch * 3
+		cfg.Failures = failure.PoissonPlan(rand.New(rand.NewSource(*seed)), wl.GPUs(), *failRate, horizon, mix)
+		fmt.Fprintf(os.Stderr, "jitsim: sampled %d failures over %v (MTBF %v)\n",
+			len(cfg.Failures.Injections), horizon, failure.MTBF(wl.GPUs(), *failRate))
+	} else if *mixSpec != "" {
+		fatal(fmt.Errorf("-mix requires -fail-rate"))
+	}
+	if *chaos {
+		cfg.Chaos = &core.ChaosConfig{
+			DiskChaos:    checkpoint.RandomChaos(rand.New(rand.NewSource(*seed*17)), *chaosP),
+			ShelterChaos: checkpoint.RandomChaos(rand.New(rand.NewSource(*seed*29)), *chaosP),
+		}
 	}
 
 	res, err := core.Run(cfg)

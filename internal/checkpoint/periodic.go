@@ -81,6 +81,9 @@ type Periodic struct {
 	StateBytes int64
 	// Job names the checkpoint namespace.
 	Job string
+	// Retry bounds retries of store writes on transient faults; the zero
+	// value means DefaultRetry.
+	Retry RetryPolicy
 
 	last       vclock.Time
 	everRan    bool
@@ -124,22 +127,26 @@ func (pc *Periodic) Run(p *vclock.Proc, w *train.Worker) (vclock.Time, error) {
 	copyTime := p.Now() - start
 	bytes := w.ModelStateBytes()
 	dir := RankDir(pc.Job, pc.Kind.PolicyName(), ms.Iter, ms.Rank)
+	rp := pc.Retry
+	if rp.Attempts == 0 {
+		rp = DefaultRetry()
+	}
 
 	var stall vclock.Time
 	switch pc.Kind {
 	case PCDisk:
-		if err := WriteRank(p, pc.Disk, dir, ms, bytes); err != nil {
+		if err := WriteRankRetry(p, pc.Disk, dir, ms, bytes, rp); err != nil {
 			return 0, err
 		}
 		stall = p.Now() - start
 	case PCMem, PCDaily:
-		if err := WriteRank(p, pc.Mem, dir, ms, bytes); err != nil {
+		if err := WriteRankRetry(p, pc.Mem, dir, ms, bytes, rp); err != nil {
 			return 0, err
 		}
 		stall = p.Now() - start
 		pc.drainAsync(dir, bytes)
 	case CheckFreq:
-		if err := WriteRank(p, pc.Mem, dir, ms, bytes); err != nil {
+		if err := WriteRankRetry(p, pc.Mem, dir, ms, bytes, rp); err != nil {
 			return 0, err
 		}
 		hidden := vclock.Time(float64(copyTime) * pc.HideFraction)

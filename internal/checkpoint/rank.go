@@ -56,14 +56,17 @@ func hashBytes(b []byte) uint64 {
 }
 
 // WriteRank writes one rank's checkpoint with the two-phase commit
-// protocol: data first, META last. modelBytes is the modelled state size
-// that drives write timing.
+// protocol: data first, META last — and each object is committed by
+// atomic rename (write to a ".tmp" name, then rename into place), so a
+// write that tears or fails mid-transfer never leaves a partial object at
+// the final path. modelBytes is the modelled state size that drives write
+// timing.
 func WriteRank(p *vclock.Proc, st *Store, dir string, ms *train.ModelState, modelBytes int64) error {
 	data, err := ms.Encode()
 	if err != nil {
 		return err
 	}
-	if err := st.Write(p, dataPath(dir), data, modelBytes); err != nil {
+	if err := writeAtomic(p, st, dataPath(dir), data, modelBytes); err != nil {
 		return err
 	}
 	meta := Meta{Iter: ms.Iter, Rank: ms.Rank, Checksum: hashBytes(data), DataLen: len(data)}
@@ -71,7 +74,19 @@ func WriteRank(p *vclock.Proc, st *Store, dir string, ms *train.ModelState, mode
 	if err := gob.NewEncoder(&mb).Encode(meta); err != nil {
 		return err
 	}
-	return st.Write(p, metaPath(dir), mb.Bytes(), 256)
+	return writeAtomic(p, st, metaPath(dir), mb.Bytes(), 256)
+}
+
+// writeAtomic writes data to path+".tmp" and renames it into place. On a
+// write error the temporary object (possibly torn) is deleted so nothing
+// partial ever becomes visible at path.
+func writeAtomic(p *vclock.Proc, st *Store, path string, data []byte, modelBytes int64) error {
+	tmp := path + ".tmp"
+	if err := st.Write(p, tmp, data, modelBytes); err != nil {
+		st.Delete(tmp)
+		return err
+	}
+	return st.Rename(p, tmp, path)
 }
 
 // ReadMeta reads and decodes a rank checkpoint's metadata.
@@ -99,6 +114,25 @@ func Valid(p *vclock.Proc, st *Store, dir string) bool {
 	}
 	length, ok := st.Stat(p, dataPath(dir))
 	return ok && length == m.DataLen
+}
+
+// ValidDeep is Valid plus an end-to-end content check against the store's
+// object checksum (ContentHash, the etag kept by the storage tier): it
+// catches silent bit-flips that the metadata-only check cannot, at
+// metadata cost rather than a full read. Restore-time assembly uses it so
+// every rank deterministically skips a corrupted entry and the job falls
+// back to the newest generation that is actually intact.
+func ValidDeep(p *vclock.Proc, st *Store, dir string) bool {
+	m, err := ReadMeta(p, st, dir)
+	if err != nil {
+		return false
+	}
+	length, ok := st.Stat(p, dataPath(dir))
+	if !ok || length != m.DataLen {
+		return false
+	}
+	sum, ok := st.ContentHash(p, dataPath(dir))
+	return ok && sum == m.Checksum
 }
 
 // HasComplete reports whether dir holds a complete rank checkpoint using
@@ -230,7 +264,7 @@ func tryAssembleSources(p *vclock.Proc, cands []Located, iter int, topo train.To
 		if _, done := havePos[key]; done {
 			continue
 		}
-		if Valid(p, c.Store, c.Dir) {
+		if ValidDeep(p, c.Store, c.Dir) {
 			havePos[key] = c
 		}
 	}

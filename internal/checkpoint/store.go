@@ -21,7 +21,51 @@ var (
 	ErrNotFound    = errors.New("checkpoint: not found")
 	ErrCorrupt     = errors.New("checkpoint: corrupt or incomplete")
 	ErrUnassembled = errors.New("checkpoint: no consistent checkpoint set")
+	// ErrTransientIO is a retryable storage fault (flaky NIC to the store,
+	// throttled object-store request, torn write).
+	ErrTransientIO = errors.New("checkpoint: transient I/O error")
+	// ErrNoSpace is a non-retryable out-of-capacity write failure.
+	ErrNoSpace = errors.New("checkpoint: no space left on store")
 )
+
+// WriteOutcome is what a chaos hook decrees for one store write.
+type WriteOutcome int
+
+const (
+	// WriteOK lets the write through untouched.
+	WriteOK WriteOutcome = iota
+	// WriteTorn stores only a prefix of the object and returns a transient
+	// error — the multi-step overlapped-write hazard (a crash or fault
+	// mid-PUT leaves partial state behind).
+	WriteTorn
+	// WriteBitFlip stores the full object with one byte flipped and
+	// reports success — silent corruption only restore-time validation
+	// can catch.
+	WriteBitFlip
+	// WriteFailTransient stores nothing and returns ErrTransientIO; a
+	// bounded retry should succeed.
+	WriteFailTransient
+	// WriteFailNoSpace stores nothing and returns ErrNoSpace.
+	WriteFailNoSpace
+)
+
+// String renders the outcome for traces and test failures.
+func (o WriteOutcome) String() string {
+	switch o {
+	case WriteOK:
+		return "ok"
+	case WriteTorn:
+		return "torn"
+	case WriteBitFlip:
+		return "bit-flip"
+	case WriteFailTransient:
+		return "transient"
+	case WriteFailNoSpace:
+		return "no-space"
+	default:
+		return fmt.Sprintf("WriteOutcome(%d)", int(o))
+	}
+}
 
 // StoreParams model a storage tier's performance.
 type StoreParams struct {
@@ -58,6 +102,7 @@ type Store struct {
 	name   string
 	params StoreParams
 	files  map[string]entry
+	chaos  func(path string) WriteOutcome
 }
 
 // NewStore creates an empty store.
@@ -68,11 +113,70 @@ func NewStore(env *vclock.Env, name string, params StoreParams) *Store {
 // Name returns the store's diagnostic name.
 func (s *Store) Name() string { return s.name }
 
+// SetChaos installs a write-fault hook consulted on every Write. A nil
+// hook (the default) means every write succeeds cleanly.
+func (s *Store) SetChaos(fn func(path string) WriteOutcome) { s.chaos = fn }
+
 // Write stores data under path, charging modelBytes of write bandwidth.
+// An installed chaos hook may tear, corrupt, or fail the write.
 func (s *Store) Write(p *vclock.Proc, path string, data []byte, modelBytes int64) error {
+	outcome := WriteOK
+	if s.chaos != nil {
+		outcome = s.chaos(path)
+	}
+	switch outcome {
+	case WriteFailTransient:
+		p.Sleep(s.params.Latency)
+		return fmt.Errorf("%w: write %s on %s", ErrTransientIO, path, s.name)
+	case WriteFailNoSpace:
+		p.Sleep(s.params.Latency)
+		return fmt.Errorf("%w: write %s on %s", ErrNoSpace, path, s.name)
+	case WriteTorn:
+		// The connection drops halfway: half the bandwidth is spent and a
+		// partial object is left behind.
+		p.Sleep(s.params.Latency + gpu.TransferTime(modelBytes/2, s.params.WriteBW))
+		torn := append([]byte(nil), data[:len(data)/2]...)
+		s.files[path] = entry{data: torn, modelBytes: modelBytes / 2}
+		return fmt.Errorf("%w: torn write %s on %s", ErrTransientIO, path, s.name)
+	}
 	p.Sleep(s.params.Latency + gpu.TransferTime(modelBytes, s.params.WriteBW))
-	s.files[path] = entry{data: append([]byte(nil), data...), modelBytes: modelBytes}
+	stored := append([]byte(nil), data...)
+	if outcome == WriteBitFlip && len(stored) > 0 {
+		stored[len(stored)/2] ^= 0x01 // silent corruption: write "succeeds"
+	}
+	s.files[path] = entry{data: stored, modelBytes: modelBytes}
 	return nil
+}
+
+// Rename moves the object at src to dst — the atomic commit step. It is a
+// metadata operation (only fixed latency when p is non-nil): the bytes were
+// already paid for when the temporary object was written.
+func (s *Store) Rename(p *vclock.Proc, src, dst string) error {
+	if p != nil {
+		p.Sleep(s.params.Latency)
+	}
+	e, ok := s.files[src]
+	if !ok {
+		return fmt.Errorf("%w: rename %s", ErrNotFound, src)
+	}
+	delete(s.files, src)
+	s.files[dst] = e
+	return nil
+}
+
+// ContentHash returns the store-side FNV-1a checksum of the object at path
+// (the etag an object store keeps alongside each object), and whether the
+// object exists. It is a metadata operation: only the fixed latency is
+// charged, and only when p is non-nil.
+func (s *Store) ContentHash(p *vclock.Proc, path string) (uint64, bool) {
+	if p != nil {
+		p.Sleep(s.params.Latency)
+	}
+	e, ok := s.files[path]
+	if !ok {
+		return 0, false
+	}
+	return hashBytes(e.data), true
 }
 
 // Read returns the object at path, charging read bandwidth.

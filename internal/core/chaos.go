@@ -1,0 +1,25 @@
+package core
+
+import (
+	"jitckpt/internal/checkpoint"
+	"jitckpt/internal/failure"
+)
+
+// ChaosConfig is the harness's chaos layer: storage-tier write faults and
+// recovery-phase-aware fault injections. It exists so the soak suite (and
+// jitsim -chaos) can break checkpoint writes and recovery paths on purpose
+// and assert the hardened consumers still converge bit-identically.
+type ChaosConfig struct {
+	// DiskChaos decides the outcome of each shared-store write (torn
+	// write, silent bit-flip, transient error, disk-full). Nil means all
+	// writes succeed. StorageFault injections compose with it: they
+	// preempt DiskChaos for the duration of their fault window.
+	DiskChaos func(path string) checkpoint.WriteOutcome
+	// ShelterChaos is DiskChaos for the peer-shelter tier's per-node
+	// stores (UsesPeerShelter policies only).
+	ShelterChaos func(path string) checkpoint.WriteOutcome
+	// PhaseInjections arm faults that fire while ranks are inside a
+	// recovery phase — checkpointing, restoring, or re-initializing
+	// communicators — rather than at an absolute time.
+	PhaseInjections []failure.PhaseInjection
+}

@@ -35,6 +35,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"jitckpt/internal/checkpoint"
 	"jitckpt/internal/vclock"
@@ -189,6 +190,9 @@ type RecoveryReport struct {
 	// Phases is the representative healthy rank's step breakdown
 	// (Table 7).
 	Phases []PhaseDur
+	// Attempts counts recovery attempts for the episode; >1 means a fault
+	// arrived mid-recovery and the coordinator restarted it.
+	Attempts int
 }
 
 // PhaseDur is one named recovery step duration.
@@ -199,6 +203,10 @@ type PhaseDur struct {
 
 // Total returns end-to-end recovery time.
 func (r *RecoveryReport) Total() vclock.Time { return r.CompletedAt - r.DetectedAt }
+
+// Terminal reports whether the episode ended in a state retrying cannot
+// fix (no spare capacity, no assemblable checkpoint).
+func (r *RecoveryReport) Terminal() bool { return strings.HasPrefix(r.Kind, "hard-failed:") }
 
 // Phase returns the duration of a named phase (0 if absent).
 func (r *RecoveryReport) Phase(name string) vclock.Time {

@@ -57,6 +57,12 @@ type JobConfig struct {
 	// (§4.1). Transparent policy only.
 	ValidateAt    int
 	ValidateEvery int
+	// Chaos configures storage-fault and recovery-phase fault injection
+	// (nil = none).
+	Chaos *ChaosConfig
+	// RecoveryAttemptTimeout bounds one transparent-recovery attempt
+	// before the coordinator restarts it (0 = derived default).
+	RecoveryAttemptTimeout vclock.Time
 	// Trace, when set, receives the simulation trace.
 	Trace func(at vclock.Time, format string, args ...interface{})
 }
@@ -247,20 +253,72 @@ func (h *harness) run() (*RunResult, error) {
 		},
 		NodeOf: nodeOf,
 	}
-	if h.shelter != nil {
-		// A whole-host failure takes its sheltered entries with it the
-		// instant it happens — not at incarnation teardown.
-		injector.OnInject = func(inj failure.Injection) {
-			if inj.Kind != failure.NodeDown {
-				return
-			}
-			if n := nodeOf(inj.Rank); n != nil {
-				h.shelter.MarkNodeLost(n.ID)
+	// Rack affinity: adjacent node pairs share a failure domain
+	// (rack = node.ID/2), matching the shelter's placement assumption
+	// that distinct nodes suffice; RackDown is precisely the adversary
+	// that breaks the weaker assumption.
+	injector.RackNodesOf = func(rank int) []*gpu.Node {
+		n := nodeOf(rank)
+		if n == nil {
+			return nil
+		}
+		var out []*gpu.Node
+		for _, cand := range h.cluster.Nodes {
+			if cand.ID/2 == n.ID/2 {
+				out = append(out, cand)
 			}
 		}
+		return out
+	}
+	// A StorageFault opens a short window during which shared-store
+	// writes fail transiently; the writers' bounded retry-with-backoff is
+	// what absorbs it. Chaos-plan write outcomes compose underneath.
+	var storageFaultWindow int
+	var baseChaos func(string) checkpoint.WriteOutcome
+	if cfg.Chaos != nil {
+		baseChaos = cfg.Chaos.DiskChaos
+	}
+	h.disk.SetChaos(func(path string) checkpoint.WriteOutcome {
+		if storageFaultWindow > 0 {
+			storageFaultWindow--
+			return checkpoint.WriteFailTransient
+		}
+		if baseChaos != nil {
+			return baseChaos(path)
+		}
+		return checkpoint.WriteOK
+	})
+	injector.OnStorageFault = func(failure.Injection) { storageFaultWindow += 2 }
+	if h.shelter != nil {
+		// A whole-host failure takes its sheltered entries with it the
+		// instant it happens — not at incarnation teardown. RackDown fails
+		// several nodes at once, so sweep rather than resolve one rank.
+		injector.OnInject = func(inj failure.Injection) {
+			if inj.Kind != failure.NodeDown && inj.Kind != failure.RackDown {
+				return
+			}
+			for _, n := range h.cluster.Nodes {
+				if n.Failed {
+					h.shelter.MarkNodeLost(n.ID)
+				}
+			}
+		}
+		if cfg.Chaos != nil && cfg.Chaos.ShelterChaos != nil {
+			h.shelter.SetStoreChaos(cfg.Chaos.ShelterChaos)
+		}
+	}
+	if cfg.Chaos != nil {
+		injector.ArmPhase(cfg.Chaos.PhaseInjections...)
 	}
 	injector.Start(cfg.Failures)
 	h.injector = injector
+	// Communicator (re-)initialization under a fresh generation is a
+	// recovery phase; generation 0 is initial job setup and is not.
+	h.engine.SetOnCommInit(func(key string, gen, rank int) {
+		if gen > 0 {
+			h.injector.NotePhase(rank, failure.PhaseCommInit)
+		}
+	})
 	h.pendingIter = append([]IterInjection(nil), cfg.IterFailures...)
 
 	var runErr error
@@ -442,19 +500,20 @@ func (h *harness) runTransparent() error {
 
 	ranks := make([]*TransparentRank, wl.Topo.World())
 	coord := NewCoordinator(h.env, CoordinatorConfig{
-		Job:         "job",
-		Topo:        wl.Topo,
-		Teardown:    wl.Teardown,
-		Minibatch:   wl.Minibatch,
-		StateBytes:  wl.StateBytesPerGPU(),
-		SerializeBW: wl.SerializeBW(),
-		Store:       h.disk,
-		Monitor:     h.monitor,
-		Pool:        h.pool,
-		CRIU:        scheduler.CRIU{SnapshotTime: wl.CRIU * 2 / 3, RestoreTime: wl.CRIU / 3},
-		Kernels:     h.kernels,
-		CUDAParams:  wl.CUDAParams(),
-		ProxyParams: proxy.DefaultParams(),
+		Job:            "job",
+		Topo:           wl.Topo,
+		Teardown:       wl.Teardown,
+		Minibatch:      wl.Minibatch,
+		StateBytes:     wl.StateBytesPerGPU(),
+		SerializeBW:    wl.SerializeBW(),
+		Store:          h.disk,
+		Monitor:        h.monitor,
+		Pool:           h.pool,
+		CRIU:           scheduler.CRIU{SnapshotTime: wl.CRIU * 2 / 3, RestoreTime: wl.CRIU / 3},
+		Kernels:        h.kernels,
+		CUDAParams:     wl.CUDAParams(),
+		ProxyParams:    proxy.DefaultParams(),
+		AttemptTimeout: cfg.RecoveryAttemptTimeout,
 	}, ranks)
 	// The injector and coordinator share the generation counter.
 	genRead := func() int { return coord.Generation() }
@@ -620,10 +679,12 @@ func (h *harness) runOneIncarnation(p *vclock.Proc) incarnationEnd {
 		}
 		st.worker = worker
 		if cfg.Policy.UserLevelJIT() {
+			rr := r
 			st.ujit = &UserLevelRank{
 				Rank: r, Job: "job", Layer: st.layer, Worker: worker, GIL: gil,
 				Store: h.disk, Monitor: h.monitor,
 				StateBytes: wl.StateBytesPerGPU(), SerializeBW: wl.SerializeBW(),
+				NotePhase: func() { h.injector.NotePhase(rr, failure.PhaseCheckpoint) },
 			}
 			if cfg.Policy == PolicyPeerShelter {
 				// The failure-time JIT flush also goes to peer CPU memory:
@@ -668,7 +729,17 @@ func (h *harness) runOneIncarnation(p *vclock.Proc) incarnationEnd {
 			}
 			// Restore from the newest usable checkpoint, if any.
 			if h.res.Incarnations > 0 || h.hasCheckpoint(wp) {
-				if !h.restoreRank(wp, st.worker, r) {
+				restored, rerr := h.restoreRank(wp, st.worker, r)
+				if rerr != nil {
+					// A checkpoint was assembled but could not be read or
+					// loaded (e.g. a fault mid-restore): fail the
+					// incarnation rather than silently restarting this one
+					// rank at iteration 0 while its peers resume at N.
+					h.monitor.Notify(scheduler.Event{Kind: scheduler.EvRankExited, Rank: r, Err: rerr})
+					failed.Trigger()
+					return
+				}
+				if !restored {
 					// No checkpoint: PolicyNone restarts from scratch.
 					st.worker.SetIter(0)
 				}
@@ -685,6 +756,7 @@ func (h *harness) runOneIncarnation(p *vclock.Proc) incarnationEnd {
 					st.rep.Offer(st.worker)
 				}
 				if st.pc != nil && st.pc.Due(wp.Now()) {
+					h.injector.NotePhase(r, failure.PhaseCheckpoint)
 					stall, err := st.pc.Run(wp, st.worker)
 					if err != nil {
 						h.monitor.Notify(scheduler.Event{Kind: scheduler.EvRankExited, Rank: r, Err: err})
@@ -710,6 +782,19 @@ func (h *harness) runOneIncarnation(p *vclock.Proc) incarnationEnd {
 	hbStop := h.env.NewEvent(fmt.Sprintf("hb.stop.g%d", h.gen))
 	h.env.Go(fmt.Sprintf("heartbeat.g%d", h.gen), func(hp *vclock.Proc) {
 		threshold := 3*wl.Minibatch + cfg.HangTimeout + interval
+		// Ranks with no beat yet are normally in legitimate setup
+		// (communicator rendezvous, checkpoint restore) and are skipped —
+		// but a fault during setup can wedge or kill every rank before any
+		// first beat, in which case the per-rank staleness check would
+		// never fire and the incarnation would hang until the horizon.
+		// Bound setup by a grace period generous enough for rendezvous
+		// plus restore at the modelled bandwidths.
+		np := wl.NCCLParams()
+		setupGrace := threshold + wl.RestoreInit() +
+			np.CommInitBase + vclock.Time(world)*np.CommInitPerRank +
+			4*gpu.TransferTime(wl.StateBytesPerGPU(), wl.CkptStoreParams().ReadBW) +
+			30*vclock.Second
+		incStart := hp.Now()
 		for {
 			if hp.WaitTimeout(hbStop, 2*vclock.Second) {
 				return
@@ -724,6 +809,10 @@ func (h *harness) runOneIncarnation(p *vclock.Proc) incarnationEnd {
 				}
 				beat, started := h.lastBeat[r]
 				if !started {
+					if hp.Now()-incStart > setupGrace {
+						stale = true
+						break
+					}
 					continue
 				}
 				if hp.Now()-beat > threshold {
@@ -850,27 +939,32 @@ func (h *harness) restoreSources() []checkpoint.Source {
 
 // restoreRank loads the newest assembled checkpoint (across the policy's
 // disk namespaces and any surviving peer-shelter hosts) into a worker and
-// charges the fixed job-initialization cost; it reports success.
-func (h *harness) restoreRank(p *vclock.Proc, w *train.Worker, rank int) bool {
+// charges the fixed job-initialization cost. restored=false with a nil
+// error means there is nothing to restore from (fresh start); a non-nil
+// error means a checkpoint was assembled but this rank failed to load it —
+// restarting at iteration 0 would diverge from its peers, so the caller
+// must fail the incarnation instead.
+func (h *harness) restoreRank(p *vclock.Proc, w *train.Worker, rank int) (bool, error) {
+	h.injector.NotePhase(rank, failure.PhaseRestore)
 	t0 := p.Now()
 	asm, err := checkpoint.AssembleSources(p, "job", h.restoreSources(), h.cfg.WL.Topo)
 	if err != nil {
-		return false
+		return false, nil
 	}
 	loc := asm.From[rank]
 	ms, err := checkpoint.ReadRank(p, loc.Store, loc.Dir)
 	if err != nil {
-		return false
+		return false, fmt.Errorf("core: rank %d restore read: %w", rank, err)
 	}
 	p.Sleep(h.cfg.WL.RestoreInit())
 	if err := w.LoadModelState(p, ms); err != nil {
-		return false
+		return false, fmt.Errorf("core: rank %d restore load: %w", rank, err)
 	}
 	w.SetIter(asm.Iter)
 	if rank == h.refRank && h.res.RestoreTime == 0 {
 		h.res.RestoreTime = p.Now() - t0
 	}
-	return true
+	return true, nil
 }
 
 func minInt(a, b int) int {

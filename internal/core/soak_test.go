@@ -1,9 +1,11 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
+	"jitckpt/internal/checkpoint"
 	"jitckpt/internal/failure"
 	"jitckpt/internal/vclock"
 )
@@ -63,6 +65,73 @@ func TestSoakRandomFailures(t *testing.T) {
 				t.Fatalf("seed %d: loss diverged (injections %+v)", seed, injections)
 			}
 		})
+	}
+}
+
+// TestChaosSoak is the randomized chaos endurance suite: every shared
+// store (and peer shelter) write passes through a seeded random fault
+// hook, and two fault injections per run draw their kind, timing, and
+// target from the seed — across the four policies the paper's comparison
+// covers. Whatever the chaos layer does, every completed run must be
+// bit-identical to the failure-free reference: corruption may cost redo
+// work (generation fallback) or an extra incarnation, never state.
+func TestChaosSoak(t *testing.T) {
+	wl := testWL()
+	const iters = 18
+	ref := referenceLoss(t, wl, iters)
+
+	seeds := []int64{3, 7, 11}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	kinds := []failure.Kind{
+		failure.GPUHard, failure.GPUSticky, failure.NetworkHang,
+		failure.NodeDown, failure.StorageFault,
+	}
+	for _, policy := range []Policy{PolicyPCDisk, PolicyUserJIT, PolicyPeerShelter, PolicyJITWithPeer} {
+		for _, seed := range seeds {
+			policy, seed := policy, seed
+			t.Run(fmt.Sprintf("%v/seed%d", policy, seed), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(seed * 131))
+				var injections []IterInjection
+				hard := 0
+				for _, at := range []int{iters / 3, 2 * iters / 3} {
+					kind := kinds[rng.Intn(len(kinds))]
+					if kind == failure.GPUHard || kind == failure.NodeDown {
+						hard++
+						if hard > 2 {
+							kind = failure.GPUSticky
+						}
+					}
+					rank := 1 + rng.Intn(wl.Topo.World()-1) // never the reference rank
+					if kind == failure.NodeDown {
+						rank = 2 + rng.Intn(2) // keep the reference rank's node up
+					}
+					injections = append(injections, IterInjection{
+						Iter: at, Frac: 0.1 + 0.8*rng.Float64(), Rank: rank, Kind: kind,
+					})
+				}
+				cfg := JobConfig{
+					WL: wl, Policy: policy, Iters: iters, Seed: 1, CollectLoss: true,
+					HangTimeout: 2 * vclock.Second, SpareNodes: 4,
+					IterFailures: injections,
+					Chaos: &ChaosConfig{
+						DiskChaos:    checkpoint.RandomChaos(rand.New(rand.NewSource(seed*17)), 0.12),
+						ShelterChaos: checkpoint.RandomChaos(rand.New(rand.NewSource(seed*29)), 0.12),
+					},
+				}
+				if _, ok := policy.PeriodicKind(); ok {
+					cfg.CkptInterval = 4 * wl.Minibatch
+				}
+				res := mustRun(t, cfg)
+				if !res.Completed {
+					t.Fatalf("did not complete (injections %+v)", injections)
+				}
+				if !lossTracesEqual(t, ref, res.Loss, iters) {
+					t.Fatalf("loss diverged under chaos (injections %+v)", injections)
+				}
+			})
+		}
 	}
 }
 

@@ -60,6 +60,14 @@ type CoordinatorConfig struct {
 	InitialGen int
 	// OnReport observes completed recoveries.
 	OnReport func(*RecoveryReport)
+	// AttemptTimeout bounds one recovery attempt: if any rank's recovery
+	// has not finished by then (a second fault wedged it mid-recovery),
+	// the coordinator kills the stragglers and restarts recovery under a
+	// fresh communicator generation. Zero derives a default from the
+	// modelled state size.
+	AttemptTimeout vclock.Time
+	// MaxAttempts bounds recovery restarts per episode (default 3).
+	MaxAttempts int
 }
 
 // rankFault is a fault notification from one rank's interception layer.
@@ -128,10 +136,82 @@ func (c *Coordinator) Start() {
 	})
 }
 
-// recover drives one recovery episode end to end.
+// recover drives one recovery episode end to end. The episode is
+// re-entrant: a fault arriving mid-recovery (a second GPU failing while
+// ranks replay, a network hang during communicator re-init) makes the
+// attempt time out or error, after which the coordinator kills any
+// straggling per-rank recovery processes, re-gates every rank, drains the
+// stale fault queue, and restarts recovery from classification under a
+// fresh communicator generation — instead of wedging on an unbounded wait.
 func (c *Coordinator) recover(p *vclock.Proc, first rankFault) *RecoveryReport {
 	detected := p.Now()
-	c.env.Tracef("%s: recovery begins (rank %d, fault %v)", c.cfg.Job, first.rank, first.f.Kind)
+	maxAttempts := c.cfg.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 3
+	}
+	var report *RecoveryReport
+	// lost tracks ranks whose device state became suspect during a failed
+	// attempt (buffers re-allocated, restore or replay cut short): on the
+	// next attempt they must restore from a replica or checkpoint even if
+	// their device now looks healthy — otherwise a retry would resume
+	// training from fabricated state.
+	lost := make(map[int]bool)
+	// The advanced/baseIter classification describes the pre-episode state
+	// of the parked hosts, which a failed attempt cannot change — but the
+	// attempt's own teardown destroys the device-side evidence (drained
+	// devices, aborted ops), so it is computed once and carried across
+	// attempts.
+	var cls *episodeClass
+	for attempt := 1; ; attempt++ {
+		var ok bool
+		report, ok, cls = c.attemptRecovery(p, first, attempt, lost, cls)
+		report.Attempts = attempt
+		if ok || attempt >= maxAttempts || report.Terminal() {
+			if !ok {
+				c.env.Tracef("%s: recovery gave up after %d attempts (%s)", c.cfg.Job, attempt, report.Kind)
+			}
+			break
+		}
+		c.env.Tracef("%s: recovery attempt %d failed, restarting recovery", c.cfg.Job, attempt)
+		// Faults raised by the failed attempt itself are stale: the next
+		// attempt re-classifies every rank from current device health.
+		c.faultQ.Drain()
+	}
+	report.DetectedAt = detected
+	report.CompletedAt = p.Now()
+	c.env.Tracef("%s: recovery complete in %v", c.cfg.Job, report.Total())
+	return report
+}
+
+// attemptTimeout is the per-attempt recovery deadline.
+func (c *Coordinator) attemptTimeout() vclock.Time {
+	if c.cfg.AttemptTimeout > 0 {
+		return c.cfg.AttemptTimeout
+	}
+	// Generous default: base coordination slack plus several end-to-end
+	// state copies at a conservative 1 GB/s (covers PCIe copies, store
+	// writes/reads and serialization on the hard path without ever firing
+	// during a healthy recovery).
+	t := 2 * vclock.Minute
+	if c.cfg.StateBytes > 0 {
+		t += 8 * gpu.TransferTime(c.cfg.StateBytes, 1e9)
+	}
+	return t
+}
+
+// episodeClass is the once-per-episode classification of the failed
+// minibatch: whether the optimizer step completed (§4.2.2 roll-forward)
+// and which iteration the surviving state belongs to.
+type episodeClass struct {
+	advanced bool
+	baseIter int
+}
+
+// attemptRecovery runs one recovery attempt: gate, quiesce, classify,
+// dispatch. It reports whether every rank recovered, and returns the
+// episode classification for reuse by later attempts.
+func (c *Coordinator) attemptRecovery(p *vclock.Proc, first rankFault, attempt int, lost map[int]bool, cls *episodeClass) (*RecoveryReport, bool, *episodeClass) {
+	c.env.Tracef("%s: recovery attempt %d begins (rank %d, fault %v)", c.cfg.Job, attempt, first.rank, first.f.Kind)
 
 	// Let concurrently-detected faults land, then gate every rank:
 	// in-flight proxy calls abort, application threads park at the
@@ -172,28 +252,31 @@ func (c *Coordinator) recover(p *vclock.Proc, first rankFault) *RecoveryReport {
 	// means the whole minibatch, optimizer included, executed; (b) host
 	// iteration skew — a host past baseIter proves the world barrier of
 	// baseIter completed.
-	advanced := false
-	baseIter := -1
-	maxIter := -1
-	for _, r := range c.ranks {
-		it := r.Layer.Iter()
-		if baseIter < 0 || it < baseIter {
-			baseIter = it
+	if cls == nil {
+		advanced := false
+		baseIter := -1
+		maxIter := -1
+		for _, r := range c.ranks {
+			it := r.Layer.Iter()
+			if baseIter < 0 || it < baseIter {
+				baseIter = it
+			}
+			if it > maxIter {
+				maxIter = it
+			}
 		}
-		if it > maxIter {
-			maxIter = it
+		for _, r := range c.ranks {
+			d := r.Server.Device()
+			if d.Health() == gpu.Healthy && d.PendingOps() == 0 {
+				advanced = true
+			}
 		}
-	}
-	for _, r := range c.ranks {
-		d := r.Server.Device()
-		if d.Health() == gpu.Healthy && d.PendingOps() == 0 {
+		if maxIter > baseIter {
 			advanced = true
 		}
+		cls = &episodeClass{advanced: advanced, baseIter: baseIter}
+		c.env.Tracef("%s: episode classified advanced=%v baseIter=%d", c.cfg.Job, advanced, baseIter)
 	}
-	if maxIter > baseIter {
-		advanced = true
-	}
-	c.env.Tracef("%s: episode classified advanced=%v baseIter=%d", c.cfg.Job, advanced, baseIter)
 
 	var hard []int
 	for _, r := range c.ranks {
@@ -201,16 +284,12 @@ func (c *Coordinator) recover(p *vclock.Proc, first rankFault) *RecoveryReport {
 			hard = append(hard, r.Rank)
 		}
 	}
-	var report *RecoveryReport
 	if len(hard) > 0 {
-		report = c.recoverHard(p, hard, advanced, baseIter)
-	} else {
-		report = c.recoverTransient(p, advanced, baseIter)
+		rep, ok := c.recoverHard(p, hard, cls.advanced, cls.baseIter, lost)
+		return rep, ok, cls
 	}
-	report.DetectedAt = detected
-	report.CompletedAt = p.Now()
-	c.env.Tracef("%s: recovery complete in %v", c.cfg.Job, report.Total())
-	return report
+	rep, ok := c.recoverTransient(p, cls.advanced, cls.baseIter, lost)
+	return rep, ok, cls
 }
 
 // strategyOf classifies a rank's transient recovery strategy per §4.2:
@@ -243,20 +322,64 @@ type rankRecovery struct {
 	timer     *metrics.PhaseTimer
 	started   vclock.Time
 	done      *vclock.Event
-	err       error
+	proc      *vclock.Proc
+	// mutated marks the point of no return within an attempt: the rank's
+	// device state has been re-allocated, partially restored, or is being
+	// replayed. If the attempt dies after this point the state is suspect
+	// and the next attempt must restore it from elsewhere.
+	mutated bool
+	err     error
+}
+
+// awaitRecs waits for every per-rank recovery to finish, bounded by the
+// attempt deadline. A recovery that misses the deadline (wedged by a fault
+// injected mid-recovery) is killed and marked errored so the episode can
+// restart. Ranks that failed after mutating their device state are added
+// to lost; ranks that fully recovered are removed from it. It reports
+// whether every rank recovered cleanly.
+func (c *Coordinator) awaitRecs(p *vclock.Proc, recs []*rankRecovery, deadline vclock.Time, lost map[int]bool) bool {
+	ok := true
+	for _, rec := range recs {
+		remaining := deadline - p.Now()
+		if remaining <= 0 || !p.WaitTimeout(rec.done, remaining) {
+			if rec.proc != nil {
+				rec.proc.Kill()
+			}
+			if rec.err == nil {
+				rec.err = fmt.Errorf("core: rank %d recovery timed out mid-attempt", rec.r.Rank)
+			}
+			c.env.Tracef("%s: rank %d recovery killed: %v", c.cfg.Job, rec.r.Rank, rec.err)
+		}
+		if rec.err != nil {
+			ok = false
+			if rec.mutated {
+				lost[rec.r.Rank] = true
+			}
+		} else {
+			delete(lost, rec.r.Rank)
+		}
+	}
+	return ok
 }
 
 // recoverTransient implements §4.2 for all ranks concurrently. The
 // communicator re-initialization rendezvous acts as the natural barrier
 // between handle reconstruction and cross-rank state copies.
-func (c *Coordinator) recoverTransient(p *vclock.Proc, advanced bool, baseIter int) *RecoveryReport {
+func (c *Coordinator) recoverTransient(p *vclock.Proc, advanced bool, baseIter int, lost map[int]bool) (*RecoveryReport, bool) {
 	c.gen++
 	newGen := c.gen
+	deadline := p.Now() + c.attemptTimeout()
 	recs := make([]*rankRecovery, len(c.ranks))
 	for i, r := range c.ranks {
+		strat := strategyOf(r)
+		if lost[r.Rank] && strat == 1 {
+			// A prior attempt corrupted this rank's state even though its
+			// device is healthy: reset and copy from a replica.
+			strat = 3
+		}
 		rec := &rankRecovery{
 			r:     r,
-			strat: strategyOf(r),
+			strat: strat,
 			done:  c.env.NewEvent(fmt.Sprintf("recover.r%d", r.Rank)),
 		}
 		if rec.strat == 1 {
@@ -272,7 +395,7 @@ func (c *Coordinator) recoverTransient(p *vclock.Proc, advanced bool, baseIter i
 	}
 	for _, rec := range recs {
 		rec := rec
-		c.env.Go(fmt.Sprintf("%s.recover.r%d", c.cfg.Job, rec.r.Rank), func(pr *vclock.Proc) {
+		rec.proc = c.env.Go(fmt.Sprintf("%s.recover.r%d", c.cfg.Job, rec.r.Rank), func(pr *vclock.Proc) {
 			defer rec.done.Trigger()
 			rec.started = pr.Now()
 			rec.timer = metrics.NewPhaseTimer(c.env)
@@ -282,10 +405,8 @@ func (c *Coordinator) recoverTransient(p *vclock.Proc, advanced bool, baseIter i
 			}
 		})
 	}
-	for _, rec := range recs {
-		p.Wait(rec.done)
-	}
-	return c.buildReport(recs, "transient", advanced)
+	ok := c.awaitRecs(p, recs, deadline, lost)
+	return c.buildReport(recs, "transient", advanced), ok
 }
 
 func (c *Coordinator) recoverRankTransient(pr *vclock.Proc, rec *rankRecovery, all []*rankRecovery, newGen int) error {
@@ -315,6 +436,7 @@ func (c *Coordinator) recoverRankTransient(pr *vclock.Proc, rec *rankRecovery, a
 	} else {
 		// Restarting the device proxy server clears corrupted driver and
 		// network state (§4.2); device buffers are lost with the context.
+		rec.mutated = true
 		r.Server.Stop()
 		client.AbortPending()
 		if err := r.Server.Restart(); err != nil {
@@ -374,6 +496,7 @@ func (c *Coordinator) recoverRankTransient(pr *vclock.Proc, rec *rankRecovery, a
 		layer.IgnoreMutationsUntilNextMinibatch()
 	}
 	if !rec.skipReplay {
+		rec.mutated = true
 		c.env.Tracef("rank %d: replaying %d minibatch calls (strat %d)", r.Rank, len(layer.Log().Minibatch), rec.strat)
 		if err := replay.Apply(pr, client, layer.Log().Minibatch, tr, replay.Options{GenFor: genFor}); err != nil {
 			return fmt.Errorf("core: rank %d minibatch replay: %w", r.Rank, err)
@@ -453,6 +576,10 @@ func (c *Coordinator) pickReplica(rec *rankRecovery, all []*rankRecovery) *rankR
 // detect errors in other ranks"). The wait is replaced by the analytic
 // bootstrap cost every rank pays after the rendezvous releases.
 func (c *Coordinator) rankWorkTime(rec *rankRecovery) vclock.Time {
+	if rec.timer == nil {
+		// The recovery proc was killed before it started (failed attempt).
+		return 0
+	}
 	total := rec.timer.Sum()
 	commPhase := rec.timer.Get("comm-init")
 	if commPhase == 0 {
@@ -503,8 +630,10 @@ func (c *Coordinator) buildReport(recs []*rankRecovery, kind string, advanced bo
 	if exemplar == nil {
 		exemplar = recs[0]
 	}
-	for _, ph := range exemplar.timer.Phases() {
-		rep.Phases = append(rep.Phases, PhaseDur{Name: ph.Name, Dur: ph.Dur})
+	if exemplar.timer != nil {
+		for _, ph := range exemplar.timer.Phases() {
+			rep.Phases = append(rep.Phases, PhaseDur{Name: ph.Name, Dur: ph.Dur})
+		}
 	}
 	return rep
 }
@@ -633,9 +762,10 @@ func decodeCRIUPayload(raw []byte) (*criuPayload, error) {
 // is rebuilt from the replay log, and parameter/optimizer buffers are
 // restored from the checkpoint files — the failed rank reading a
 // replica's file through the stable tensor naming.
-func (c *Coordinator) recoverHard(p *vclock.Proc, hard []int, advanced bool, baseIter int) *RecoveryReport {
+func (c *Coordinator) recoverHard(p *vclock.Proc, hard []int, advanced bool, baseIter int, lost map[int]bool) (*RecoveryReport, bool) {
 	c.gen++
 	newGen := c.gen
+	deadline := p.Now() + c.attemptTimeout()
 	hardSet := make(map[int]bool, len(hard))
 	for _, r := range hard {
 		hardSet[r] = true
@@ -653,8 +783,8 @@ func (c *Coordinator) recoverHard(p *vclock.Proc, hard []int, advanced bool, bas
 			r: r, strat: 1,
 			done: c.env.NewEvent(fmt.Sprintf("hard.r%d", r.Rank)),
 		}
-		if hardSet[r.Rank] || r.Server.Device().Health() != gpu.Healthy {
-			rec.strat = 4 // lost or unusable device
+		if hardSet[r.Rank] || r.Server.Device().Health() != gpu.Healthy || lost[r.Rank] {
+			rec.strat = 4 // lost or unusable device, or state corrupted by a failed attempt
 			rec.skipReplay = advanced
 			rec.ignoreMut = advanced
 		} else {
@@ -667,7 +797,7 @@ func (c *Coordinator) recoverHard(p *vclock.Proc, hard []int, advanced bool, bas
 	images := make([]scheduler.Image, len(recs))
 	for i, rec := range recs {
 		i, rec := i, rec
-		c.env.Go(fmt.Sprintf("%s.hardckpt.r%d", c.cfg.Job, rec.r.Rank), func(pr *vclock.Proc) {
+		rec.proc = c.env.Go(fmt.Sprintf("%s.hardckpt.r%d", c.cfg.Job, rec.r.Rank), func(pr *vclock.Proc) {
 			defer rec.done.Trigger()
 			rec.started = pr.Now()
 			rec.timer = metrics.NewPhaseTimer(c.env)
@@ -683,7 +813,7 @@ func (c *Coordinator) recoverHard(p *vclock.Proc, hard []int, advanced bool, bas
 					pr.Sleep(vclock.Time(float64(c.cfg.StateBytes) / c.cfg.SerializeBW * float64(vclock.Second)))
 				}
 				dir := checkpoint.RankDir(c.cfg.Job, JITPolicyName, ms.Iter, rec.r.Rank)
-				if err := checkpoint.WriteRank(pr, c.cfg.Store, dir, ms, c.cfg.StateBytes); err != nil {
+				if err := checkpoint.WriteRankRetry(pr, c.cfg.Store, dir, ms, c.cfg.StateBytes, checkpoint.DefaultRetry()); err != nil {
 					rec.err = err
 					return
 				}
@@ -699,9 +829,14 @@ func (c *Coordinator) recoverHard(p *vclock.Proc, hard []int, advanced bool, bas
 			rec.timer.Mark("criu-snapshot")
 		})
 	}
+	if !c.awaitRecs(p, recs, deadline, lost) {
+		// A checkpoint/snapshot wedged or errored (e.g. a device dying
+		// mid-read): restart the episode before any node churn happens.
+		return c.buildReport(recs, "hard", advanced), false
+	}
 	for _, rec := range recs {
-		p.Wait(rec.done)
 		rec.done = c.env.NewEvent(fmt.Sprintf("hard2.r%d", rec.r.Rank))
+		rec.proc = nil
 	}
 
 	// Quorum: at least one replica per position checkpointed (§3.3).
@@ -726,13 +861,13 @@ func (c *Coordinator) recoverHard(p *vclock.Proc, hard []int, advanced bool, bas
 		c.env.Tracef("%s: hard recovery failed: %v", c.cfg.Job, err)
 		rep := c.buildReport(recs, "hard", advanced)
 		rep.Kind = "hard-failed:" + err.Error()
-		return rep
+		return rep, false
 	}
 	placement, err := scheduler.Place(nodes, len(c.ranks))
 	if err != nil {
 		rep := c.buildReport(recs, "hard", advanced)
 		rep.Kind = "hard-failed:" + err.Error()
-		return rep
+		return rep, false
 	}
 
 	// Phase D–F per rank: restore CPU image on the new host, rebuild GPU
@@ -752,16 +887,19 @@ func (c *Coordinator) recoverHard(p *vclock.Proc, hard []int, advanced bool, bas
 	if asm == nil {
 		rep := c.buildReport(recs, "hard", advanced)
 		rep.Kind = "hard-failed:no-checkpoint-assembly"
-		return rep
+		return rep, false
 	}
 
 	for i, rec := range recs {
 		i, rec := i, rec
-		c.env.Go(fmt.Sprintf("%s.hardrestore.r%d", c.cfg.Job, rec.r.Rank), func(pr *vclock.Proc) {
+		rec.proc = c.env.Go(fmt.Sprintf("%s.hardrestore.r%d", c.cfg.Job, rec.r.Rank), func(pr *vclock.Proc) {
 			defer rec.done.Trigger()
 			if rec.err != nil {
 				return
 			}
+			// The rank is about to be re-attached to a new device and
+			// rebuilt; dying partway leaves its state suspect.
+			rec.mutated = true
 			rec.timer.Skip() // exclude the coordination barrier
 			// Attach the worker to its replacement GPU: fresh proxy
 			// server and client on the new device.
@@ -840,12 +978,7 @@ func (c *Coordinator) recoverHard(p *vclock.Proc, hard []int, advanced bool, bas
 			rec.r.Layer.EndRecovery(tr)
 		})
 	}
-	for _, rec := range recs {
-		p.Wait(rec.done)
-		if rec.err != nil {
-			c.env.Tracef("%s: rank %d hard restore failed: %v", c.cfg.Job, rec.r.Rank, rec.err)
-		}
-	}
+	ok := c.awaitRecs(p, recs, deadline, lost)
 
 	rep := c.buildReport(recs, "hard", advanced)
 	// Table 6 semantics: "healthy" ranks checkpointed their GPU state,
@@ -867,7 +1000,7 @@ func (c *Coordinator) recoverHard(p *vclock.Proc, hard []int, advanced bool, bas
 	if fN > 0 {
 		rep.FailedAvg = fSum / vclock.Time(fN)
 	}
-	return rep
+	return rep, ok
 }
 
 // nodeCount counts distinct nodes hosting the job's ranks.

@@ -48,6 +48,12 @@ type UserLevelRank struct {
 	// it after a successful save ("the watchdog thread exits the process
 	// immediately after the checkpoint", §3.2).
 	MainProc *vclock.Proc
+	// NotePhase, when set, is invoked as the JIT save begins — the chaos
+	// injector's failure.PhaseCheckpoint entry point.
+	NotePhase func()
+	// Retry bounds retries of the checkpoint store write on transient
+	// faults; zero value means checkpoint.DefaultRetry.
+	Retry checkpoint.RetryPolicy
 
 	// CheckpointDone reports the completed JIT checkpoint, if any.
 	CheckpointDone bool
@@ -92,6 +98,9 @@ func (u *UserLevelRank) Hook() func(p *vclock.Proc, f intercept.Fault) {
 func (u *UserLevelRank) saveCheckpoint(p *vclock.Proc) error {
 	start := p.Now()
 	defer func() { u.SaveDuration = p.Now() - start }()
+	if u.NotePhase != nil {
+		u.NotePhase()
+	}
 	// The wedged main thread may hold the GIL inside a hung device call
 	// (§3.2's footnote); steal it the way the SIGUSR1 handler does.
 	if u.GIL != nil {
@@ -123,8 +132,12 @@ func (u *UserLevelRank) saveCheckpoint(p *vclock.Proc) error {
 			return fmt.Errorf("core: rank %d JIT flush: no surviving peer host", u.Rank)
 		}
 	}
+	rp := u.Retry
+	if rp.Attempts == 0 {
+		rp = checkpoint.DefaultRetry()
+	}
 	dir := checkpoint.RankDir(u.Job, ns, ms.Iter, u.Rank)
-	if err := checkpoint.WriteRank(p, st, dir, ms, u.StateBytes); err != nil {
+	if err := checkpoint.WriteRankRetry(p, st, dir, ms, u.StateBytes, rp); err != nil {
 		return fmt.Errorf("core: rank %d JIT write: %w", u.Rank, err)
 	}
 	u.CheckpointDone = true

@@ -431,7 +431,16 @@ func (d *Driver) StreamSynchronize(p *vclock.Proc, s Stream) error {
 		return err
 	}
 	p.Wait(gs.DrainEvent()) // hangs if the stream is wedged at a collective
-	return d.healthErr()
+	if err := d.healthErr(); err != nil {
+		return err
+	}
+	// Surface async op failures (failed collectives, poisoned event
+	// waits): the stream is drained but its work did not all succeed.
+	if err := gs.AsyncErr(); err != nil {
+		d.lastErr = err
+		return err
+	}
+	return nil
 }
 
 // StreamWaitEvent makes all future work on s wait for the event's most
@@ -448,7 +457,7 @@ func (d *Driver) StreamWaitEvent(p *vclock.Proc, s Stream, ev Event) error {
 	if !ok {
 		return fmt.Errorf("%w: event %d", ErrBadHandle, ev)
 	}
-	fire := es.fire // capture the record at call time
+	fire, rec := es.fire, es.op // capture the record at call time
 	if fire == nil {
 		return nil
 	}
@@ -456,6 +465,9 @@ func (d *Driver) StreamWaitEvent(p *vclock.Proc, s Stream, ev Event) error {
 		Name: "streamWaitEvent",
 		Run: func(pp *vclock.Proc, dev *gpu.Device) error {
 			pp.Wait(fire)
+			if rec != nil && rec.Err != nil {
+				return rec.Err // a poisoned event poisons the waiting stream
+			}
 			return nil
 		},
 	})
@@ -486,7 +498,11 @@ func (d *Driver) EventRecord(p *vclock.Proc, ev Event, s Stream) error {
 	if err != nil {
 		return err
 	}
-	op := &gpu.Op{Name: "eventRecord", Run: func(*vclock.Proc, *gpu.Device) error { return nil }}
+	// The record op completes with the stream's accumulated async error:
+	// an event recorded after a failed collective is poisoned, and the
+	// poison travels to whoever synchronizes with (or waits on) it — the
+	// async-error propagation a NCCL watchdog relies on.
+	op := &gpu.Op{Name: "eventRecord", Run: func(*vclock.Proc, *gpu.Device) error { return gs.AsyncErr() }}
 	es.op = op
 	es.fire = gs.Enqueue(op)
 	return nil

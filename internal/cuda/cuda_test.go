@@ -577,3 +577,43 @@ func TestDriverBufDataPrivilegedRead(t *testing.T) {
 		}
 	})
 }
+
+// TestAsyncErrorPropagation pins the NCCL-watchdog-style error plumbing:
+// an op that fails asynchronously poisons its stream, an event recorded
+// after it carries the poison, a stream that waits on that event is
+// poisoned in turn, and StreamSynchronize on either stream surfaces the
+// error instead of reporting a clean drain.
+func TestAsyncErrorPropagation(t *testing.T) {
+	boom := errors.New("boom")
+	r := newRig(t, Registry{
+		"boom": func(KernelArgs) error { return boom },
+		"nop":  func(KernelArgs) error { return nil },
+	})
+	r.inProc(t, func(p *vclock.Proc) {
+		sA, _ := r.drv.StreamCreate(p)
+		sB, _ := r.drv.StreamCreate(p)
+		sC, _ := r.drv.StreamCreate(p)
+		if err := r.drv.Launch(p, LaunchParams{Kernel: "boom", Dur: vclock.Millisecond}, sA); err != nil {
+			t.Fatalf("launch is async, must not fail inline: %v", err)
+		}
+		ev, _ := r.drv.EventCreate(p)
+		r.drv.EventRecord(p, ev, sA)
+		r.drv.StreamWaitEvent(p, sB, ev)
+		r.drv.Launch(p, LaunchParams{Kernel: "nop", Dur: vclock.Millisecond}, sB)
+
+		if err := r.drv.StreamSynchronize(p, sA); !errors.Is(err, boom) {
+			t.Errorf("sync of failed stream = %v, want boom", err)
+		}
+		if err := r.drv.EventSynchronize(p, ev); !errors.Is(err, boom) {
+			t.Errorf("sync of poisoned event = %v, want boom", err)
+		}
+		if err := r.drv.StreamSynchronize(p, sB); !errors.Is(err, boom) {
+			t.Errorf("sync of event-poisoned stream = %v, want boom", err)
+		}
+		// An uninvolved stream stays clean.
+		r.drv.Launch(p, LaunchParams{Kernel: "nop", Dur: vclock.Millisecond}, sC)
+		if err := r.drv.StreamSynchronize(p, sC); err != nil {
+			t.Errorf("clean stream sync = %v", err)
+		}
+	})
+}

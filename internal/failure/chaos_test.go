@@ -1,0 +1,312 @@
+package failure
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"jitckpt/internal/gpu"
+	"jitckpt/internal/nccl"
+	"jitckpt/internal/vclock"
+)
+
+// TestPoissonStatisticsConverge checks the sampled process against its
+// analytical parameters across seeds: the empirical mean inter-arrival
+// time converges to MTBF(n, f), and the kind frequencies converge to the
+// normalized mix weights.
+func TestPoissonStatisticsConverge(t *testing.T) {
+	const (
+		n       = 50
+		fPerDay = 2.0
+	)
+	horizon := 40 * vclock.Day
+	want := MTBF(n, fPerDay)
+	mix := DefaultMix()
+	var total float64
+	kindCounts := make(map[Kind]float64)
+	var gapSum, gapN float64
+	for seed := int64(1); seed <= 5; seed++ {
+		plan := PoissonPlan(rand.New(rand.NewSource(seed)), n, fPerDay, horizon, mix)
+		if len(plan.Injections) < 100 {
+			t.Fatalf("seed %d: only %d events", seed, len(plan.Injections))
+		}
+		prev := vclock.Time(0)
+		for _, inj := range plan.Injections {
+			gapSum += float64(inj.At - prev)
+			gapN++
+			prev = inj.At
+			kindCounts[inj.Kind]++
+			total++
+		}
+	}
+	mean := gapSum / gapN
+	if ratio := mean / float64(want); ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("mean inter-arrival %.3g vs MTBF %.3g (ratio %.3f)", mean, float64(want), ratio)
+	}
+	var weightSum float64
+	for _, w := range mix {
+		weightSum += w
+	}
+	for k, w := range mix {
+		wantFreq := w / weightSum
+		gotFreq := kindCounts[k] / total
+		if math.Abs(gotFreq-wantFreq) > 0.03 {
+			t.Errorf("kind %v frequency %.3f, want %.3f±0.03", k, gotFreq, wantFreq)
+		}
+	}
+}
+
+func TestDefaultMixCoversNewClasses(t *testing.T) {
+	mix := DefaultMix()
+	if mix[NodeDown] <= 0 {
+		t.Error("DefaultMix missing NodeDown")
+	}
+	if mix[StorageFault] <= 0 {
+		t.Error("DefaultMix missing StorageFault")
+	}
+	// Paper-plausible shape: transient network issues dominate; whole-node
+	// and storage-tier losses are a small tail.
+	for k, w := range mix {
+		if k == NetworkHang {
+			continue
+		}
+		if w > mix[NetworkHang] {
+			t.Errorf("%v weight %.2f exceeds network-hang %.2f", k, w, mix[NetworkHang])
+		}
+	}
+	if mix[NodeDown] > 0.15 || mix[StorageFault] > 0.15 {
+		t.Error("node-down/storage-fault should be tail classes")
+	}
+	var sum float64
+	for _, w := range mix {
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("mix weights sum to %v, want 1", sum)
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	mix, err := ParseMix("gpu-hard:0.2, network-hang:0.5 ,node-down:0.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mix) != 3 || mix[GPUHard] != 0.2 || mix[NetworkHang] != 0.5 || mix[NodeDown] != 0.3 {
+		t.Fatalf("mix = %v", mix)
+	}
+	if def, err := ParseMix(""); err != nil || len(def) != len(DefaultMix()) {
+		t.Fatalf("empty spec: %v %v", def, err)
+	}
+	for _, bad := range []string{"nope:1", "gpu-hard", "gpu-hard:-1", "gpu-hard:zero", ","} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) did not fail", bad)
+		}
+	}
+}
+
+func TestKindByNameRoundTrip(t *testing.T) {
+	for k := GPUHard; k <= RackDown; k++ {
+		got, ok := KindByName(k.String())
+		if !ok || got != k {
+			t.Errorf("KindByName(%q) = %v %v", k.String(), got, ok)
+		}
+	}
+	if _, ok := KindByName("meteor-strike"); ok {
+		t.Error("unknown kind resolved")
+	}
+}
+
+// clusterInjector builds an injector over a small cluster with one rank
+// per device and rack = node.ID/2.
+func clusterInjector(env *vclock.Env, cluster *gpu.Cluster, perNode int) *Injector {
+	devOf := func(rank int) *gpu.Device {
+		return cluster.Nodes[rank/perNode].Devices[rank%perNode]
+	}
+	in := &Injector{
+		Env:      env,
+		DeviceOf: devOf,
+		Engine:   nccl.NewEngine(env, nccl.DefaultParams()),
+		GenOf:    func(string) int { return 0 },
+		NodeOf:   func(rank int) *gpu.Node { return cluster.Nodes[rank/perNode] },
+	}
+	in.RackNodesOf = func(rank int) []*gpu.Node {
+		rack := cluster.Nodes[rank/perNode].ID / 2
+		var out []*gpu.Node
+		for _, n := range cluster.Nodes {
+			if n.ID/2 == rack {
+				out = append(out, n)
+			}
+		}
+		return out
+	}
+	return in
+}
+
+// TestInjectorSkipsAlreadyFailedTarget pins the double-fail fix: an
+// injection whose target rank sits on an already-failed node (or dead
+// device) is skipped and recorded separately, leaving Applied accounting
+// intact.
+func TestInjectorSkipsAlreadyFailedTarget(t *testing.T) {
+	env := vclock.NewEnv(1)
+	cluster := gpu.NewCluster(env, 2, 2, 1<<30)
+	in := clusterInjector(env, cluster, 2)
+	env.Go("test", func(p *vclock.Proc) {
+		if !in.Apply(Injection{Rank: 0, Kind: NodeDown}) {
+			t.Error("first node-down did not land")
+		}
+		// Rank 1 lives on the same (now failed) node: every further fault
+		// aimed at it must be skipped, not double-applied.
+		for _, k := range []Kind{GPUHard, GPUSticky, DriverCorrupt, NodeDown} {
+			if in.Apply(Injection{Rank: 1, Kind: k}) {
+				t.Errorf("%v on dead rank landed", k)
+			}
+		}
+		// A rank on the surviving node still takes faults.
+		if !in.Apply(Injection{Rank: 2, Kind: GPUSticky}) {
+			t.Error("fault on healthy rank skipped")
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Applied()) != 2 {
+		t.Errorf("Applied = %d, want 2", len(in.Applied()))
+	}
+	if len(in.Skipped()) != 4 {
+		t.Errorf("Skipped = %d, want 4", len(in.Skipped()))
+	}
+}
+
+func TestRackDownFailsWholeFailureDomain(t *testing.T) {
+	env := vclock.NewEnv(1)
+	cluster := gpu.NewCluster(env, 4, 2, 1<<30)
+	in := clusterInjector(env, cluster, 2)
+	env.Go("test", func(p *vclock.Proc) {
+		if !in.Apply(Injection{Rank: 1, Kind: RackDown}) {
+			t.Fatal("rack-down skipped")
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Rank 1 is on node 0; rack 0 = nodes {0, 1}. Both nodes and all four
+	// of their devices must be gone; nodes 2 and 3 untouched.
+	for i, n := range cluster.Nodes {
+		wantFailed := i < 2
+		if n.Failed != wantFailed {
+			t.Errorf("node %d Failed = %v, want %v", i, n.Failed, wantFailed)
+		}
+		for _, d := range n.Devices {
+			if acc := d.Accessible(); acc == wantFailed {
+				t.Errorf("node %d device accessible = %v", i, acc)
+			}
+		}
+	}
+}
+
+func TestRackDownDegradesToNodeDownWithoutResolver(t *testing.T) {
+	env := vclock.NewEnv(1)
+	cluster := gpu.NewCluster(env, 4, 2, 1<<30)
+	in := clusterInjector(env, cluster, 2)
+	in.RackNodesOf = nil
+	env.Go("test", func(p *vclock.Proc) {
+		if !in.Apply(Injection{Rank: 1, Kind: RackDown}) {
+			t.Fatal("degraded rack-down skipped")
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !cluster.Nodes[0].Failed || cluster.Nodes[1].Failed {
+		t.Errorf("degraded rack-down: node0 %v node1 %v, want only node0 down",
+			cluster.Nodes[0].Failed, cluster.Nodes[1].Failed)
+	}
+}
+
+func TestStorageFaultRouting(t *testing.T) {
+	env := vclock.NewEnv(1)
+	cluster := gpu.NewCluster(env, 2, 2, 1<<30)
+	in := clusterInjector(env, cluster, 2)
+	env.Go("test", func(p *vclock.Proc) {
+		// Without a hook the injection is skipped (not silently "applied").
+		if in.Apply(Injection{Rank: 0, Kind: StorageFault}) {
+			t.Error("storage fault landed with no hook")
+		}
+		fired := 0
+		in.OnStorageFault = func(Injection) { fired++ }
+		if !in.Apply(Injection{Rank: 0, Kind: StorageFault}) || fired != 1 {
+			t.Errorf("storage fault hook fired %d times", fired)
+		}
+		// Storage faults do not touch devices.
+		if cluster.Nodes[0].Devices[0].Health() != gpu.Healthy {
+			t.Error("storage fault damaged a device")
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPhaseInjectionFiresOnOccurrence: a phase-armed fault fires when the
+// Nth matching phase entry is noted, once, optionally delayed, at either
+// the triggering rank or an explicit target.
+func TestPhaseInjectionFiresOnOccurrence(t *testing.T) {
+	env := vclock.NewEnv(1)
+	cluster := gpu.NewCluster(env, 2, 2, 1<<30)
+	in := clusterInjector(env, cluster, 2)
+	in.ArmPhase(PhaseInjection{
+		Phase:      PhaseRestore,
+		Rank:       -1, // any rank's restore counts
+		Occurrence: 2,
+		Delay:      10 * vclock.Millisecond,
+		Target:     -1, // the rank whose note fired it
+		Kind:       GPUSticky,
+	})
+	env.Go("test", func(p *vclock.Proc) {
+		in.NotePhase(0, PhaseCheckpoint) // wrong phase: ignored
+		in.NotePhase(0, PhaseRestore)    // occurrence 1
+		in.NotePhase(1, PhaseRestore)    // occurrence 2: fires at rank 1
+		in.NotePhase(2, PhaseRestore)    // already fired: ignored
+		p.Sleep(vclock.Second)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := cluster.Nodes[0].Devices[1].Health(); got != gpu.Sticky {
+		t.Errorf("target device health = %v, want sticky", got)
+	}
+	if len(in.Applied()) != 1 {
+		t.Errorf("Applied = %d, want exactly 1", len(in.Applied()))
+	}
+}
+
+func TestPhaseInjectionRankFilterAndNilSafety(t *testing.T) {
+	var nilInj *Injector
+	nilInj.NotePhase(0, PhaseCheckpoint) // must not panic
+
+	env := vclock.NewEnv(1)
+	cluster := gpu.NewCluster(env, 2, 2, 1<<30)
+	in := clusterInjector(env, cluster, 2)
+	in.ArmPhase(PhaseInjection{
+		Phase:      PhaseCheckpoint,
+		Rank:       2, // only rank 2's checkpoints count
+		Occurrence: 1,
+		Target:     3, // but the fault lands on rank 3
+		Kind:       GPUHard,
+	})
+	env.Go("test", func(p *vclock.Proc) {
+		in.NotePhase(0, PhaseCheckpoint) // filtered out
+		in.NotePhase(1, PhaseCheckpoint) // filtered out
+		if cluster.Nodes[1].Devices[0].Health() != gpu.Healthy {
+			t.Error("fault fired for filtered ranks")
+		}
+		in.NotePhase(2, PhaseCheckpoint) // matches
+		p.Sleep(vclock.Second)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := cluster.Nodes[1].Devices[1].Health(); got != gpu.Hard {
+		t.Errorf("explicit target health = %v, want hard", got)
+	}
+}

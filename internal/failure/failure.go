@@ -14,6 +14,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strconv"
+	"strings"
 
 	"jitckpt/internal/gpu"
 	"jitckpt/internal/nccl"
@@ -45,6 +47,16 @@ const (
 	// distinguishes the peer-shelter tier's survival guarantees from plain
 	// GPU failures (where host RAM survives).
 	NodeDown
+	// StorageFault is a transient fault in the checkpoint storage tier
+	// (flaky path to the store, throttled requests): the next store writes
+	// fail or tear until the fault clears. Training itself is unaffected;
+	// only checkpoint durability is at risk.
+	StorageFault
+	// RackDown is a failure-domain-correlated loss: a rack PDU or ToR
+	// switch takes down every node in the target rank's failure domain at
+	// once. It is the adversary the peer-shelter placement rule (replicate
+	// outside your own failure domain) exists for.
+	RackDown
 )
 
 // String renders the fault kind.
@@ -62,13 +74,30 @@ func (k Kind) String() string {
 		return "network-error"
 	case NodeDown:
 		return "node-down"
+	case StorageFault:
+		return "storage-fault"
+	case RackDown:
+		return "rack-down"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
 }
 
 // IsTransient reports whether recovery can reuse the same GPU.
-func (k Kind) IsTransient() bool { return k != GPUHard && k != NodeDown }
+func (k Kind) IsTransient() bool {
+	return k != GPUHard && k != NodeDown && k != RackDown
+}
+
+// KindByName resolves a fault-kind name as rendered by String. ok is
+// false for unknown names.
+func KindByName(name string) (Kind, bool) {
+	for k := GPUHard; k <= RackDown; k++ {
+		if k.String() == name {
+			return k, true
+		}
+	}
+	return 0, false
+}
 
 // Injection is one scheduled fault.
 type Injection struct {
@@ -93,16 +122,56 @@ func (pl *Plan) Sort() {
 	})
 }
 
-// DefaultMix reflects the paper's observed failure mix: mostly single-GPU
-// or network faults, with transient network issues the most common.
+// DefaultMix reflects the paper's observed failure mix (Table 1's
+// classes): mostly single-GPU or network faults, transient network issues
+// the most common, with a small tail of whole-node losses (ECC/host
+// crashes) and storage-tier faults. Rack-level correlated failures are rare
+// enough that they are opt-in (chaos plans add them explicitly) rather
+// than part of the steady mix.
 func DefaultMix() map[Kind]float64 {
 	return map[Kind]float64{
-		GPUHard:       0.20,
-		GPUSticky:     0.20,
-		DriverCorrupt: 0.15,
-		NetworkHang:   0.35,
+		GPUHard:       0.18,
+		GPUSticky:     0.18,
+		DriverCorrupt: 0.12,
+		NetworkHang:   0.30,
 		NetworkError:  0.10,
+		NodeDown:      0.07,
+		StorageFault:  0.05,
 	}
+}
+
+// ParseMix parses a "kind:weight,kind:weight" specification (e.g.
+// "gpu-hard:0.2,network-hang:0.5,node-down:0.3") into a mix map. An empty
+// spec returns DefaultMix. Weights must be positive; they need not sum
+// to 1 (PoissonPlan normalizes).
+func ParseMix(spec string) (map[Kind]float64, error) {
+	if spec == "" {
+		return DefaultMix(), nil
+	}
+	mix := make(map[Kind]float64)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, wstr, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("failure: bad mix entry %q (want kind:weight)", part)
+		}
+		k, ok := KindByName(strings.TrimSpace(name))
+		if !ok {
+			return nil, fmt.Errorf("failure: unknown fault kind %q", name)
+		}
+		w, err := strconv.ParseFloat(strings.TrimSpace(wstr), 64)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("failure: bad weight %q for %s", wstr, name)
+		}
+		mix[k] = w
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("failure: empty mix %q", spec)
+	}
+	return mix, nil
 }
 
 // PoissonPlan samples failures over horizon for a job of n ranks with
@@ -184,17 +253,61 @@ type Injector struct {
 	// NodeOf resolves the node currently hosting a rank; required for
 	// NodeDown injections (whole-host loss).
 	NodeOf func(rank int) *gpu.Node
+	// RackNodesOf resolves every node in the failure domain (rack/ToR
+	// switch) of the rank's node; required for RackDown injections. Nil
+	// degrades RackDown to NodeDown.
+	RackNodesOf func(rank int) []*gpu.Node
+	// OnStorageFault arms a storage-tier fault (the harness wires it to
+	// the checkpoint store's chaos hook). Nil makes StorageFault
+	// injections no-ops that are skipped, not applied.
+	OnStorageFault func(inj Injection)
 	// OnInject observes applied injections (metrics, test assertions).
 	OnInject func(inj Injection)
 
 	applied []Injection
+	skipped []Injection
+	phased  []*phaseState
 }
 
 // Applied returns the injections performed so far.
 func (in *Injector) Applied() []Injection { return in.applied }
 
-// Apply performs one injection immediately.
-func (in *Injector) Apply(inj Injection) {
+// Skipped returns injections that were dropped because their target was
+// already lost (device dead, node failed) when they came due.
+func (in *Injector) Skipped() []Injection { return in.skipped }
+
+// targetLost reports whether the injection's target has already been
+// destroyed by an earlier fault, in which case re-injecting would
+// double-fail a dead device and corrupt the applied accounting.
+func (in *Injector) targetLost(inj Injection) bool {
+	switch inj.Kind {
+	case StorageFault:
+		return in.OnStorageFault == nil
+	case NetworkHang, NetworkError:
+		return false // communicator faults do not target a device
+	}
+	if in.NodeOf != nil {
+		if node := in.NodeOf(inj.Rank); node != nil && node.Failed {
+			return true
+		}
+	}
+	if in.DeviceOf != nil {
+		dev := in.DeviceOf(inj.Rank)
+		return dev == nil || !dev.Accessible()
+	}
+	return false
+}
+
+// Apply performs one injection immediately. It reports whether the
+// injection landed: an injection whose target is already dead (its device
+// lost or its node failed by an earlier fault) is skipped — recorded in
+// Skipped, not Applied — so double-failing cannot corrupt accounting.
+func (in *Injector) Apply(inj Injection) bool {
+	if in.targetLost(inj) {
+		in.skipped = append(in.skipped, inj)
+		in.Env.Tracef("failure: skipped %v on rank %d (target already lost)", inj.Kind, inj.Rank)
+		return false
+	}
 	switch inj.Kind {
 	case GPUHard:
 		in.DeviceOf(inj.Rank).InjectHard()
@@ -205,15 +318,22 @@ func (in *Injector) Apply(inj Injection) {
 			in.DeviceOf(inj.Rank).InjectHard()
 			break
 		}
-		node := in.NodeOf(inj.Rank)
-		node.Failed = true
-		for _, d := range node.Devices {
-			d.InjectHard()
+		in.failNode(in.NodeOf(inj.Rank))
+	case RackDown:
+		if in.RackNodesOf == nil {
+			// Degraded: without a rack resolver only the rank's node is
+			// lost.
+			return in.Apply(Injection{At: inj.At, Rank: inj.Rank, Kind: NodeDown})
+		}
+		for _, node := range in.RackNodesOf(inj.Rank) {
+			in.failNode(node)
 		}
 	case GPUSticky:
 		in.DeviceOf(inj.Rank).InjectSticky()
 	case DriverCorrupt:
 		in.DeviceOf(inj.Rank).InjectDriverCorrupt()
+	case StorageFault:
+		in.OnStorageFault(inj)
 	case NetworkHang, NetworkError:
 		key := inj.CommKey
 		if key == "" && in.CommKeyOf != nil {
@@ -234,6 +354,19 @@ func (in *Injector) Apply(inj Injection) {
 		in.OnInject(inj)
 	}
 	in.Env.Tracef("failure: injected %v on rank %d", inj.Kind, inj.Rank)
+	return true
+}
+
+// failNode marks a node failed and hard-fails every device on it,
+// skipping nodes that are already down.
+func (in *Injector) failNode(node *gpu.Node) {
+	if node == nil || node.Failed {
+		return
+	}
+	node.Failed = true
+	for _, d := range node.Devices {
+		d.InjectHard()
+	}
 }
 
 // Start spawns a process that applies the plan on schedule.

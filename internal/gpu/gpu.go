@@ -94,7 +94,17 @@ type Stream struct {
 	proc    *vclock.Proc
 	pending int
 	drain   *vclock.Event
+	// asyncErr is the first error any op on this stream completed with.
+	// Like NCCL's async communicator errors, it does not interrupt the
+	// stream; it is surfaced when someone synchronizes with the stream
+	// (or records an event on it) and sticks until the stream is
+	// destroyed.
+	asyncErr error
 }
+
+// AsyncErr returns the first error any op on this stream completed with,
+// nil if all ops so far succeeded.
+func (s *Stream) AsyncErr() error { return s.asyncErr }
 
 // Device is a single simulated GPU.
 type Device struct {
@@ -394,6 +404,9 @@ func (s *Stream) run(p *vclock.Proc) {
 			err = ErrSticky
 		}
 		op.Err = err
+		if err != nil && s.asyncErr == nil {
+			s.asyncErr = err
+		}
 		op.Done.Trigger()
 		s.complete()
 	}

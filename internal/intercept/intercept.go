@@ -89,6 +89,16 @@ type Config struct {
 	// HangTimeout is how long a watched event or blocking call may pend
 	// before it is declared hung (default 30 s).
 	HangTimeout vclock.Time
+	// Adaptive enables straggler discrimination: instead of raising a hang
+	// at the fixed HangTimeout, the watchdog first marks the entry suspect
+	// and doubles its deadline (up to HangTimeoutMax). A suspect that
+	// completes is a false positive — counted, and the effective base
+	// timeout escalates so persistent stragglers stop tripping the
+	// watchdog — while a suspect that also misses its extended deadline is
+	// declared a true hang.
+	Adaptive bool
+	// HangTimeoutMax caps the escalated timeout (default 8× HangTimeout).
+	HangTimeoutMax vclock.Time
 	// OnFault is invoked exactly once per fault episode, with the
 	// simulation process that detected the fault (the watchdog process
 	// for hangs, the calling thread for API errors). Transparent-mode
@@ -133,6 +143,11 @@ type Layer struct {
 	watchdogProc *vclock.Proc
 	inflight     map[*vclock.Proc]*inflightCall
 
+	// Adaptive-watchdog state.
+	effTimeout     vclock.Time // current escalated base timeout
+	suspects       int
+	falsePositives int
+
 	// Fault/recovery state.
 	faultRaised bool
 	inRecovery  bool
@@ -147,13 +162,17 @@ type Layer struct {
 }
 
 type watchEntry struct {
-	event   cuda.Event // virtual
-	addedAt vclock.Time
+	event     cuda.Event // virtual
+	addedAt   vclock.Time
+	deadline  vclock.Time // adaptive mode: current hang deadline (0 = unset)
+	suspected bool        // adaptive mode: deadline already extended once
 }
 
 type inflightCall struct {
-	name    string
-	started vclock.Time
+	name      string
+	started   vclock.Time
+	deadline  vclock.Time
+	suspected bool
 }
 
 var _ cuda.API = (*Layer)(nil)
@@ -166,6 +185,9 @@ func New(env *vclock.Env, inner cuda.API, name string, cfg Config) *Layer {
 	if cfg.HangTimeout <= 0 {
 		cfg.HangTimeout = 30 * vclock.Second
 	}
+	if cfg.HangTimeoutMax <= 0 {
+		cfg.HangTimeoutMax = 8 * cfg.HangTimeout
+	}
 	if cfg.Mode == ModeTransparent {
 		cfg.LogReplay = true
 	}
@@ -174,6 +196,7 @@ func New(env *vclock.Env, inner cuda.API, name string, cfg Config) *Layer {
 		inner:       inner,
 		cfg:         cfg,
 		name:        name,
+		effTimeout:  cfg.HangTimeout,
 		log:         replay.NewLog(),
 		bufs:        make(map[cuda.Buf]cuda.Buf),
 		streams:     map[cuda.Stream]cuda.Stream{cuda.DefaultStream: cuda.DefaultStream},
@@ -422,7 +445,7 @@ func (l *Layer) guardMut(p *vclock.Proc, name string, blocking, mutating bool, d
 		}
 		err := do()
 		if blocking {
-			delete(l.inflight, p)
+			l.finishInflight(p)
 		}
 		if err == nil || !isInfraFault(err) {
 			return err

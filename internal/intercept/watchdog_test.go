@@ -1,0 +1,171 @@
+package intercept
+
+import (
+	"testing"
+
+	"jitckpt/internal/cuda"
+	"jitckpt/internal/gpu"
+	"jitckpt/internal/vclock"
+)
+
+// slowPeer runs rank 1 on a raw driver, joining the rendezvous immediately
+// but delaying its AllReduce by lag — a straggler, not a hang.
+func (r *rig) slowPeer(t *testing.T, lag vclock.Time) {
+	t.Helper()
+	r.env.Go("peer", func(p *vclock.Proc) {
+		dev := gpu.NewDevice(r.env, 0, 1, 1<<34)
+		drv, err := cuda.NewDriver(dev, r.engine, defaultKernels(), cuda.DefaultParams())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		comm, err := drv.CommInit(p, "dp", 0, 2, 1)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		comms, _ := drv.StreamCreate(p)
+		grads, _ := drv.Malloc(p, 1<<20, 2, "g")
+		p.Sleep(lag)
+		drv.AllReduce(p, comm, grads, comms)
+		drv.StreamSynchronize(p, comms)
+	})
+}
+
+// watchedAllReduce drives rank 0 through the layer: AllReduce on the comm
+// stream, event recorded, StreamWaitEvent (arms the watchdog + watch-list),
+// then StreamSynchronize so completion is observable.
+func (r *rig) watchedAllReduce(t *testing.T, done *bool) {
+	t.Helper()
+	r.env.Go("worker", func(p *vclock.Proc) {
+		comm, err := r.layer.CommInit(p, "dp", 0, 2, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		compute, _ := r.layer.StreamCreate(p)
+		comms, _ := r.layer.StreamCreate(p)
+		grads, _ := r.layer.Malloc(p, 1<<20, 2, "g")
+		r.layer.AllReduce(p, comm, grads, comms)
+		ev, _ := r.layer.EventCreate(p)
+		r.layer.EventRecord(p, ev, comms)
+		r.layer.StreamWaitEvent(p, compute, ev)
+		r.layer.StreamSynchronize(p, comms)
+		if done != nil {
+			*done = true
+		}
+	})
+}
+
+// TestAdaptiveWatchdogToleratesStraggler: a collective that finishes past
+// HangTimeout but inside the doubled suspect window must not raise a hang.
+// The completed suspect is counted as a false positive and the effective
+// timeout escalates so the same straggler stops tripping the watchdog.
+func TestAdaptiveWatchdogToleratesStraggler(t *testing.T) {
+	cfg := Config{
+		Mode:           ModeTransparent,
+		HangTimeout:    vclock.Seconds(5),
+		HangTimeoutMax: vclock.Seconds(40),
+		WatchdogPoll:   vclock.Seconds(1),
+		Adaptive:       true,
+	}
+	r := newRig(t, cfg)
+	r.slowPeer(t, vclock.Seconds(7)) // > HangTimeout, < doubled window
+	var done bool
+	r.watchedAllReduce(t, &done)
+	if err := r.env.RunUntil(vclock.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("straggler collective never completed")
+	}
+	if len(r.faults) != 0 {
+		t.Fatalf("straggler misclassified as hang: %+v", r.faults)
+	}
+	stats := r.layer.Watchdog()
+	if stats.Suspects < 1 || stats.FalsePositives < 1 {
+		t.Errorf("stats = %+v, want at least one suspect and false positive", stats)
+	}
+	if stats.EffectiveTimeout <= cfg.HangTimeout {
+		t.Errorf("effective timeout %v did not escalate past %v", stats.EffectiveTimeout, cfg.HangTimeout)
+	}
+	if stats.EffectiveTimeout > cfg.HangTimeoutMax {
+		t.Errorf("effective timeout %v exceeds cap %v", stats.EffectiveTimeout, cfg.HangTimeoutMax)
+	}
+}
+
+// TestFixedWatchdogTripsOnStraggler pins the behavior adaptive mode fixes:
+// with Adaptive off, the same straggler is declared hung at HangTimeout.
+func TestFixedWatchdogTripsOnStraggler(t *testing.T) {
+	r := newRig(t, Config{
+		Mode:         ModeTransparent,
+		HangTimeout:  vclock.Seconds(5),
+		WatchdogPoll: vclock.Seconds(1),
+	})
+	r.slowPeer(t, vclock.Seconds(7))
+	r.watchedAllReduce(t, nil)
+	if err := r.env.RunUntil(vclock.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.faults) != 1 || r.faults[0].Kind != FaultHang {
+		t.Fatalf("faults = %+v, want one hang", r.faults)
+	}
+	stats := r.layer.Watchdog()
+	if stats.Suspects != 0 || stats.FalsePositives != 0 {
+		t.Errorf("fixed mode tracked adaptive stats: %+v", stats)
+	}
+}
+
+// TestAdaptiveWatchdogStillDetectsTrueHang: a collective whose peer never
+// arrives must be declared hung even in adaptive mode — the extension is
+// bounded by HangTimeoutMax, not unlimited patience.
+func TestAdaptiveWatchdogStillDetectsTrueHang(t *testing.T) {
+	cfg := Config{
+		Mode:           ModeTransparent,
+		HangTimeout:    vclock.Seconds(5),
+		HangTimeoutMax: vclock.Seconds(20),
+		WatchdogPoll:   vclock.Seconds(1),
+		Adaptive:       true,
+	}
+	r := newRig(t, cfg)
+	r.env.Go("peer", func(p *vclock.Proc) {
+		// Joins the rendezvous, never issues its collective: a true hang.
+		r.engine.CommInitRank(p, "dp", 0, 2, 1, nil)
+	})
+	r.watchedAllReduce(t, nil)
+	if err := r.env.RunUntil(vclock.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.faults) != 1 || r.faults[0].Kind != FaultHang {
+		t.Fatalf("faults = %+v, want one hang", r.faults)
+	}
+	stats := r.layer.Watchdog()
+	if stats.FalsePositives != 0 {
+		t.Errorf("true hang counted as false positive: %+v", stats)
+	}
+}
+
+// TestAdaptiveEscalationLearnsWorkload: repeated stragglers escalate the
+// effective timeout until it absorbs them, capped at HangTimeoutMax.
+func TestAdaptiveEscalationCappedAtMax(t *testing.T) {
+	cfg := Config{
+		Mode:           ModeTransparent,
+		HangTimeout:    vclock.Seconds(4),
+		HangTimeoutMax: vclock.Seconds(10),
+		WatchdogPoll:   vclock.Seconds(1),
+		Adaptive:       true,
+	}
+	r := newRig(t, cfg)
+	// Force several false positives directly; the doubling must saturate
+	// at the cap rather than grow without bound.
+	for i := 0; i < 5; i++ {
+		r.layer.noteFalsePositive()
+	}
+	stats := r.layer.Watchdog()
+	if stats.EffectiveTimeout != cfg.HangTimeoutMax {
+		t.Errorf("effective timeout %v, want saturation at %v", stats.EffectiveTimeout, cfg.HangTimeoutMax)
+	}
+	if stats.FalsePositives != 5 {
+		t.Errorf("false positives = %d, want 5", stats.FalsePositives)
+	}
+}

@@ -84,11 +84,13 @@ const (
 // Engine is the cluster-wide collective engine: it owns the rendezvous
 // namespace and per-communicator match state.
 type Engine struct {
-	env      *vclock.Env
-	params   Params
-	inits    map[initKey]*initState
-	groups   map[groupKey]*commGroup
-	observer func(CollectiveDone)
+	env        *vclock.Env
+	params     Params
+	inits      map[initKey]*initState
+	groups     map[groupKey]*commGroup
+	pending    map[groupKey]FaultKind
+	observer   func(CollectiveDone)
+	onCommInit func(key string, gen, rank int)
 }
 
 // CollectiveDone describes one completed collective operation. The
@@ -119,10 +121,11 @@ type initState struct {
 // NewEngine creates a collective engine bound to env.
 func NewEngine(env *vclock.Env, params Params) *Engine {
 	return &Engine{
-		env:    env,
-		params: params,
-		inits:  make(map[initKey]*initState),
-		groups: make(map[groupKey]*commGroup),
+		env:     env,
+		params:  params,
+		inits:   make(map[initKey]*initState),
+		groups:  make(map[groupKey]*commGroup),
+		pending: make(map[groupKey]FaultKind),
 	}
 }
 
@@ -133,6 +136,12 @@ func (e *Engine) Params() Params { return e.params }
 // at completion time) for every successful collective. One observer at a
 // time; nil uninstalls.
 func (e *Engine) SetObserver(fn func(CollectiveDone)) { e.observer = fn }
+
+// SetOnCommInit installs a callback invoked at every CommInitRank entry
+// (in the arriving rank's process, before the rendezvous barrier). The
+// chaos harness uses it to land faults inside the communicator
+// re-initialization window. One at a time; nil uninstalls.
+func (e *Engine) SetOnCommInit(fn func(key string, gen, rank int)) { e.onCommInit = fn }
 
 // commGroup is the state shared by all ranks of one communicator
 // generation.
@@ -198,6 +207,9 @@ func (e *Engine) CommInitRank(p *vclock.Proc, key string, gen, nranks, rank int,
 	if dev != nil && !dev.Accessible() {
 		return nil, ErrDeviceFailed
 	}
+	if e.onCommInit != nil {
+		e.onCommInit(key, gen, rank)
+	}
 	ik := initKey{key, gen}
 	st, ok := e.inits[ik]
 	if !ok {
@@ -217,6 +229,17 @@ func (e *Engine) CommInitRank(p *vclock.Proc, key string, gen, nranks, rank int,
 	p.Sleep(e.params.CommInitBase + vclock.Time(nranks)*e.params.CommInitPerRank)
 
 	gk := groupKey{key, gen}
+	// A fault injected while this generation was still bootstrapping lands
+	// here: a hang wedges the init (the rank never returns — the wedged
+	// bootstrap the watchdog/heartbeat must detect), an async error fails
+	// it. The generation is burned either way; re-initializing under a new
+	// generation is unaffected.
+	if fk, faulted := e.pending[gk]; faulted {
+		if fk == FaultHang {
+			p.Wait(e.env.NewEvent(fmt.Sprintf("nccl.init.hang.%s.g%d", key, gen)))
+		}
+		return nil, ErrNetwork
+	}
 	g, ok := e.groups[gk]
 	if !ok {
 		g = &commGroup{
@@ -244,10 +267,18 @@ func (e *Engine) CommInitRank(p *vclock.Proc, key string, gen, nranks, rank int,
 // collectives hang; re-initializing under a new generation clears it
 // (transient faults resolve on reconnect).
 func (e *Engine) InjectFault(key string, gen int, kind FaultKind) {
-	if g, ok := e.groups[groupKey{key, gen}]; ok {
+	gk := groupKey{key, gen}
+	if g, ok := e.groups[gk]; ok {
 		g.fault = kind
 		e.env.Tracef("nccl: fault %d injected on %s.g%d", kind, key, gen)
+		return
 	}
+	// The generation has not finished bootstrapping: record the fault so it
+	// lands on the rendezvous itself (CommInitRank checks it after the
+	// barrier). Faults during communicator (re-)initialization are exactly
+	// the mid-recovery failures chaos testing needs to land.
+	e.pending[gk] = kind
+	e.env.Tracef("nccl: fault %d pending on bootstrapping %s.g%d", kind, key, gen)
 }
 
 // Destroy invalidates the handle. Pending collectives on other ranks are

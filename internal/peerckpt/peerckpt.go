@@ -98,6 +98,8 @@ type Shelter struct {
 
 	hosts map[int]*checkpoint.Store // node ID -> shelter store
 	lost  map[int]bool
+	chaos func(path string) checkpoint.WriteOutcome
+	retry checkpoint.RetryPolicy
 
 	// Stats.
 	offers          int
@@ -117,11 +119,22 @@ func NewShelter(env *vclock.Env, job string, params Params) *Shelter {
 		params: params.withDefaults(),
 		hosts:  make(map[int]*checkpoint.Store),
 		lost:   make(map[int]bool),
+		retry:  checkpoint.DefaultRetry(),
 	}
 }
 
 // Params returns the shelter's effective configuration.
 func (s *Shelter) Params() Params { return s.params }
+
+// SetStoreChaos installs a write-fault hook on every shelter host store,
+// current and future (hosts are created lazily, so the hook must outlive
+// any one store).
+func (s *Shelter) SetStoreChaos(fn func(path string) checkpoint.WriteOutcome) {
+	s.chaos = fn
+	for _, st := range s.hosts {
+		st.SetChaos(fn)
+	}
+}
 
 // Host returns (creating lazily) the shelter store in a node's CPU memory,
 // or nil if the node has been lost.
@@ -136,6 +149,7 @@ func (s *Shelter) Host(node int) *checkpoint.Store {
 			ReadBW:  s.params.LinkBandwidth,
 			Latency: s.params.Latency,
 		})
+		st.SetChaos(s.chaos)
 		s.hosts[node] = st
 	}
 	return st
@@ -176,16 +190,17 @@ func (s *Shelter) Sources() []checkpoint.Source {
 }
 
 // commit writes one rank's state into a host node's store with the
-// META-last protocol, then prunes that rank's old iterations beyond the
-// retention window. It is called from the replicator's background process,
-// which owns the timing.
+// META-last protocol — retrying transient store faults with bounded
+// backoff — then prunes that rank's old iterations beyond the retention
+// window. It is called from the replicator's background process, which
+// owns the timing.
 func (s *Shelter) commit(p *vclock.Proc, node int, ms *train.ModelState, stateBytes int64) error {
 	st := s.Host(node)
 	if st == nil {
 		return fmt.Errorf("peerckpt: host node %d is lost", node)
 	}
 	dir := checkpoint.RankDir(s.job, PolicyName, ms.Iter, ms.Rank)
-	if err := checkpoint.WriteRank(p, st, dir, ms, stateBytes); err != nil {
+	if err := checkpoint.WriteRankRetry(p, st, dir, ms, stateBytes, s.retry); err != nil {
 		return err
 	}
 	s.commits++
