@@ -16,6 +16,7 @@
 //	                                      # filter the comparison's policies
 //	jitbench -table 10 -mix "gpu-hard:0.3,network-hang:0.7"
 //	                                      # chaos suite under a custom fault mix
+//	jitbench -table 4 -trace bench.json   # Chrome trace of every measurement run
 //
 // The checked-in reference output lives at docs/jitbench_output.txt;
 // regenerate it after changing the simulation with:
@@ -30,6 +31,7 @@ import (
 
 	"jitckpt/internal/experiments"
 	"jitckpt/internal/failure"
+	"jitckpt/internal/trace"
 )
 
 func main() {
@@ -39,6 +41,7 @@ func main() {
 	quick := flag.Bool("quick", false, "run a small model subset")
 	policySpec := flag.String("policies", "", "comma-separated policy filter for the peer comparison (e.g. PeerShelter,UserJIT+Peer)")
 	mixSpec := flag.String("mix", "", "failure-kind mix for the chaos suite, e.g. \"gpu-hard:0.2,network-hang:0.5\" (empty = paper default)")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of every measurement run (one trace pid per run)")
 	flag.Parse()
 
 	policies, err := experiments.ParsePolicies(*policySpec)
@@ -52,10 +55,40 @@ func main() {
 		os.Exit(2)
 	}
 	opt := experiments.Options{Iters: *iters, Seed: *seed}
-	if err := run(*table, opt, *quick, policies, mix); err != nil {
-		fmt.Fprintf(os.Stderr, "jitbench: %v\n", err)
+	if *traceOut != "" {
+		opt.Recorder = trace.New()
+	}
+	runErr := run(*table, opt, *quick, policies, mix)
+	if opt.Recorder != nil {
+		// Export whatever was recorded even when a table errored: the
+		// trace is most valuable exactly then.
+		if err := writeTrace(opt.Recorder, *traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "jitbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "jitbench: %v\n", runErr)
 		os.Exit(1)
 	}
+}
+
+// writeTrace exports the recorded events as Chrome trace-event JSON.
+func writeTrace(rec *trace.Recorder, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChrome(f, rec); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "jitbench: wrote %d trace events (%d runs) to %s\n",
+		rec.Len(), trace.NewQuery(rec).Runs(), path)
+	return nil
 }
 
 func run(table int, opt experiments.Options, quick bool, policies []experiments.Policy, mix map[failure.Kind]float64) error {
@@ -139,6 +172,7 @@ func run(table int, opt experiments.Options, quick bool, policies []experiments.
 		copt := experiments.DefaultChaosOptions()
 		copt.Mix = mix
 		copt.Policies = policies
+		copt.Recorder = opt.Recorder
 		if quick {
 			copt.Seeds = copt.Seeds[:1]
 		}

@@ -7,9 +7,11 @@
 //
 //	jitsim -workload BERT-B-FT -policy transparent -fail network-hang -fail-iter 5
 //	jitsim -workload GPT2-18B -policy userjit -fail gpu-hard -iters 12
-//	jitsim -workload GPT2-S -policy pc_disk -iters 30 -trace
+//	jitsim -workload GPT2-S -policy pc_disk -iters 30 -debug
 //	jitsim -workload BERT-B-FT -policy userjit -chaos -fail gpu-hard
 //	jitsim -policy pc_disk -fail-rate 200 -mix "gpu-hard:0.5,network-hang:0.5"
+//	jitsim -seed 1 -policy jit -trace out.json
+//	jitsim -policy userjit -fail gpu-hard -trace-text timeline.txt
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	"jitckpt/internal/checkpoint"
 	"jitckpt/internal/core"
 	"jitckpt/internal/failure"
+	"jitckpt/internal/trace"
 	"jitckpt/internal/vclock"
 	"jitckpt/internal/workload"
 )
@@ -35,6 +38,7 @@ var policies = map[string]core.Policy{
 	"pc_daily":    core.PolicyPCDaily,
 	"userjit":     core.PolicyUserJIT,
 	"transparent": core.PolicyTransparentJIT,
+	"jit":         core.PolicyTransparentJIT, // alias: the paper's headline mode
 	"jit+daily":   core.PolicyJITWithDaily,
 	"peer":        core.PolicyPeerShelter,
 	"jit+peer":    core.PolicyJITWithPeer,
@@ -53,7 +57,9 @@ func main() {
 	mixSpec := flag.String("mix", "", "failure-kind mix for -fail-rate, e.g. \"gpu-hard:0.2,network-hang:0.5\" (empty = paper default)")
 	chaos := flag.Bool("chaos", false, "chaos mode: randomly fail/tear/bit-flip checkpoint-store writes (seeded by -seed)")
 	chaosP := flag.Float64("chaos-p", 0.12, "per-write fault probability in -chaos mode")
-	trace := flag.Bool("trace", false, "print the simulation trace to stderr")
+	debug := flag.Bool("debug", false, "print the debug simulation log to stderr")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file (open in chrome://tracing or Perfetto)")
+	traceText := flag.String("trace-text", "", "write the compact deterministic text timeline to a file (\"-\" = stdout)")
 	lossTail := flag.Int("loss", 5, "loss-trace entries to print")
 	flag.Parse()
 
@@ -69,10 +75,15 @@ func main() {
 		WL: wl, Policy: pol, Iters: *iters, Seed: *seed,
 		SpareNodes: wl.Nodes + 1, CollectLoss: true,
 	}
-	if *trace {
+	if *debug {
 		cfg.Trace = func(at vclock.Time, format string, args ...interface{}) {
 			fmt.Fprintf(os.Stderr, "[%v] %s\n", at, fmt.Sprintf(format, args...))
 		}
+	}
+	var rec *trace.Recorder
+	if *traceOut != "" || *traceText != "" {
+		rec = trace.New()
+		cfg.Recorder = rec
 	}
 	if *failKind != "" {
 		kind, ok := failure.KindByName(*failKind)
@@ -105,6 +116,13 @@ func main() {
 	}
 
 	res, err := core.Run(cfg)
+	if rec != nil {
+		// Export whatever was recorded even when the run errored: the
+		// trace is most valuable exactly then.
+		if werr := writeTraces(rec, *traceOut, *traceText); werr != nil {
+			fatal(werr)
+		}
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -112,6 +130,39 @@ func main() {
 	if !res.Completed {
 		os.Exit(2)
 	}
+}
+
+// writeTraces exports the recorded events to the requested files.
+func writeTraces(rec *trace.Recorder, chromePath, textPath string) error {
+	if chromePath != "" {
+		f, err := os.Create(chromePath)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteChrome(f, rec); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "jitsim: wrote %d trace events to %s\n", rec.Len(), chromePath)
+	}
+	if textPath != "" {
+		w := os.Stdout
+		if textPath != "-" {
+			f, err := os.Create(textPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := trace.WriteText(w, rec, trace.TextOptions{}); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func report(res *core.RunResult, lossTail int) {

@@ -3,6 +3,7 @@ package checkpoint
 import (
 	"fmt"
 
+	"jitckpt/internal/trace"
 	"jitckpt/internal/train"
 	"jitckpt/internal/vclock"
 )
@@ -117,8 +118,11 @@ func (pc *Periodic) StallTotal() vclock.Time { return pc.stallTotal }
 // real system hides the copy behind the next minibatch's compute.
 func (pc *Periodic) Run(p *vclock.Proc, w *train.Worker) (vclock.Time, error) {
 	start := p.Now()
+	sp := trace.Of(p.Env()).Begin(start, "ckpt", trace.Rank(w.Rank()), "pc-save",
+		"kind", pc.Kind)
 	ms, err := w.SaveModelState(p) // D2H copies, PCIe-timed
 	if err != nil {
+		sp.End(p.Now(), "err", err)
 		return 0, err
 	}
 	if pc.SerializeBW > 0 && pc.StateBytes > 0 {
@@ -136,17 +140,20 @@ func (pc *Periodic) Run(p *vclock.Proc, w *train.Worker) (vclock.Time, error) {
 	switch pc.Kind {
 	case PCDisk:
 		if err := WriteRankRetry(p, pc.Disk, dir, ms, bytes, rp); err != nil {
+			sp.End(p.Now(), "err", err)
 			return 0, err
 		}
 		stall = p.Now() - start
 	case PCMem, PCDaily:
 		if err := WriteRankRetry(p, pc.Mem, dir, ms, bytes, rp); err != nil {
+			sp.End(p.Now(), "err", err)
 			return 0, err
 		}
 		stall = p.Now() - start
 		pc.drainAsync(dir, bytes)
 	case CheckFreq:
 		if err := WriteRankRetry(p, pc.Mem, dir, ms, bytes, rp); err != nil {
+			sp.End(p.Now(), "err", err)
 			return 0, err
 		}
 		hidden := vclock.Time(float64(copyTime) * pc.HideFraction)
@@ -156,12 +163,14 @@ func (pc *Periodic) Run(p *vclock.Proc, w *train.Worker) (vclock.Time, error) {
 		}
 		pc.drainAsync(dir, bytes)
 	default:
+		sp.End(p.Now(), "err", "unknown-kind")
 		return 0, fmt.Errorf("checkpoint: unknown periodic kind %v", pc.Kind)
 	}
 	pc.last = p.Now()
 	pc.everRan = true
 	pc.count++
 	pc.stallTotal += stall
+	sp.End(p.Now(), "iter", ms.Iter, "stall", stall)
 	return stall, nil
 }
 
@@ -173,6 +182,8 @@ func (pc *Periodic) drainAsync(dir string, bytes int64) {
 	}
 	env := procEnvOf(pc.Mem)
 	env.Go("ckpt-drain", func(dp *vclock.Proc) {
+		dsp := trace.Of(env).Begin(dp.Now(), "ckpt", trace.LaneSim, "drain", "dir", dir)
+		defer func() { dsp.End(dp.Now()) }()
 		for _, suffix := range []string{"/model.bin", "/META"} {
 			raw, err := pc.Mem.Read(dp, dir+suffix)
 			if err != nil {

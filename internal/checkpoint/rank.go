@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 
+	"jitckpt/internal/trace"
 	"jitckpt/internal/train"
 	"jitckpt/internal/vclock"
 )
@@ -62,19 +63,31 @@ func hashBytes(b []byte) uint64 {
 // the final path. modelBytes is the modelled state size that drives write
 // timing.
 func WriteRank(p *vclock.Proc, st *Store, dir string, ms *train.ModelState, modelBytes int64) error {
+	sp := trace.Of(p.Env()).Begin(p.Now(), "ckpt", trace.Rank(ms.Rank), "write-rank",
+		"store", st.name, "iter", ms.Iter)
 	data, err := ms.Encode()
 	if err != nil {
+		sp.End(p.Now(), "err", err)
 		return err
 	}
 	if err := writeAtomic(p, st, dataPath(dir), data, modelBytes); err != nil {
+		sp.End(p.Now(), "err", err)
 		return err
 	}
 	meta := Meta{Iter: ms.Iter, Rank: ms.Rank, Checksum: hashBytes(data), DataLen: len(data)}
 	var mb bytes.Buffer
 	if err := gob.NewEncoder(&mb).Encode(meta); err != nil {
+		sp.End(p.Now(), "err", err)
 		return err
 	}
-	return writeAtomic(p, st, metaPath(dir), mb.Bytes(), 256)
+	if err := writeAtomic(p, st, metaPath(dir), mb.Bytes(), 256); err != nil {
+		sp.End(p.Now(), "err", err)
+		return err
+	}
+	trace.Of(p.Env()).Instant(p.Now(), "ckpt", trace.Rank(ms.Rank), "commit",
+		"store", st.name, "iter", ms.Iter)
+	sp.End(p.Now())
+	return nil
 }
 
 // writeAtomic writes data to path+".tmp" and renames it into place. On a
@@ -246,8 +259,12 @@ func AssembleSources(p *vclock.Proc, job string, srcs []Source, topo train.Topol
 	for _, it := range iters {
 		asm, ok := tryAssembleSources(p, byIter[it], it, topo)
 		if ok {
+			trace.Of(p.Env()).Instant(p.Now(), "ckpt", trace.LaneSim, "assemble", "iter", it)
 			return asm, nil
 		}
+		// A newer generation exists but is unusable (torn, corrupt, or
+		// partial): the fallback the commit protocol is there to make safe.
+		trace.Of(p.Env()).Instant(p.Now(), "ckpt", trace.LaneSim, "assemble-fallback", "iter", it)
 	}
 	return nil, ErrUnassembled
 }

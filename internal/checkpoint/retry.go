@@ -3,6 +3,7 @@ package checkpoint
 import (
 	"errors"
 
+	"jitckpt/internal/trace"
 	"jitckpt/internal/train"
 	"jitckpt/internal/vclock"
 )
@@ -43,6 +44,8 @@ func (rp RetryPolicy) Do(p *vclock.Proc, op func() error) error {
 		if err = op(); err == nil || !Retryable(err) {
 			return err
 		}
+		trace.Of(p.Env()).Instant(p.Now(), "ckpt", trace.LaneSim, "retry",
+			"attempt", i+1, "of", attempts, "err", err)
 		if i < attempts-1 && backoff > 0 {
 			p.Sleep(backoff)
 			if rp.Multiplier > 1 {

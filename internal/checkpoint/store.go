@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"jitckpt/internal/gpu"
+	"jitckpt/internal/trace"
 	"jitckpt/internal/vclock"
 )
 
@@ -123,6 +124,10 @@ func (s *Store) Write(p *vclock.Proc, path string, data []byte, modelBytes int64
 	outcome := WriteOK
 	if s.chaos != nil {
 		outcome = s.chaos(path)
+	}
+	if outcome != WriteOK {
+		trace.Of(s.env).Instant(p.Now(), "ckpt", s.name, "write-fault",
+			"outcome", outcome, "path", path)
 	}
 	switch outcome {
 	case WriteFailTransient:

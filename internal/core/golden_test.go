@@ -1,0 +1,162 @@
+package core
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"jitckpt/internal/failure"
+	"jitckpt/internal/trace"
+	"jitckpt/internal/vclock"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden trace files in testdata/")
+
+// goldenCats filters the golden timelines to the recovery narrative:
+// run/incarnation/recovery structure, checkpoint activity, failure
+// injection/detection, peer sheltering, and recovery phase breakdowns.
+// Per-kernel gpu/cuda/nccl noise is covered by the determinism check
+// (which uses the unfiltered log) but kept out of the checked-in files.
+var goldenCats = []string{"core", "ckpt", "fail", "peer", "phase"}
+
+// goldenScenarios pin one representative failure-recovery timeline per
+// policy family. Each must stay byte-identical across runs and across
+// code changes that do not intentionally alter event ordering.
+var goldenScenarios = []struct {
+	name string
+	cfg  func() JobConfig
+}{
+	{"pc_disk", func() JobConfig {
+		wl := testWL()
+		return JobConfig{
+			WL: wl, Policy: PolicyPCDisk, Iters: 12, Seed: 1,
+			HangTimeout: 2 * vclock.Second, SpareNodes: 2,
+			CkptInterval: 5 * wl.Minibatch,
+			IterFailures: injectAt(wl, 8.5, 1, failure.GPUHard),
+		}
+	}},
+	{"userjit", func() JobConfig {
+		wl := testWL()
+		return JobConfig{
+			WL: wl, Policy: PolicyUserJIT, Iters: 12, Seed: 1,
+			HangTimeout: 2 * vclock.Second, SpareNodes: 2,
+			IterFailures: injectAt(wl, 5.3, 1, failure.GPUHard),
+		}
+	}},
+	{"peer", func() JobConfig {
+		wl := peerWL()
+		return JobConfig{
+			WL: wl, Policy: PolicyPeerShelter, Iters: 12, Seed: 1,
+			HangTimeout: 2 * vclock.Second, SpareNodes: 2,
+			IterFailures: injectAt(wl, 5.5, 3, failure.NodeDown),
+		}
+	}},
+	{"jit_peer", func() JobConfig {
+		wl := peerWL()
+		return JobConfig{
+			WL: wl, Policy: PolicyJITWithPeer, Iters: 12, Seed: 1,
+			HangTimeout: 2 * vclock.Second, SpareNodes: 2,
+			IterFailures: injectAt(wl, 5.5, 3, failure.NodeDown),
+		}
+	}},
+	{"transparent", func() JobConfig {
+		wl := testWL()
+		return JobConfig{
+			WL: wl, Policy: PolicyTransparentJIT, Iters: 12, Seed: 1,
+			HangTimeout:  2 * vclock.Second,
+			IterFailures: injectAt(wl, 5.3, 1, failure.NetworkHang),
+		}
+	}},
+}
+
+// tracedRun executes cfg with a fresh recorder and returns the recorder
+// plus the filtered text timeline.
+func tracedRun(t *testing.T, cfg JobConfig) (*trace.Recorder, []byte) {
+	t.Helper()
+	rec := trace.New()
+	cfg.Recorder = rec
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Completed {
+		t.Fatalf("run did not complete: %+v", res.Accounting)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteText(&buf, rec, trace.TextOptions{Cats: goldenCats}); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	return rec, buf.Bytes()
+}
+
+// fullText renders the unfiltered timeline (every category).
+func fullText(t *testing.T, rec *trace.Recorder) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := trace.WriteText(&buf, rec, trace.TextOptions{}); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenTraces runs each pinned scenario twice in-process and
+// requires (a) the two complete, unfiltered timelines to be
+// byte-identical — tracing itself is deterministic and does not perturb
+// virtual time — and (b) the filtered timeline to match the checked-in
+// golden in testdata/. Regenerate goldens with:
+//
+//	go test ./internal/core -run TestGoldenTraces -update
+func TestGoldenTraces(t *testing.T) {
+	for _, sc := range goldenScenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			rec1, filtered := tracedRun(t, sc.cfg())
+			rec2, filtered2 := tracedRun(t, sc.cfg())
+			if full1, full2 := fullText(t, rec1), fullText(t, rec2); !bytes.Equal(full1, full2) {
+				t.Fatalf("two in-process runs produced different traces (%d vs %d bytes):\n%s",
+					len(full1), len(full2), firstDiff(full1, full2))
+			}
+			if !bytes.Equal(filtered, filtered2) {
+				t.Fatal("filtered timelines differ between identical runs")
+			}
+
+			golden := filepath.Join("testdata", sc.name+".trace")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, filtered, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d bytes)", golden, len(filtered))
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden %s (run with -update to create): %v", golden, err)
+			}
+			if !bytes.Equal(filtered, want) {
+				t.Errorf("trace differs from golden %s (re-run with -update if the change is intentional):\n%s",
+					golden, firstDiff(want, filtered))
+			}
+		})
+	}
+}
+
+// firstDiff reports the first differing line between two timelines.
+func firstDiff(a, b []byte) string {
+	al, bl := bytes.Split(a, []byte("\n")), bytes.Split(b, []byte("\n"))
+	n := len(al)
+	if len(bl) < n {
+		n = len(bl)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(al[i], bl[i]) {
+			return fmt.Sprintf("line %d:\n  want: %s\n  got:  %s", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("line counts differ: %d vs %d", len(al), len(bl))
+}

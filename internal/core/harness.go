@@ -15,6 +15,7 @@ import (
 	"jitckpt/internal/peerckpt"
 	"jitckpt/internal/proxy"
 	"jitckpt/internal/scheduler"
+	"jitckpt/internal/trace"
 	"jitckpt/internal/train"
 	"jitckpt/internal/vclock"
 	"jitckpt/internal/workload"
@@ -65,6 +66,11 @@ type JobConfig struct {
 	RecoveryAttemptTimeout vclock.Time
 	// Trace, when set, receives the simulation trace.
 	Trace func(at vclock.Time, format string, args ...interface{})
+	// Recorder, when set, is attached to the run's environment and
+	// receives the structured event trace (spans and instants from every
+	// instrumented layer). One Recorder may be shared across sequential
+	// Run calls: each run is recorded under a fresh run ID.
+	Recorder *trace.Recorder
 }
 
 // RunResult reports what the job did.
@@ -170,6 +176,7 @@ type harness struct {
 	injector       *failure.Injector
 	pendingIter    []IterInjection
 	deviceOf       func(rank int) *gpu.Device
+	runSpan        trace.Span
 }
 
 func (h *harness) run() (*RunResult, error) {
@@ -178,6 +185,12 @@ func (h *harness) run() (*RunResult, error) {
 	h.env = vclock.NewEnv(cfg.Seed)
 	if cfg.Trace != nil {
 		h.env.SetTracer(cfg.Trace)
+	}
+	if cfg.Recorder != nil {
+		cfg.Recorder.BeginRun(fmt.Sprintf("%v seed=%d", cfg.Policy, cfg.Seed))
+		trace.Attach(h.env, cfg.Recorder)
+		h.runSpan = cfg.Recorder.Begin(0, "core", trace.LaneSim, "run",
+			"policy", cfg.Policy, "iters", cfg.Iters, "seed", cfg.Seed)
 	}
 	h.engine = nccl.NewEngine(h.env, wl.NCCLParams())
 	h.cluster = gpu.NewCluster(h.env, wl.Nodes+cfg.SpareNodes, wl.PerNode, 1<<40)
@@ -478,6 +491,19 @@ func (h *harness) finish() {
 		acct.RecoveryFixed = fixed
 	}
 	res.Accounting = acct
+	h.runSpan.End(res.WallTime, "completed", res.Completed,
+		"incarnations", res.Incarnations, "recoveries", acct.Recoveries)
+}
+
+// noteDetected emits the failure-detection instant trace invariants key
+// on: every JIT checkpoint and every recovery-then-resume must be
+// anchored to one of these.
+func (h *harness) noteDetected(t vclock.Time, rank int, by string) {
+	lane := trace.LaneSim
+	if rank >= 0 {
+		lane = trace.Rank(rank)
+	}
+	trace.Of(h.env).Instant(t, "fail", lane, "detected", "by", by)
 }
 
 // ---------------------------------------------------------------------
@@ -581,6 +607,17 @@ const (
 	endHorizon
 )
 
+func (e incarnationEnd) String() string {
+	switch e {
+	case endCompleted:
+		return "completed"
+	case endFailed:
+		return "failed"
+	default:
+		return "horizon"
+	}
+}
+
 func (h *harness) runIncarnations() error {
 	// The whole incarnation loop runs inside a supervisor process.
 	h.doneRanks = make(map[int]bool)
@@ -601,10 +638,12 @@ func (h *harness) runIncarnations() error {
 	return nil
 }
 
-func (h *harness) runOneIncarnation(p *vclock.Proc) incarnationEnd {
+func (h *harness) runOneIncarnation(p *vclock.Proc) (end incarnationEnd) {
 	cfg := h.cfg
 	wl := cfg.WL
 	world := wl.Topo.World()
+	isp := trace.Of(h.env).Begin(p.Now(), "core", trace.LaneSim, "incarnation", "gen", h.gen)
+	defer func() { isp.End(p.Now(), "end", end) }()
 
 	nodes, err := h.pool.Allocate(wl.Nodes, nil)
 	if err != nil {
@@ -723,6 +762,7 @@ func (h *harness) runOneIncarnation(p *vclock.Proc) incarnationEnd {
 				st.ujit.MainProc = wp
 			}
 			if err := st.worker.Setup(wp, h.gen); err != nil {
+				h.noteDetected(wp.Now(), r, "setup")
 				h.monitor.Notify(scheduler.Event{Kind: scheduler.EvRankExited, Rank: r, Err: err})
 				failed.Trigger()
 				return
@@ -735,6 +775,7 @@ func (h *harness) runOneIncarnation(p *vclock.Proc) incarnationEnd {
 					// loaded (e.g. a fault mid-restore): fail the
 					// incarnation rather than silently restarting this one
 					// rank at iteration 0 while its peers resume at N.
+					h.noteDetected(wp.Now(), r, "restore")
 					h.monitor.Notify(scheduler.Event{Kind: scheduler.EvRankExited, Rank: r, Err: rerr})
 					failed.Trigger()
 					return
@@ -746,6 +787,7 @@ func (h *harness) runOneIncarnation(p *vclock.Proc) incarnationEnd {
 			}
 			for st.worker.Iter() < cfg.Iters {
 				if _, err := st.worker.RunIter(wp); err != nil {
+					h.noteDetected(wp.Now(), r, "iter-error")
 					h.monitor.Notify(scheduler.Event{Kind: scheduler.EvRankExited, Rank: r, Iter: st.worker.Iter(), Err: err})
 					failed.Trigger()
 					return
@@ -759,6 +801,7 @@ func (h *harness) runOneIncarnation(p *vclock.Proc) incarnationEnd {
 					h.injector.NotePhase(r, failure.PhaseCheckpoint)
 					stall, err := st.pc.Run(wp, st.worker)
 					if err != nil {
+						h.noteDetected(wp.Now(), r, "checkpoint")
 						h.monitor.Notify(scheduler.Event{Kind: scheduler.EvRankExited, Rank: r, Err: err})
 						failed.Trigger()
 						return
@@ -821,6 +864,7 @@ func (h *harness) runOneIncarnation(p *vclock.Proc) incarnationEnd {
 				}
 			}
 			if stale {
+				h.noteDetected(hp.Now(), -1, "heartbeat")
 				h.monitor.Notify(scheduler.Event{Kind: scheduler.EvFailureDetected, Rank: -1})
 				failed.Trigger()
 				return
@@ -947,23 +991,30 @@ func (h *harness) restoreSources() []checkpoint.Source {
 func (h *harness) restoreRank(p *vclock.Proc, w *train.Worker, rank int) (bool, error) {
 	h.injector.NotePhase(rank, failure.PhaseRestore)
 	t0 := p.Now()
+	sp := trace.Of(h.env).Begin(t0, "ckpt", trace.Rank(rank), "restore")
 	asm, err := checkpoint.AssembleSources(p, "job", h.restoreSources(), h.cfg.WL.Topo)
 	if err != nil {
+		sp.End(p.Now(), "err", err)
 		return false, nil
 	}
 	loc := asm.From[rank]
 	ms, err := checkpoint.ReadRank(p, loc.Store, loc.Dir)
 	if err != nil {
+		sp.End(p.Now(), "err", err)
 		return false, fmt.Errorf("core: rank %d restore read: %w", rank, err)
 	}
 	p.Sleep(h.cfg.WL.RestoreInit())
 	if err := w.LoadModelState(p, ms); err != nil {
+		sp.End(p.Now(), "err", err)
 		return false, fmt.Errorf("core: rank %d restore load: %w", rank, err)
 	}
 	w.SetIter(asm.Iter)
 	if rank == h.refRank && h.res.RestoreTime == 0 {
 		h.res.RestoreTime = p.Now() - t0
 	}
+	trace.Of(h.env).Instant(p.Now(), "ckpt", trace.Rank(rank), "restore-done",
+		"valid", true, "iter", asm.Iter, "src", loc.Store.Name())
+	sp.End(p.Now(), "iter", asm.Iter)
 	return true, nil
 }
 

@@ -14,6 +14,7 @@ import (
 	"jitckpt/internal/replay"
 	"jitckpt/internal/scheduler"
 	"jitckpt/internal/tensor"
+	"jitckpt/internal/trace"
 	"jitckpt/internal/train"
 	"jitckpt/internal/vclock"
 )
@@ -106,6 +107,8 @@ func NewCoordinator(env *vclock.Env, cfg CoordinatorConfig, ranks []*Transparent
 // only enqueues: recovery runs in the coordinator's process.
 func (c *Coordinator) Hook(rank int) func(p *vclock.Proc, f intercept.Fault) {
 	return func(_ *vclock.Proc, f intercept.Fault) {
+		trace.Of(c.env).Instant(c.env.Now(), "fail", trace.Rank(rank), "detected",
+			"by", "intercept", "iter", f.Iter)
 		c.faultQ.Push(rankFault{rank: rank, f: f})
 	}
 }
@@ -145,6 +148,8 @@ func (c *Coordinator) Start() {
 // fresh communicator generation — instead of wedging on an unbounded wait.
 func (c *Coordinator) recover(p *vclock.Proc, first rankFault) *RecoveryReport {
 	detected := p.Now()
+	rsp := trace.Of(c.env).Begin(detected, "core", trace.LaneSim, "recovery",
+		"rank", first.rank, "fault", first.f.Kind)
 	maxAttempts := c.cfg.MaxAttempts
 	if maxAttempts <= 0 {
 		maxAttempts = 3
@@ -162,8 +167,8 @@ func (c *Coordinator) recover(p *vclock.Proc, first rankFault) *RecoveryReport {
 	// devices, aborted ops), so it is computed once and carried across
 	// attempts.
 	var cls *episodeClass
+	var ok bool
 	for attempt := 1; ; attempt++ {
-		var ok bool
 		report, ok, cls = c.attemptRecovery(p, first, attempt, lost, cls)
 		report.Attempts = attempt
 		if ok || attempt >= maxAttempts || report.Terminal() {
@@ -180,6 +185,7 @@ func (c *Coordinator) recover(p *vclock.Proc, first rankFault) *RecoveryReport {
 	report.DetectedAt = detected
 	report.CompletedAt = p.Now()
 	c.env.Tracef("%s: recovery complete in %v", c.cfg.Job, report.Total())
+	rsp.End(p.Now(), "ok", ok, "attempts", report.Attempts, "kind", report.Kind)
 	return report
 }
 
@@ -398,7 +404,7 @@ func (c *Coordinator) recoverTransient(p *vclock.Proc, advanced bool, baseIter i
 		rec.proc = c.env.Go(fmt.Sprintf("%s.recover.r%d", c.cfg.Job, rec.r.Rank), func(pr *vclock.Proc) {
 			defer rec.done.Trigger()
 			rec.started = pr.Now()
-			rec.timer = metrics.NewPhaseTimer(c.env)
+			rec.timer = metrics.NewPhaseTimerLane(c.env, trace.Rank(rec.r.Rank))
 			if err := c.recoverRankTransient(pr, rec, recs, newGen); err != nil {
 				rec.err = err
 				c.env.Tracef("%s: rank %d recovery failed: %v", c.cfg.Job, rec.r.Rank, err)
@@ -504,6 +510,9 @@ func (c *Coordinator) recoverRankTransient(pr *vclock.Proc, rec *rankRecovery, a
 	}
 	rec.timer.Mark("replay")
 
+	src := [4]string{1: "device", 2: "host", 3: "replica"}[rec.strat]
+	trace.Of(c.env).Instant(pr.Now(), "ckpt", trace.Rank(r.Rank), "restore-done",
+		"valid", true, "iter", layer.Iter(), "src", src)
 	layer.EndRecovery(tr)
 	return nil
 }
@@ -800,12 +809,15 @@ func (c *Coordinator) recoverHard(p *vclock.Proc, hard []int, advanced bool, bas
 		rec.proc = c.env.Go(fmt.Sprintf("%s.hardckpt.r%d", c.cfg.Job, rec.r.Rank), func(pr *vclock.Proc) {
 			defer rec.done.Trigger()
 			rec.started = pr.Now()
-			rec.timer = metrics.NewPhaseTimer(c.env)
+			rec.timer = metrics.NewPhaseTimerLane(c.env, trace.Rank(rec.r.Rank))
 			if rec.strat != 4 {
+				jsp := trace.Of(c.env).Begin(pr.Now(), "ckpt", trace.Rank(rec.r.Rank), "jit-save",
+					"iter", stateIter)
 				ms := &train.ModelState{Iter: stateIter, Rank: rec.r.Rank}
 				tensors, err := c.readModelTensors(pr, rec.r, nil)
 				if err != nil {
 					rec.err = err
+					jsp.End(pr.Now(), "err", err)
 					return
 				}
 				ms.Tensors = tensors
@@ -815,8 +827,10 @@ func (c *Coordinator) recoverHard(p *vclock.Proc, hard []int, advanced bool, bas
 				dir := checkpoint.RankDir(c.cfg.Job, JITPolicyName, ms.Iter, rec.r.Rank)
 				if err := checkpoint.WriteRankRetry(pr, c.cfg.Store, dir, ms, c.cfg.StateBytes, checkpoint.DefaultRetry()); err != nil {
 					rec.err = err
+					jsp.End(pr.Now(), "err", err)
 					return
 				}
+				jsp.End(pr.Now())
 				c.cfg.Monitor.Notify(scheduler.Event{Kind: scheduler.EvCheckpointDone, Rank: rec.r.Rank, Iter: ms.Iter})
 			}
 			rec.timer.Mark("jit-checkpoint")
@@ -975,6 +989,8 @@ func (c *Coordinator) recoverHard(p *vclock.Proc, hard []int, advanced bool, bas
 				}
 			}
 			rec.timer.Mark("replay")
+			trace.Of(c.env).Instant(pr.Now(), "ckpt", trace.Rank(rec.r.Rank), "restore-done",
+				"valid", true, "iter", stateIter, "src", "ckpt")
 			rec.r.Layer.EndRecovery(tr)
 		})
 	}

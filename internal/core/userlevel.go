@@ -6,6 +6,7 @@ import (
 	"jitckpt/internal/checkpoint"
 	"jitckpt/internal/intercept"
 	"jitckpt/internal/scheduler"
+	"jitckpt/internal/trace"
 	"jitckpt/internal/train"
 	"jitckpt/internal/vclock"
 )
@@ -77,6 +78,8 @@ type UserLevelRank struct {
 // kill the worker process.
 func (u *UserLevelRank) Hook() func(p *vclock.Proc, f intercept.Fault) {
 	return func(p *vclock.Proc, f intercept.Fault) {
+		trace.Of(p.Env()).Instant(p.Now(), "fail", trace.Rank(u.Rank), "detected",
+			"by", "intercept", "iter", f.Iter)
 		u.Monitor.Notify(scheduler.Event{Kind: scheduler.EvFailureDetected, Rank: u.Rank, Iter: f.Iter, Err: f.Err})
 		if f.Kind == intercept.FaultError {
 			// This rank's own GPU failed: it cannot save state; its
@@ -95,9 +98,17 @@ func (u *UserLevelRank) Hook() func(p *vclock.Proc, f intercept.Fault) {
 
 // saveCheckpoint is the library-side half of the user's save_checkpoint
 // call path.
-func (u *UserLevelRank) saveCheckpoint(p *vclock.Proc) error {
+func (u *UserLevelRank) saveCheckpoint(p *vclock.Proc) (err error) {
 	start := p.Now()
-	defer func() { u.SaveDuration = p.Now() - start }()
+	sp := trace.Of(p.Env()).Begin(start, "ckpt", trace.Rank(u.Rank), "jit-save")
+	defer func() {
+		u.SaveDuration = p.Now() - start
+		if err != nil {
+			sp.End(p.Now(), "err", err)
+		} else {
+			sp.End(p.Now(), "iter", u.CheckpointIter)
+		}
+	}()
 	if u.NotePhase != nil {
 		u.NotePhase()
 	}

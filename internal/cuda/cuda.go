@@ -27,6 +27,7 @@ import (
 	"jitckpt/internal/gpu"
 	"jitckpt/internal/nccl"
 	"jitckpt/internal/tensor"
+	"jitckpt/internal/trace"
 	"jitckpt/internal/vclock"
 )
 
@@ -430,13 +431,16 @@ func (d *Driver) StreamSynchronize(p *vclock.Proc, s Stream) error {
 	if err != nil {
 		return err
 	}
+	sp := trace.Of(d.dev.Env()).Begin(p.Now(), "cuda", d.dev.Lane(), "stream-sync", "stream", int(s))
 	p.Wait(gs.DrainEvent()) // hangs if the stream is wedged at a collective
+	sp.End(p.Now())
 	if err := d.healthErr(); err != nil {
 		return err
 	}
 	// Surface async op failures (failed collectives, poisoned event
 	// waits): the stream is drained but its work did not all succeed.
 	if err := gs.AsyncErr(); err != nil {
+		trace.Of(d.dev.Env()).Instant(p.Now(), "cuda", d.dev.Lane(), "async-err", "err", err)
 		d.lastErr = err
 		return err
 	}

@@ -10,6 +10,7 @@ import (
 	"jitckpt/internal/core"
 	"jitckpt/internal/failure"
 	"jitckpt/internal/metrics"
+	"jitckpt/internal/trace"
 	"jitckpt/internal/train"
 	"jitckpt/internal/vclock"
 	"jitckpt/internal/workload"
@@ -29,6 +30,9 @@ type ChaosOptions struct {
 	// WriteFaultP is the per-write fault probability applied to every
 	// shared-store (and peer-shelter) write.
 	WriteFaultP float64
+	// Recorder, when set, collects the structured event trace of every
+	// soak run (each under its own run ID).
+	Recorder *trace.Recorder
 }
 
 // DefaultChaosOptions returns the standard chaos-suite configuration.
@@ -155,6 +159,7 @@ func RunChaos(opt ChaosOptions) ([]ChaosRow, error) {
 
 	ref, err := core.Run(core.JobConfig{
 		WL: wl, Policy: core.PolicyNone, Iters: opt.Iters, Seed: 1, CollectLoss: true,
+		Recorder: opt.Recorder,
 	})
 	if err != nil {
 		return nil, err
@@ -167,6 +172,7 @@ func RunChaos(opt ChaosOptions) ([]ChaosRow, error) {
 			injections := chaosInjections(rng, wl, opt.Iters, mix)
 			cfg := core.JobConfig{
 				WL: wl, Policy: policy, Iters: opt.Iters, Seed: 1, CollectLoss: true,
+				Recorder:    opt.Recorder,
 				HangTimeout: 2 * vclock.Second, SpareNodes: 4,
 				IterFailures: injections,
 				Chaos: &core.ChaosConfig{

@@ -14,6 +14,7 @@ import (
 	"jitckpt/internal/core"
 	"jitckpt/internal/failure"
 	"jitckpt/internal/metrics"
+	"jitckpt/internal/trace"
 	"jitckpt/internal/vclock"
 	"jitckpt/internal/workload"
 )
@@ -28,6 +29,9 @@ type Options struct {
 	Iters int
 	// Seed drives the simulations.
 	Seed int64
+	// Recorder, when set, collects the structured event trace of every
+	// measurement run (each under its own run ID).
+	Recorder *trace.Recorder
 }
 
 // DefaultOptions returns the standard measurement configuration.
@@ -38,6 +42,7 @@ func DefaultOptions() Options { return Options{Iters: 10, Seed: 1} }
 func steadyMinibatch(wl workload.Workload, policy core.Policy, opt Options) (vclock.Time, error) {
 	res, err := core.Run(core.JobConfig{
 		WL: wl, Policy: policy, Iters: opt.Iters, Seed: opt.Seed,
+		Recorder: opt.Recorder,
 	})
 	if err != nil {
 		return 0, err
@@ -115,6 +120,7 @@ func RunTable3(models []string, opt Options) ([]Table3Row, error) {
 		stall := func(policy core.Policy) (float64, error) {
 			res, err := core.Run(core.JobConfig{
 				WL: wl, Policy: policy, Iters: opt.Iters, Seed: opt.Seed,
+				Recorder:     opt.Recorder,
 				CkptInterval: 4 * wl.Minibatch, // force a couple of checkpoints
 			})
 			if err != nil {
@@ -210,6 +216,7 @@ func RunTable4(models []string, opt Options) ([]Table4Row, error) {
 		}
 		res, err := core.Run(core.JobConfig{
 			WL: wl, Policy: core.PolicyUserJIT, Iters: opt.Iters, Seed: opt.Seed,
+			Recorder:     opt.Recorder,
 			SpareNodes:   spareNodesFor(wl),
 			IterFailures: []core.IterInjection{{Iter: opt.Iters / 2, Frac: 0.4, Rank: failTarget(wl), Kind: failure.GPUHard}},
 		})

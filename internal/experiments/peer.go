@@ -139,6 +139,7 @@ func RunPeerComparison(models []string, policies []core.Policy, opt Options) ([]
 				// as in Table 3.
 				res, err := core.Run(core.JobConfig{
 					WL: wl, Policy: policy, Iters: opt.Iters, Seed: opt.Seed,
+					Recorder:     opt.Recorder,
 					CkptInterval: 4 * wl.Minibatch,
 				})
 				if err != nil {
@@ -153,6 +154,7 @@ func RunPeerComparison(models []string, policies []core.Policy, opt Options) ([]
 			} else {
 				res, err := core.Run(core.JobConfig{
 					WL: wl, Policy: policy, Iters: opt.Iters, Seed: opt.Seed,
+					Recorder: opt.Recorder,
 				})
 				if err != nil {
 					return nil, err
@@ -177,6 +179,7 @@ func RunPeerComparison(models []string, policies []core.Policy, opt Options) ([]
 			// One catastrophic failure mid-run.
 			cfg := core.JobConfig{
 				WL: wl, Policy: policy, Iters: opt.Iters, Seed: opt.Seed,
+				Recorder:     opt.Recorder,
 				SpareNodes:   spareNodesFor(wl),
 				IterFailures: catastrophicKill(wl, opt.Iters/2),
 			}

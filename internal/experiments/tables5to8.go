@@ -45,6 +45,7 @@ func RunTable5(models []string, opt Options) ([]Table5Row, error) {
 		}
 		res, err := core.Run(core.JobConfig{
 			WL: wl, Policy: core.PolicyTransparentJIT, Iters: opt.Iters, Seed: opt.Seed,
+			Recorder:     opt.Recorder,
 			IterFailures: []core.IterInjection{{Iter: opt.Iters / 2, Frac: 0.4, Rank: failTarget(wl), Kind: failure.NetworkHang}},
 		})
 		if err != nil {
@@ -109,6 +110,7 @@ func RunTable6(models []string, opt Options) ([]Table6Row, error) {
 		}
 		res, err := core.Run(core.JobConfig{
 			WL: wl, Policy: core.PolicyTransparentJIT, Iters: opt.Iters, Seed: opt.Seed,
+			Recorder:     opt.Recorder,
 			SpareNodes:   spareNodesFor(wl),
 			IterFailures: []core.IterInjection{{Iter: opt.Iters / 2, Frac: 0.4, Rank: failTarget(wl), Kind: failure.GPUHard}},
 		})
@@ -173,6 +175,7 @@ func RunTable7(models []string, opt Options) ([]Table7Breakdown, error) {
 		}
 		res, err := core.Run(core.JobConfig{
 			WL: wl, Policy: core.PolicyTransparentJIT, Iters: opt.Iters, Seed: opt.Seed,
+			Recorder:     opt.Recorder,
 			IterFailures: []core.IterInjection{{Iter: opt.Iters / 2, Frac: 0.4, Rank: failTarget(wl), Kind: failure.NetworkHang}},
 		})
 		if err != nil {

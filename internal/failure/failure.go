@@ -19,6 +19,7 @@ import (
 
 	"jitckpt/internal/gpu"
 	"jitckpt/internal/nccl"
+	"jitckpt/internal/trace"
 	"jitckpt/internal/vclock"
 )
 
@@ -306,6 +307,8 @@ func (in *Injector) Apply(inj Injection) bool {
 	if in.targetLost(inj) {
 		in.skipped = append(in.skipped, inj)
 		in.Env.Tracef("failure: skipped %v on rank %d (target already lost)", inj.Kind, inj.Rank)
+		trace.Of(in.Env).Instant(in.Env.Now(), "fail", trace.Rank(inj.Rank), "inject-skip",
+			"kind", inj.Kind)
 		return false
 	}
 	switch inj.Kind {
@@ -354,6 +357,7 @@ func (in *Injector) Apply(inj Injection) bool {
 		in.OnInject(inj)
 	}
 	in.Env.Tracef("failure: injected %v on rank %d", inj.Kind, inj.Rank)
+	trace.Of(in.Env).Instant(in.Env.Now(), "fail", trace.Rank(inj.Rank), "inject", "kind", inj.Kind)
 	return true
 }
 

@@ -3,6 +3,7 @@ package failure
 import (
 	"fmt"
 
+	"jitckpt/internal/trace"
 	"jitckpt/internal/vclock"
 )
 
@@ -84,6 +85,7 @@ func (in *Injector) NotePhase(rank int, ph Phase) {
 	if in == nil {
 		return
 	}
+	trace.Of(in.Env).Instant(in.Env.Now(), "fail", trace.Rank(rank), "phase-note", "phase", ph)
 	for _, st := range in.phased {
 		if st.fired || st.inj.Phase != ph {
 			continue

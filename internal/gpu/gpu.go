@@ -24,6 +24,7 @@ import (
 	"sort"
 
 	"jitckpt/internal/tensor"
+	"jitckpt/internal/trace"
 	"jitckpt/internal/vclock"
 )
 
@@ -120,6 +121,7 @@ type Device struct {
 	nextStream int
 	memUsed    int64
 	memCap     int64
+	lane       string
 }
 
 // NewDevice creates a healthy device with memCap bytes of modelled memory.
@@ -133,11 +135,15 @@ func NewDevice(env *vclock.Env, nodeID, index int, memCap int64) *Device {
 		tagSeq:  make(map[string]int),
 		streams: make(map[int]*Stream),
 		memCap:  memCap,
+		lane:    fmt.Sprintf("n%d.g%d", nodeID, index),
 	}
 }
 
 // Name returns a stable diagnostic identifier.
 func (d *Device) Name() string { return fmt.Sprintf("gpu[n%d.g%d]", d.NodeID, d.Index) }
+
+// Lane returns the device's trace-lane name ("n0.g1").
+func (d *Device) Lane() string { return d.lane }
 
 // Env returns the simulation environment.
 func (d *Device) Env() *vclock.Env { return d.env }
@@ -296,6 +302,7 @@ func (d *Device) InjectHard() {
 		d.streams[id].proc.Kill()
 	}
 	d.env.Tracef("%s hard failure injected", d.Name())
+	trace.Of(d.env).Instant(d.env.Now(), "gpu", d.lane, "inject-hard")
 }
 
 // InjectSticky puts the device in the CUDA sticky-error state: queued and
@@ -307,6 +314,7 @@ func (d *Device) InjectSticky() {
 	}
 	d.health = Sticky
 	d.env.Tracef("%s sticky error injected", d.Name())
+	trace.Of(d.env).Instant(d.env.Now(), "gpu", d.lane, "inject-sticky")
 }
 
 // InjectDriverCorrupt marks driver state as suspect: operations still
@@ -318,6 +326,7 @@ func (d *Device) InjectDriverCorrupt() {
 	}
 	d.health = DriverCorrupt
 	d.env.Tracef("%s driver corruption injected", d.Name())
+	trace.Of(d.env).Instant(d.env.Now(), "gpu", d.lane, "inject-corrupt")
 }
 
 // Reset clears a non-hard device back to health: all streams are destroyed
@@ -334,6 +343,7 @@ func (d *Device) Reset() error {
 	}
 	d.health = Healthy
 	d.env.Tracef("%s reset", d.Name())
+	trace.Of(d.env).Instant(d.env.Now(), "gpu", d.lane, "reset")
 	return nil
 }
 
@@ -384,18 +394,22 @@ func (s *Stream) Device() *Device { return s.dev }
 func (s *Stream) run(p *vclock.Proc) {
 	for {
 		op := s.q.Pop(p)
+		rec := trace.Of(s.dev.env)
 		switch s.dev.health {
 		case Hard:
 			// Unreachable in practice (hard failure kills this process),
 			// but guard anyway: hang forever.
 			p.Wait(s.dev.env.NewEvent("dead-device"))
 		case Sticky:
+			rec.Instant(p.Now(), "gpu", s.dev.lane, "sticky-err", "op", op.Name)
 			op.Err = ErrSticky
 			op.Done.Trigger()
 			s.complete()
 			continue
 		}
+		sp := rec.Begin(p.Now(), "gpu", s.dev.lane, op.Name)
 		err := op.Run(p, s.dev)
+		sp.End(p.Now())
 		if s.dev.health == Hard {
 			// Device died while the op was executing: never complete.
 			p.Wait(s.dev.env.NewEvent("died-mid-op"))

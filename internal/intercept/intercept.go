@@ -43,6 +43,7 @@ import (
 	"jitckpt/internal/proxy"
 	"jitckpt/internal/replay"
 	"jitckpt/internal/tensor"
+	"jitckpt/internal/trace"
 	"jitckpt/internal/vclock"
 )
 
@@ -360,6 +361,8 @@ func (l *Layer) raiseFault(p *vclock.Proc, kind FaultKind, err error) {
 	}
 	l.faultRaised = true
 	l.env.Tracef("%s: fault raised: kind=%d err=%v iter=%d opt=%v", l.name, kind, err, l.iter, l.inOptimizer)
+	trace.Of(l.env).Instant(p.Now(), "dog", trace.LaneSim, "fault",
+		"layer", l.name, "kind", int(kind), "err", err, "iter", l.iter, "opt", l.inOptimizer)
 	if l.cfg.OnFault != nil {
 		l.cfg.OnFault(p, Fault{Kind: kind, Err: err, Iter: l.iter, InOptimizerStep: l.inOptimizer})
 	}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"strings"
 
+	"jitckpt/internal/trace"
 	"jitckpt/internal/vclock"
 )
 
@@ -61,8 +62,12 @@ type Phase struct {
 }
 
 // PhaseTimer records a sequence of named phases against a virtual clock.
+// When the environment carries a trace recorder, every marked phase is
+// also emitted as a "phase"-category span on the timer's lane, so Table 7
+// breakdowns are reconcilable against the trace.
 type PhaseTimer struct {
 	env    *vclock.Env
+	lane   string
 	start  vclock.Time
 	last   vclock.Time
 	phases []Phase
@@ -70,13 +75,22 @@ type PhaseTimer struct {
 
 // NewPhaseTimer starts a timer at the current virtual time.
 func NewPhaseTimer(env *vclock.Env) *PhaseTimer {
-	return &PhaseTimer{env: env, start: env.Now(), last: env.Now()}
+	return NewPhaseTimerLane(env, trace.LaneSim)
+}
+
+// NewPhaseTimerLane starts a timer whose traced phase spans land on the
+// given lane (e.g. a per-rank lane for recovery breakdowns).
+func NewPhaseTimerLane(env *vclock.Env, lane string) *PhaseTimer {
+	return &PhaseTimer{env: env, lane: lane, start: env.Now(), last: env.Now()}
 }
 
 // Mark closes the current phase under name.
 func (t *PhaseTimer) Mark(name string) {
 	now := t.env.Now()
 	t.phases = append(t.phases, Phase{Name: name, Dur: now - t.last})
+	if rec := trace.Of(t.env); rec != nil {
+		rec.Begin(t.last, "phase", t.lane, name).End(now)
+	}
 	t.last = now
 }
 

@@ -26,6 +26,7 @@ import (
 	"fmt"
 
 	"jitckpt/internal/gpu"
+	"jitckpt/internal/trace"
 	"jitckpt/internal/vclock"
 )
 
@@ -210,6 +211,7 @@ func (e *Engine) CommInitRank(p *vclock.Proc, key string, gen, nranks, rank int,
 	if e.onCommInit != nil {
 		e.onCommInit(key, gen, rank)
 	}
+	sp := trace.Of(e.env).Begin(p.Now(), "nccl", key, "comm-init", "gen", gen, "rank", rank)
 	ik := initKey{key, gen}
 	st, ok := e.inits[ik]
 	if !ok {
@@ -227,6 +229,7 @@ func (e *Engine) CommInitRank(p *vclock.Proc, key string, gen, nranks, rank int,
 	}
 	// Bootstrap cost: every rank pays it after the barrier.
 	p.Sleep(e.params.CommInitBase + vclock.Time(nranks)*e.params.CommInitPerRank)
+	sp.End(p.Now())
 
 	gk := groupKey{key, gen}
 	// A fault injected while this generation was still bootstrapping lands
@@ -235,6 +238,7 @@ func (e *Engine) CommInitRank(p *vclock.Proc, key string, gen, nranks, rank int,
 	// it. The generation is burned either way; re-initializing under a new
 	// generation is unaffected.
 	if fk, faulted := e.pending[gk]; faulted {
+		trace.Of(e.env).Instant(p.Now(), "nccl", key, "init-fault", "gen", gen, "rank", rank, "kind", int(fk))
 		if fk == FaultHang {
 			p.Wait(e.env.NewEvent(fmt.Sprintf("nccl.init.hang.%s.g%d", key, gen)))
 		}
@@ -271,6 +275,7 @@ func (e *Engine) InjectFault(key string, gen int, kind FaultKind) {
 	if g, ok := e.groups[gk]; ok {
 		g.fault = kind
 		e.env.Tracef("nccl: fault %d injected on %s.g%d", kind, key, gen)
+		trace.Of(e.env).Instant(e.env.Now(), "nccl", key, "inject-fault", "gen", gen, "kind", int(kind))
 		return
 	}
 	// The generation has not finished bootstrapping: record the fault so it
@@ -356,6 +361,8 @@ func (g *commGroup) arriveColl(p *vclock.Proc, kind string, seq, rank int, in, o
 			gpu.TransferTime(costBytes(bytes, g.nranks), g.engine.params.BusBandwidth)
 		p.Sleep(cost)
 		err := cs.err
+		trace.Of(g.engine.env).Instant(p.Now(), "nccl", g.key, "collective",
+			"kind", kind, "gen", g.gen, "seq", seq, "bytes", bytes, "nranks", g.nranks)
 		if err == nil && g.engine.observer != nil {
 			g.engine.observer(CollectiveDone{Key: g.key, Gen: g.gen, Kind: kind, Bytes: bytes, Ranks: g.nranks})
 		}

@@ -43,6 +43,7 @@ import (
 
 	"jitckpt/internal/checkpoint"
 	"jitckpt/internal/gpu"
+	"jitckpt/internal/trace"
 	"jitckpt/internal/train"
 	"jitckpt/internal/vclock"
 )
@@ -167,6 +168,7 @@ func (s *Shelter) MarkNodeLost(node int) {
 		delete(s.hosts, node)
 		s.env.Tracef("peerckpt: node %d lost, sheltered entries gone", node)
 	}
+	trace.Of(s.env).Instant(s.env.Now(), "peer", trace.LaneSim, "node-lost", "node", node)
 }
 
 // survivingNodes returns the IDs of hosting nodes still alive, sorted.
@@ -199,10 +201,14 @@ func (s *Shelter) commit(p *vclock.Proc, node int, ms *train.ModelState, stateBy
 	if st == nil {
 		return fmt.Errorf("peerckpt: host node %d is lost", node)
 	}
+	sp := trace.Of(s.env).Begin(p.Now(), "peer", trace.Rank(ms.Rank), "shelter-commit",
+		"node", node, "iter", ms.Iter)
 	dir := checkpoint.RankDir(s.job, PolicyName, ms.Iter, ms.Rank)
 	if err := checkpoint.WriteRankRetry(p, st, dir, ms, stateBytes, s.retry); err != nil {
+		sp.End(p.Now(), "err", err)
 		return err
 	}
+	sp.End(p.Now())
 	s.commits++
 	s.bytesSheltered += stateBytes
 	s.pruneRank(st, ms.Rank, ms.Iter)
@@ -421,6 +427,8 @@ func (r *Replicator) Offer(w StatePeeker) {
 	iter := ms.Iter
 	s.env.Go(fmt.Sprintf("peerrepl.r%d", r.rank), func(p *vclock.Proc) {
 		defer func() { r.busy = false }()
+		sp := trace.Of(s.env).Begin(p.Now(), "peer", trace.Rank(r.rank), "replicate", "iter", iter)
+		defer func() { sp.End(p.Now()) }()
 		// Stage the state through host memory (PCIe D2H), overlapped with
 		// the next minibatch's compute.
 		if r.d2hBW > 0 {
@@ -431,6 +439,7 @@ func (r *Replicator) Offer(w StatePeeker) {
 		// the owner dies — the bytes live in host/peer memory.
 		if r.dev != nil && !r.dev.Accessible() {
 			s.abortedCaptures++
+			trace.Of(s.env).Instant(p.Now(), "peer", trace.Rank(r.rank), "capture-abort", "iter", iter)
 			return
 		}
 		for _, n := range r.hosts {

@@ -30,6 +30,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"sort"
 
 	"jitckpt/internal/cuda"
 	"jitckpt/internal/gpu"
@@ -287,8 +288,15 @@ func (s *Server) startHandler(thread int, tq *vclock.Queue[Request]) {
 // This is the §4.2 "watchdog thread aborts all in-flight operations" for
 // recoveries that keep the proxy server (and device memory) alive.
 func (s *Server) ResetThreads() {
-	for t, hp := range s.threadProcs {
-		hp.Kill()
+	// Kill in thread order: map iteration order would make the kill (and
+	// the traced proc-end) sequence nondeterministic.
+	threads := make([]int, 0, len(s.threadProcs))
+	for t := range s.threadProcs {
+		threads = append(threads, t)
+	}
+	sort.Ints(threads)
+	for _, t := range threads {
+		s.threadProcs[t].Kill()
 		delete(s.threadProcs, t)
 		delete(s.threadQs, t)
 	}

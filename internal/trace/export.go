@@ -1,0 +1,191 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace-event JSON array
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU);
+// Perfetto and chrome://tracing both load it.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`
+	Dur  float64           `json:"dur,omitempty"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	S    string            `json:"s,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome writes the full log as Chrome trace-event JSON. Each
+// simulation run becomes one "process" (runs restart virtual time at
+// zero), each lane one named "thread"; paired spans become complete 'X'
+// events, unclosed spans stay open-ended 'B' events, instants become 'i'.
+func WriteChrome(w io.Writer, r *Recorder) error {
+	evs := r.Events()
+
+	// Stable lane -> tid assignment per run, in order of first appearance.
+	type laneKey struct {
+		run  int
+		lane string
+	}
+	tids := make(map[laneKey]int)
+	var out []chromeEvent
+	runSeen := make(map[int]bool)
+	tid := func(run int, lane string) int {
+		k := laneKey{run, lane}
+		if id, ok := tids[k]; ok {
+			return id
+		}
+		id := len(tids) + 1
+		tids[k] = id
+		if !runSeen[run] {
+			runSeen[run] = true
+			out = append(out, chromeEvent{
+				Name: "process_name", Ph: "M", PID: run, TID: 0,
+				Args: map[string]string{"name": fmt.Sprintf("run %d", run)},
+			})
+		}
+		out = append(out, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: run, TID: id,
+			Args: map[string]string{"name": lane},
+		})
+		return id
+	}
+
+	// Pair span ends with their begins.
+	endOf := make(map[uint64]*Ev, len(evs)/2)
+	for i := range evs {
+		ev := &evs[i]
+		if ev.Ph == 'E' {
+			if _, dup := endOf[ev.Ref]; !dup {
+				endOf[ev.Ref] = ev
+			}
+		}
+	}
+
+	us := func(t int64) float64 { return float64(t) / 1e3 }
+	for i := range evs {
+		ev := &evs[i]
+		ce := chromeEvent{
+			Name: ev.Name, Cat: ev.Cat, PID: ev.Run, TID: tid(ev.Run, ev.Lane),
+			TS: us(int64(ev.T)), Args: argMap(ev.Args),
+		}
+		switch ev.Ph {
+		case 'B':
+			if end, ok := endOf[ev.Seq]; ok {
+				ce.Ph = "X"
+				ce.Dur = us(int64(end.T - ev.T))
+				for _, a := range end.Args {
+					if ce.Args == nil {
+						ce.Args = make(map[string]string)
+					}
+					ce.Args[a.K] = a.V
+				}
+			} else {
+				ce.Ph = "B"
+			}
+		case 'E':
+			continue // folded into the begin's 'X' above
+		case 'i':
+			ce.Ph = "i"
+			ce.S = "t"
+		default:
+			continue
+		}
+		out = append(out, ce)
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(chromeFile{TraceEvents: out, DisplayTimeUnit: "ms"})
+}
+
+func argMap(args []Arg) map[string]string {
+	if len(args) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(args))
+	for _, a := range args {
+		m[a.K] = a.V
+	}
+	return m
+}
+
+// TextOptions filter the compact text timeline.
+type TextOptions struct {
+	// Cats restricts output to the listed categories (nil = all).
+	Cats []string
+}
+
+// WriteText writes the compact deterministic text timeline: one line per
+// event, in record order, fixed-width virtual-time prefix. The format is
+// stable — goldens and docs depend on it:
+//
+//	0.000000000 i core  sim    run label=x
+//	1.250000000 B ckpt  rank0  pc-save iter=5
+//	1.310000000 E ckpt  rank0  pc-save
+func WriteText(w io.Writer, r *Recorder, opt TextOptions) error {
+	var want map[string]bool
+	if len(opt.Cats) > 0 {
+		want = make(map[string]bool, len(opt.Cats))
+		for _, c := range opt.Cats {
+			want[c] = true
+		}
+	}
+	multi := false
+	evs := r.Events()
+	for i := range evs {
+		if evs[i].Run > 1 {
+			multi = true
+			break
+		}
+	}
+	for i := range evs {
+		ev := &evs[i]
+		if want != nil && !want[ev.Cat] {
+			continue
+		}
+		if multi {
+			if _, err := fmt.Fprintf(w, "r%d ", ev.Run); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%.9f %c %-5s %-6s %s", ev.T.Sec(), ev.Ph, ev.Cat, ev.Lane, ev.Name); err != nil {
+			return err
+		}
+		for _, a := range ev.Args {
+			if _, err := fmt.Fprintf(w, " %s=%s", a.K, a.V); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Lanes returns every lane present in the log, sorted.
+func (r *Recorder) Lanes() []string {
+	seen := make(map[string]bool)
+	for _, ev := range r.Events() {
+		seen[ev.Lane] = true
+	}
+	out := make([]string, 0, len(seen))
+	for l := range seen {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}

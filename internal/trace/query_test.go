@@ -1,0 +1,156 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// cleanLog builds a minimal log satisfying every invariant: detection,
+// a jit-save after it, a successful recovery episode containing a valid
+// restore, and a gen-1 incarnation that restores before training.
+func cleanLog() *Recorder {
+	r := New()
+	run := r.Begin(0, "core", LaneSim, "run")
+	inc0 := r.Begin(0, "core", LaneSim, "incarnation", "gen", 0)
+	r.Begin(10, "train", Rank(0), "opt-step").End(20)
+	r.Instant(25, "fail", Rank(1), "detected", "by", "heartbeat")
+	r.Begin(30, "ckpt", Rank(0), "jit-save").End(40)
+	inc0.End(45)
+	inc1 := r.Begin(45, "core", LaneSim, "incarnation", "gen", 1)
+	r.Instant(50, "ckpt", Rank(0), "restore-done", "valid", true)
+	r.Begin(55, "train", Rank(0), "iter").End(60)
+	inc1.End(60)
+	run.End(60)
+	return r
+}
+
+func TestCheckInvariantsClean(t *testing.T) {
+	if err := CheckInvariants(NewQuery(cleanLog())); err != nil {
+		t.Fatalf("clean log rejected: %v", err)
+	}
+}
+
+func wantViolation(t *testing.T, r *Recorder, fragment string) {
+	t.Helper()
+	err := CheckInvariants(NewQuery(r))
+	if err == nil {
+		t.Fatalf("violation not detected (want %q)", fragment)
+	}
+	if !strings.Contains(err.Error(), fragment) {
+		t.Fatalf("error %q does not mention %q", err, fragment)
+	}
+}
+
+func TestInvariantMutationSaveOverlap(t *testing.T) {
+	r := New()
+	r.Instant(5, "fail", Rank(1), "detected", "by", "watchdog")
+	r.Begin(10, "train", Rank(0), "opt-step").End(30)
+	r.Begin(20, "ckpt", Rank(0), "jit-save").End(40)
+	wantViolation(t, r, "overlaps")
+}
+
+func TestInvariantOverlapExemptions(t *testing.T) {
+	// Open optimizer step: the interrupted-mutation roll-forward case.
+	r := New()
+	r.Instant(5, "fail", Rank(1), "detected", "by", "watchdog")
+	r.Begin(10, "train", Rank(0), "opt-step") // never ends
+	r.Begin(20, "ckpt", Rank(0), "jit-save").End(40)
+	if err := CheckInvariants(NewQuery(r)); err != nil {
+		t.Fatalf("open opt-step should be exempt: %v", err)
+	}
+
+	// Different lanes never conflict.
+	r = New()
+	r.Instant(5, "fail", Rank(1), "detected", "by", "watchdog")
+	r.Begin(10, "train", Rank(0), "opt-step").End(30)
+	r.Begin(20, "ckpt", Rank(1), "jit-save").End(40)
+	if err := CheckInvariants(NewQuery(r)); err != nil {
+		t.Fatalf("cross-lane overlap should be allowed: %v", err)
+	}
+
+	// Touching endpoints do not overlap.
+	r = New()
+	r.Instant(5, "fail", Rank(1), "detected", "by", "watchdog")
+	r.Begin(10, "train", Rank(0), "opt-step").End(20)
+	r.Begin(20, "ckpt", Rank(0), "pc-save").End(30)
+	if err := CheckInvariants(NewQuery(r)); err != nil {
+		t.Fatalf("adjacent intervals should be allowed: %v", err)
+	}
+
+	// A save quiesced inside a recovery episode may be bracketed by a
+	// parked worker's optimizer step that only closes after resuming.
+	r = New()
+	r.Instant(12, "fail", Rank(1), "detected", "by", "watchdog")
+	r.Begin(10, "train", Rank(0), "opt-step").End(100)
+	ep := r.Begin(12, "core", LaneSim, "recovery")
+	r.Begin(20, "ckpt", Rank(0), "jit-save").End(40)
+	r.Instant(45, "ckpt", Rank(0), "restore-done", "valid", true)
+	ep.End(60, "ok", true)
+	if err := CheckInvariants(NewQuery(r)); err != nil {
+		t.Fatalf("quiesced in-episode save should be exempt: %v", err)
+	}
+}
+
+func TestInvariantRecoveryWithoutRestore(t *testing.T) {
+	r := New()
+	r.Begin(10, "core", LaneSim, "recovery").End(20, "ok", true)
+	wantViolation(t, r, "without a valid restore")
+}
+
+func TestInvariantFailedRecoveryNeedsNoRestore(t *testing.T) {
+	r := New()
+	r.Begin(10, "core", LaneSim, "recovery").End(20, "ok", false)
+	if err := CheckInvariants(NewQuery(r)); err != nil {
+		t.Fatalf("failed episode should not require a restore: %v", err)
+	}
+}
+
+func TestInvariantRestartWithoutRestore(t *testing.T) {
+	r := New()
+	inc := r.Begin(0, "core", LaneSim, "incarnation", "gen", 2)
+	r.Begin(10, "train", Rank(0), "iter").End(15)
+	inc.End(20)
+	wantViolation(t, r, "resumed training")
+}
+
+func TestInvariantRestartFreshStartFallbackAllowed(t *testing.T) {
+	r := New()
+	inc := r.Begin(0, "core", LaneSim, "incarnation", "gen", 2)
+	r.Begin(2, "ckpt", Rank(0), "restore").End(5, "err", "no usable generation")
+	r.Begin(10, "train", Rank(0), "iter").End(15)
+	inc.End(20)
+	if err := CheckInvariants(NewQuery(r)); err != nil {
+		t.Fatalf("explicit fallback should satisfy the invariant: %v", err)
+	}
+}
+
+func TestInvariantJITSaveBeforeDetection(t *testing.T) {
+	r := New()
+	r.Begin(10, "ckpt", Rank(0), "jit-save").End(20)
+	wantViolation(t, r, "precedes every failure detection")
+}
+
+func TestInvariantSpanEndsBeforeStart(t *testing.T) {
+	r := New()
+	sp := r.Begin(10, "c", LaneSim, "s")
+	sp.End(5)
+	wantViolation(t, r, "ends before it starts")
+}
+
+func TestReconcileAccounting(t *testing.T) {
+	r := New()
+	r.Begin(0, "core", LaneSim, "run").End(100)
+	q := NewQuery(r)
+	if err := ReconcileAccounting(q, 70, 30, 100); err != nil {
+		t.Fatalf("exact reconcile rejected: %v", err)
+	}
+	if err := ReconcileAccounting(q, 70, 29, 100); err == nil {
+		t.Fatal("sum mismatch accepted")
+	}
+	if err := ReconcileAccounting(q, -1, 101, 100); err == nil {
+		t.Fatal("negative useful accepted")
+	}
+	if err := ReconcileAccounting(q, 60, 30, 90); err == nil {
+		t.Fatal("run-span/wall mismatch accepted")
+	}
+}

@@ -1,0 +1,209 @@
+// Package trace is the simulation-wide structured event recorder: a
+// deterministic, vclock-timestamped span/instant log with per-rank and
+// per-device lanes, recorded by the hot layers (vclock, gpu, nccl,
+// checkpoint, peerckpt, failure, intercept, train, core) when a Recorder
+// is attached to the run's vclock.Env.
+//
+// Design constraints, in order:
+//
+//   - Off by default, nil-safe everywhere: every emit site goes through
+//     trace.Of(env) (or a cached *Recorder), and every Recorder method is
+//     a no-op on a nil receiver, so the layers carry permanent one-line
+//     emit calls with zero configuration.
+//
+//   - Must not perturb the simulation: recording never sleeps, never
+//     touches the environment's random source, and never blocks, so a
+//     traced run is bit-identical (virtual times, RNG stream, loss
+//     trajectory) to an untraced one.
+//
+//   - Deterministic: the simulation kernel runs exactly one process at a
+//     time, so appends happen in a deterministic total order; each event
+//     is stamped with (virtual time, append sequence), and both exporters
+//     emit byte-identical output for identical runs.
+//
+// The taxonomy is small and stable — categories name the emitting layer
+// ("sched", "gpu", "cuda", "nccl", "ckpt", "peer", "fail", "dog",
+// "train", "phase", "core"), lanes name where the event happened
+// ("rank3", "n1.g0", or "sim" for global events), and args are
+// preformatted key=value string pairs.
+package trace
+
+import (
+	"fmt"
+	"strconv"
+
+	"jitckpt/internal/vclock"
+)
+
+// LaneSim is the lane for events not tied to a rank or device.
+const LaneSim = "sim"
+
+// Rank returns the lane name for a training rank.
+func Rank(r int) string { return "rank" + strconv.Itoa(r) }
+
+// Arg is one preformatted key/value annotation on an event.
+type Arg struct {
+	K, V string
+}
+
+// Ev is one recorded event. Ph follows the Chrome trace-event phase
+// letters: 'B' span begin, 'E' span end, 'i' instant. An 'E' event
+// repeats its begin's identity fields and carries Ref = the begin's Seq.
+type Ev struct {
+	T    vclock.Time
+	Seq  uint64
+	Run  int
+	Ph   byte
+	Cat  string
+	Lane string
+	Name string
+	Args []Arg
+	Ref  uint64 // for 'E': Seq of the matching 'B'
+}
+
+// Recorder accumulates events for one or more simulation runs. It is not
+// safe for concurrent use from outside a simulation; inside one, the
+// vclock kernel's one-process-at-a-time execution makes appends safe.
+type Recorder struct {
+	evs []Ev
+	seq uint64
+	run int
+}
+
+// New creates an empty Recorder.
+func New() *Recorder { return &Recorder{run: 1} }
+
+// BeginRun marks the start of a new simulation run sharing this recorder
+// (virtual time restarts at zero per run; exporters keep runs apart).
+// The first run is implicit, so single-run users never call this.
+func (r *Recorder) BeginRun(label string) {
+	if r == nil {
+		return
+	}
+	if len(r.evs) > 0 {
+		r.run++
+	}
+	r.emit(0, 'i', "core", LaneSim, "run-begin", []Arg{{"label", label}})
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.evs)
+}
+
+// Events returns the raw event log in record order.
+func (r *Recorder) Events() []Ev {
+	if r == nil {
+		return nil
+	}
+	return r.evs
+}
+
+// Reset clears the log, keeping allocated capacity.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.evs = r.evs[:0]
+	r.seq = 0
+	r.run = 1
+}
+
+func (r *Recorder) emit(t vclock.Time, ph byte, cat, lane, name string, args []Arg) uint64 {
+	r.seq++
+	r.evs = append(r.evs, Ev{T: t, Seq: r.seq, Run: r.run, Ph: ph, Cat: cat, Lane: lane, Name: name, Args: args})
+	return r.seq
+}
+
+// Span is a handle for an open span; End closes it. The zero Span (from a
+// nil Recorder) is inert.
+type Span struct {
+	r   *Recorder
+	ref uint64
+
+	cat, lane, name string
+}
+
+// Begin opens a span at time t on the given lane. Args are alternating
+// key, value pairs (values are formatted immediately).
+func (r *Recorder) Begin(t vclock.Time, cat, lane, name string, kv ...interface{}) Span {
+	if r == nil {
+		return Span{}
+	}
+	ref := r.emit(t, 'B', cat, lane, name, fmtArgs(kv))
+	return Span{r: r, ref: ref, cat: cat, lane: lane, name: name}
+}
+
+// End closes the span at time t. Ending a zero Span is a no-op; ending a
+// span twice records a second (harmless, query-ignored) end event.
+func (s Span) End(t vclock.Time, kv ...interface{}) {
+	if s.r == nil {
+		return
+	}
+	r := s.r
+	r.seq++
+	r.evs = append(r.evs, Ev{T: t, Seq: r.seq, Run: r.run, Ph: 'E',
+		Cat: s.cat, Lane: s.lane, Name: s.name, Args: fmtArgs(kv), Ref: s.ref})
+}
+
+// Instant records a point event at time t.
+func (r *Recorder) Instant(t vclock.Time, cat, lane, name string, kv ...interface{}) {
+	if r == nil {
+		return
+	}
+	r.emit(t, 'i', cat, lane, name, fmtArgs(kv))
+}
+
+// ProcStart implements vclock.ProcRecorder.
+func (r *Recorder) ProcStart(t vclock.Time, id int, name string) {
+	if r == nil {
+		return
+	}
+	r.emit(t, 'i', "sched", LaneSim, "proc-start", []Arg{{"id", strconv.Itoa(id)}, {"proc", name}})
+}
+
+// ProcEnd implements vclock.ProcRecorder.
+func (r *Recorder) ProcEnd(t vclock.Time, id int, name string) {
+	if r == nil {
+		return
+	}
+	r.emit(t, 'i', "sched", LaneSim, "proc-end", []Arg{{"id", strconv.Itoa(id)}, {"proc", name}})
+}
+
+// Of returns the Recorder attached to env, or nil (an inert recorder)
+// when tracing is off or env is nil.
+func Of(env *vclock.Env) *Recorder {
+	if env == nil {
+		return nil
+	}
+	r, _ := env.Recorder().(*Recorder)
+	return r
+}
+
+// Attach installs r on env (a convenience wrapper so callers outside the
+// vclock package need no type gymnastics). A nil r detaches.
+func Attach(env *vclock.Env, r *Recorder) {
+	if r == nil {
+		env.SetRecorder(nil)
+		return
+	}
+	env.SetRecorder(r)
+}
+
+// fmtArgs converts alternating key, value pairs into formatted Args.
+func fmtArgs(kv []interface{}) []Arg {
+	if len(kv) == 0 {
+		return nil
+	}
+	args := make([]Arg, 0, (len(kv)+1)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		args = append(args, Arg{K: fmt.Sprint(kv[i]), V: fmt.Sprint(kv[i+1])})
+	}
+	if len(kv)%2 == 1 {
+		args = append(args, Arg{K: fmt.Sprint(kv[len(kv)-1]), V: ""})
+	}
+	return args
+}

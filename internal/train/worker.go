@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"jitckpt/internal/cuda"
+	"jitckpt/internal/trace"
 	"jitckpt/internal/vclock"
 )
 
@@ -343,6 +344,20 @@ func (w *Worker) RunIter(p *vclock.Proc) (float32, error) {
 	if !w.ready {
 		return 0, fmt.Errorf("train: worker %d not set up", w.cfg.Rank)
 	}
+	// The iter span closes on return (with err on failure); a kill mid-
+	// minibatch unwinds past this frame and leaves it open, which is how
+	// the trace marks an interrupted iteration.
+	sp := trace.Of(p.Env()).Begin(p.Now(), "train", trace.Rank(w.cfg.Rank), "iter", "iter", w.iter)
+	loss, err := w.runIter(p)
+	if err != nil {
+		sp.End(p.Now(), "err", err)
+		return loss, err
+	}
+	sp.End(p.Now())
+	return loss, nil
+}
+
+func (w *Worker) runIter(p *vclock.Proc) (float32, error) {
 	cfg := w.cfg
 	api := cfg.API
 	iter := w.iter
@@ -375,6 +390,11 @@ func (w *Worker) RunIter(p *vclock.Proc) (float32, error) {
 	if cfg.Hooks.PreOptimizer != nil {
 		cfg.Hooks.PreOptimizer(p, iter)
 	}
+	// The opt-step span covers launch through stream drain — the window in
+	// which parameter buffers mutate on the device. It closes only once the
+	// synchronize confirms the kernels retired; an error or kill leaves it
+	// open (the mutation never completed, so trace invariants skip it).
+	osp := trace.Of(p.Env()).Begin(p.Now(), "train", trace.Rank(cfg.Rank), "opt-step", "iter", iter)
 	if err := w.optimizerStep(p, iter); err != nil {
 		return 0, err
 	}
@@ -385,6 +405,7 @@ func (w *Worker) RunIter(p *vclock.Proc) (float32, error) {
 	if err := api.StreamSynchronize(p, w.compute); err != nil {
 		return 0, err
 	}
+	osp.End(p.Now())
 	var loss float32
 	if w.IsLastStage() {
 		lv, err := api.MemcpyD2H(p, w.lossB, w.compute)

@@ -158,6 +158,15 @@ type Env struct {
 	failure error
 	running bool
 	tracer  func(t Time, format string, args ...interface{})
+	rec     interface{}
+}
+
+// ProcRecorder is implemented by recorders that want process-lifecycle
+// notifications (see SetRecorder). It lives here so vclock needs no
+// dependency on the trace package.
+type ProcRecorder interface {
+	ProcStart(t Time, id int, name string)
+	ProcEnd(t Time, id int, name string)
 }
 
 // NewEnv creates an environment whose random source is seeded with seed.
@@ -189,6 +198,15 @@ func (e *Env) Tracef(format string, args ...interface{}) {
 	}
 }
 
+// SetRecorder attaches a structured event recorder to the environment.
+// The slot is untyped so vclock stays dependency-free; the trace package
+// owns the concrete type and retrieves it with trace.Of. A recorder that
+// also implements ProcRecorder receives process start/end notifications.
+func (e *Env) SetRecorder(r interface{}) { e.rec = r }
+
+// Recorder returns the attached recorder slot (nil when tracing is off).
+func (e *Env) Recorder() interface{} { return e.rec }
+
 // Go spawns a new simulation process. It may be called before Run or from
 // inside a running process; the new process is appended to the run queue and
 // will execute at the current virtual time.
@@ -204,6 +222,9 @@ func (e *Env) Go(name string, body func(p *Proc)) *Proc {
 	e.nextID++
 	e.procs[p.id] = p
 	e.runq = append(e.runq, p)
+	if pr, ok := e.rec.(ProcRecorder); ok {
+		pr.ProcStart(e.now, p.id, p.name)
+	}
 	return p
 }
 
@@ -220,6 +241,9 @@ func (e *Env) start(p *Proc) {
 		if cause == wakeKilled {
 			p.state = stateDead
 			delete(e.procs, p.id)
+			if pr, ok := e.rec.(ProcRecorder); ok {
+				pr.ProcEnd(e.now, p.id, p.name)
+			}
 			e.yieldCh <- struct{}{}
 			return
 		}
@@ -231,6 +255,9 @@ func (e *Env) start(p *Proc) {
 			}
 			p.state = stateDead
 			delete(e.procs, p.id)
+			if pr, ok := e.rec.(ProcRecorder); ok {
+				pr.ProcEnd(e.now, p.id, p.name)
+			}
 			e.yieldCh <- struct{}{}
 		}()
 		p.body(p)
