@@ -9,7 +9,8 @@
 //
 //	jitbench                              # all tables
 //	jitbench -table 5                     # one table (9 = peer comparison,
-//	                                      #            10 = chaos suite)
+//	                                      #            10 = chaos suite,
+//	                                      #            11 = elastic sweep)
 //	jitbench -iters 20                    # longer measurement runs
 //	jitbench -quick                       # small model subset (fast smoke run)
 //	jitbench -table 9 -policies PeerShelter,UserJIT+Peer
@@ -181,6 +182,19 @@ func run(table int, opt experiments.Options, quick bool, policies []experiments.
 			return fmt.Errorf("chaos suite: %w", err)
 		}
 		fmt.Println(experiments.RenderChaos(rows).Render())
+	}
+	if want(11) {
+		eopt := experiments.DefaultElasticOptions()
+		eopt.Recorder = opt.Recorder
+		if quick {
+			eopt.Seeds = eopt.Seeds[:1]
+			eopt.MTBFs = eopt.MTBFs[:1]
+		}
+		rows, err := experiments.RunElasticSweep(eopt)
+		if err != nil {
+			return fmt.Errorf("elastic sweep: %w", err)
+		}
+		fmt.Println(experiments.RenderElasticSweep(rows).Render())
 	}
 	if table == 0 {
 		fmt.Println(experiments.DollarCostTable().Render())

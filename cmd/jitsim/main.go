@@ -12,6 +12,8 @@
 //	jitsim -policy pc_disk -fail-rate 200 -mix "gpu-hard:0.5,network-hang:0.5"
 //	jitsim -seed 1 -policy jit -trace out.json
 //	jitsim -policy userjit -fail gpu-hard -trace-text timeline.txt
+//	jitsim -workload GPT2-8B -policy jit+elastic -spares 0 -fail node-down
+//	                                  # no spares: shrink + degraded finish
 package main
 
 import (
@@ -31,23 +33,26 @@ import (
 )
 
 var policies = map[string]core.Policy{
-	"none":        core.PolicyNone,
-	"pc_disk":     core.PolicyPCDisk,
-	"pc_mem":      core.PolicyPCMem,
-	"checkfreq":   core.PolicyCheckFreq,
-	"pc_daily":    core.PolicyPCDaily,
-	"userjit":     core.PolicyUserJIT,
-	"transparent": core.PolicyTransparentJIT,
-	"jit":         core.PolicyTransparentJIT, // alias: the paper's headline mode
-	"jit+daily":   core.PolicyJITWithDaily,
-	"peer":        core.PolicyPeerShelter,
-	"jit+peer":    core.PolicyJITWithPeer,
+	"none":         core.PolicyNone,
+	"pc_disk":      core.PolicyPCDisk,
+	"pc_mem":       core.PolicyPCMem,
+	"checkfreq":    core.PolicyCheckFreq,
+	"pc_daily":     core.PolicyPCDaily,
+	"userjit":      core.PolicyUserJIT,
+	"transparent":  core.PolicyTransparentJIT,
+	"jit":          core.PolicyTransparentJIT, // alias: the paper's headline mode
+	"jit+daily":    core.PolicyJITWithDaily,
+	"peer":         core.PolicyPeerShelter,
+	"jit+peer":     core.PolicyJITWithPeer,
+	"jit+elastic":  core.PolicyElasticJIT,
+	"peer+elastic": core.PolicyElasticPeer,
 }
 
 func main() {
 	wlName := flag.String("workload", "BERT-B-FT", "workload name (see jitbench -table 2)")
-	policy := flag.String("policy", "transparent", "none|pc_disk|pc_mem|checkfreq|pc_daily|userjit|transparent|jit+daily|peer|jit+peer")
+	policy := flag.String("policy", "transparent", "none|pc_disk|pc_mem|checkfreq|pc_daily|userjit|transparent|jit+daily|peer|jit+peer|jit+elastic|peer+elastic")
 	iters := flag.Int("iters", 12, "useful minibatches to complete")
+	spares := flag.Int("spares", -1, "spare nodes in the pool (-1 = nodes+1; 0 with an elastic policy exercises shrink)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	failKind := flag.String("fail", "", "inject failure: gpu-hard|gpu-sticky|driver-corrupt|network-hang|network-error|node-down|storage-fault|rack-down")
 	failIter := flag.Int("fail-iter", 5, "iteration the failure fires in")
@@ -74,6 +79,9 @@ func main() {
 	cfg := core.JobConfig{
 		WL: wl, Policy: pol, Iters: *iters, Seed: *seed,
 		SpareNodes: wl.Nodes + 1, CollectLoss: true,
+	}
+	if *spares >= 0 {
+		cfg.SpareNodes = *spares
 	}
 	if *debug {
 		cfg.Trace = func(at vclock.Time, format string, args ...interface{}) {

@@ -232,6 +232,17 @@ type MultiAssembly struct {
 // valid entry wins. Within an iteration, earlier sources take precedence
 // (callers list the preferred tier first).
 func AssembleSources(p *vclock.Proc, job string, srcs []Source, topo train.Topology) (*MultiAssembly, error) {
+	return AssembleSourcesCross(p, job, srcs, topo, topo.World())
+}
+
+// AssembleSourcesCross is AssembleSources for elastic restores, where the
+// checkpoints may have been written at a different data-parallel width
+// than the topology now being restored. writerWorld bounds the writer
+// ranks admitted as candidates (the largest world size any contributing
+// era ran at). Position keys are width-invariant — (p, t, shard-slot)
+// does not depend on D — so a rank-r checkpoint written at D=4 restores
+// any reader rank at the same position under D=2, and vice versa.
+func AssembleSourcesCross(p *vclock.Proc, job string, srcs []Source, topo train.Topology, writerWorld int) (*MultiAssembly, error) {
 	byIter := make(map[int][]Located)
 	for si, src := range srcs {
 		prefix := fmt.Sprintf("%s/ckpt/%s/", job, src.Policy)
@@ -257,7 +268,7 @@ func AssembleSources(p *vclock.Proc, job string, srcs []Source, topo train.Topol
 	sort.Sort(sort.Reverse(sort.IntSlice(iters)))
 
 	for _, it := range iters {
-		asm, ok := tryAssembleSources(p, byIter[it], it, topo)
+		asm, ok := tryAssembleSources(p, byIter[it], it, topo, writerWorld)
 		if ok {
 			trace.Of(p.Env()).Instant(p.Now(), "ckpt", trace.LaneSim, "assemble", "iter", it)
 			return asm, nil
@@ -269,12 +280,12 @@ func AssembleSources(p *vclock.Proc, job string, srcs []Source, topo train.Topol
 	return nil, ErrUnassembled
 }
 
-func tryAssembleSources(p *vclock.Proc, cands []Located, iter int, topo train.Topology) (*MultiAssembly, bool) {
+func tryAssembleSources(p *vclock.Proc, cands []Located, iter int, topo train.Topology, writerWorld int) (*MultiAssembly, bool) {
 	// First valid checkpoint per position, in source order.
 	havePos := make(map[string]Located)
 	for _, c := range cands {
 		_, rank, ok := ParseRankDir(c.Dir)
-		if !ok || rank >= topo.World() {
+		if !ok || rank >= writerWorld {
 			continue
 		}
 		key := topo.PositionKey(rank)

@@ -81,6 +81,18 @@ const (
 	// PolicyJITWithDaily: when every replica of a position is lost, the
 	// sheltered copy is at most one iteration old, versus up to a day.
 	PolicyJITWithPeer
+	// PolicyElasticJIT is PolicyUserJIT plus elastic degraded-mode
+	// recovery (internal/elastic): when spares run out and no full
+	// placement exists, the job shrinks to the largest viable topology
+	// (dropping only data-parallel replicas, raising gradient accumulation
+	// to preserve the global batch), keeps training, and re-expands once
+	// the failure plan marks nodes repaired.
+	PolicyElasticJIT
+	// PolicyElasticPeer is PolicyJITWithPeer plus elastic degraded-mode
+	// recovery: the peer shelter keeps per-iteration replicas while the
+	// job runs degraded, so even a catastrophic loss at reduced width
+	// rolls back at most one iteration.
+	PolicyElasticPeer
 )
 
 // String renders the policy as the paper names it.
@@ -106,6 +118,10 @@ func (p Policy) String() string {
 		return "PeerShelter"
 	case PolicyJITWithPeer:
 		return "UserJIT+Peer"
+	case PolicyElasticJIT:
+		return "UserJIT+Elastic"
+	case PolicyElasticPeer:
+		return "UserJIT+Peer+Elastic"
 	default:
 		return fmt.Sprintf("Policy(%d)", int(p))
 	}
@@ -131,25 +147,34 @@ func (p Policy) PeriodicKind() (checkpoint.PeriodicKind, bool) {
 // library (§3).
 func (p Policy) UserLevelJIT() bool {
 	return p == PolicyUserJIT || p == PolicyJITWithDaily ||
-		p == PolicyPeerShelter || p == PolicyJITWithPeer
+		p == PolicyPeerShelter || p == PolicyJITWithPeer ||
+		p == PolicyElasticJIT || p == PolicyElasticPeer
 }
 
 // DiskJIT reports whether the policy's failure-time JIT flush targets
 // persistent storage (versus the peer shelter).
 func (p Policy) DiskJIT() bool {
-	return p == PolicyUserJIT || p == PolicyJITWithDaily || p == PolicyJITWithPeer
+	return p == PolicyUserJIT || p == PolicyJITWithDaily || p == PolicyJITWithPeer ||
+		p == PolicyElasticJIT || p == PolicyElasticPeer
 }
 
 // UsesPeerShelter reports whether the policy runs the peer-to-peer
 // in-memory checkpoint tier (internal/peerckpt).
 func (p Policy) UsesPeerShelter() bool {
-	return p == PolicyPeerShelter || p == PolicyJITWithPeer
+	return p == PolicyPeerShelter || p == PolicyJITWithPeer || p == PolicyElasticPeer
+}
+
+// Elastic reports whether the policy may shrink the job to a degraded
+// topology when spares run out, and re-expand after repairs.
+func (p Policy) Elastic() bool {
+	return p == PolicyElasticJIT || p == PolicyElasticPeer
 }
 
 // IsJIT reports whether the policy is one of the paper's contributions.
 func (p Policy) IsJIT() bool {
 	return p == PolicyUserJIT || p == PolicyTransparentJIT || p == PolicyJITWithDaily ||
-		p == PolicyPeerShelter || p == PolicyJITWithPeer
+		p == PolicyPeerShelter || p == PolicyJITWithPeer ||
+		p == PolicyElasticJIT || p == PolicyElasticPeer
 }
 
 // Solution is a row of the paper's Table 1.
@@ -171,6 +196,10 @@ func Solutions() []Solution {
 
 // JITPolicyName is the checkpoint-store namespace for JIT checkpoints.
 const JITPolicyName = "jit"
+
+// ElasticPolicyName is the checkpoint-store namespace for the planned
+// saves an elastic job takes at shrink/expand boundaries.
+const ElasticPolicyName = "elastic"
 
 // RecoveryReport records one failure-recovery episode for the evaluation
 // tables.
@@ -204,9 +233,26 @@ type PhaseDur struct {
 // Total returns end-to-end recovery time.
 func (r *RecoveryReport) Total() vclock.Time { return r.CompletedAt - r.DetectedAt }
 
+// KindNoViablePlacement is the report kind for a recovery episode that
+// determined eagerly — before spending JIT-checkpoint, CRIU, or quorum
+// time — that no placement can be assembled from healthy plus spare
+// nodes. It is terminal for fixed-width policies and the trigger for an
+// elastic shrink.
+const KindNoViablePlacement = "hard-failed:no-viable-placement"
+
 // Terminal reports whether the episode ended in a state retrying cannot
 // fix (no spare capacity, no assemblable checkpoint).
 func (r *RecoveryReport) Terminal() bool { return strings.HasPrefix(r.Kind, "hard-failed:") }
+
+// ElasticEligible reports whether the terminal condition is exactly
+// capacity exhaustion — the one failure class an elastic shrink can
+// convert back into forward progress. Checkpoint-loss terminality
+// (nothing assemblable) is not shrinkable: a narrower job still needs
+// every pipeline/tensor position's state.
+func (r *RecoveryReport) ElasticEligible() bool {
+	return r.Kind == KindNoViablePlacement ||
+		strings.HasPrefix(r.Kind, "hard-failed: scheduler: not enough healthy free nodes")
+}
 
 // Phase returns the duration of a named phase (0 if absent).
 func (r *RecoveryReport) Phase(name string) vclock.Time {

@@ -20,7 +20,7 @@ var updateGolden = flag.Bool("update", false, "rewrite the golden trace files in
 // injection/detection, peer sheltering, and recovery phase breakdowns.
 // Per-kernel gpu/cuda/nccl noise is covered by the determinism check
 // (which uses the unfiltered log) but kept out of the checked-in files.
-var goldenCats = []string{"core", "ckpt", "fail", "peer", "phase"}
+var goldenCats = []string{"core", "ckpt", "fail", "peer", "phase", "elastic"}
 
 // goldenScenarios pin one representative failure-recovery timeline per
 // policy family. Each must stay byte-identical across runs and across
@@ -68,6 +68,17 @@ var goldenScenarios = []struct {
 			WL: wl, Policy: PolicyTransparentJIT, Iters: 12, Seed: 1,
 			HangTimeout:  2 * vclock.Second,
 			IterFailures: injectAt(wl, 5.3, 1, failure.NetworkHang),
+		}
+	}},
+	{"elastic", func() JobConfig {
+		// Zero spares: the node failure forces a shrink to half width, the
+		// repair at iteration 9 triggers the mid-run expand back to full.
+		wl := testWL()
+		return JobConfig{
+			WL: wl, Policy: PolicyElasticJIT, Iters: 14, Seed: 1,
+			HangTimeout: 2 * vclock.Second, SpareNodes: 0,
+			IterFailures: append(injectAt(wl, 5.5, 1, failure.NodeDown),
+				IterInjection{Iter: 9, Frac: 0.5, Rank: 0, Kind: failure.NodeRepaired}),
 		}
 	}},
 }

@@ -7,6 +7,7 @@ import (
 	"jitckpt/internal/analysis"
 	"jitckpt/internal/checkpoint"
 	"jitckpt/internal/cuda"
+	"jitckpt/internal/elastic"
 	"jitckpt/internal/failure"
 	"jitckpt/internal/gpu"
 	"jitckpt/internal/intercept"
@@ -46,6 +47,19 @@ type JobConfig struct {
 	CkptInterval vclock.Time
 	// SpareNodes adds standby nodes for hard-error migration.
 	SpareNodes int
+	// Accum forces a gradient-accumulation factor from iteration 0 (see
+	// train.Config.Accum). Oracle runs use it to replay a degraded-mode
+	// trajectory from the start at reduced width; 0 or 1 = off.
+	Accum int
+	// DiskStore, when set, replaces the run's own shared checkpoint store.
+	// Oracle runs pass the store of a prior run so they restore from its
+	// checkpoints; the harness then does not create a fresh store.
+	DiskStore *checkpoint.Store
+	// RestoreWriterWorld bounds the writer ranks admitted during
+	// checkpoint assembly (0 = the larger of the full and current world).
+	// Oracle runs restoring another job's store set it to that job's full
+	// world so checkpoints written by its wider eras are admitted.
+	RestoreWriterWorld int
 	// HangTimeout configures the watchdog (0 = 10 s, short for fast
 	// simulations; the paper's deployments use larger values).
 	HangTimeout vclock.Time
@@ -102,6 +116,9 @@ type RunResult struct {
 	// Peer summarizes the peer-shelter tier's replication activity
 	// (UsesPeerShelter policies only).
 	Peer peerckpt.Stats
+	// Disk is the run's shared checkpoint store; oracle runs pass it back
+	// in via JobConfig.DiskStore to restore from this run's checkpoints.
+	Disk *checkpoint.Store
 }
 
 // OptimalInterval computes the periodic-checkpoint interval 1/c* for a
@@ -162,6 +179,18 @@ type harness struct {
 	peerPlan  map[int][]int
 	gen       int
 
+	// Elastic degraded-mode state: topo/accum are the CURRENT shape every
+	// incarnation builds workers from (equal to the workload's full shape
+	// unless an elastic shrink narrowed it).
+	elastic       *elastic.Controller
+	topo          train.Topology
+	accum         int
+	heldNodes     int // nodes the running incarnation occupies
+	maxIter       int // highest iteration any rank has started
+	waitCap       vclock.Time
+	degradedIters int
+	degradedExtra int // sum of (accum-1) over degraded iteration starts
+
 	res        *RunResult
 	iterStarts map[int]vclock.Time // reference rank's StartMinibatch times
 	refRank    int
@@ -196,12 +225,23 @@ func (h *harness) run() (*RunResult, error) {
 	h.cluster = gpu.NewCluster(h.env, wl.Nodes+cfg.SpareNodes, wl.PerNode, 1<<40)
 	h.pool = scheduler.NewPool(h.env, h.cluster.Nodes)
 	h.monitor = scheduler.NewMonitor(h.env)
-	h.disk = checkpoint.NewStore(h.env, "shared", wl.CkptStoreParams())
+	if cfg.DiskStore != nil {
+		h.disk = cfg.DiskStore
+	} else {
+		h.disk = checkpoint.NewStore(h.env, "shared", wl.CkptStoreParams())
+	}
 	h.tmpfs = checkpoint.NewStore(h.env, "tmpfs", checkpoint.TmpfsParams())
 	h.kernels = train.Kernels()
-	h.res = &RunResult{Policy: cfg.Policy, Loss: make(map[int]float32)}
+	h.res = &RunResult{Policy: cfg.Policy, Loss: make(map[int]float32), Disk: h.disk}
 	h.iterStarts = make(map[int]vclock.Time)
+	// The reference rank (d=0, last stage, t=0) has the same rank number
+	// at every data-parallel width, so it survives elastic shrinks.
 	h.refRank = wl.Topo.Rank(0, wl.Topo.P-1, 0)
+	h.topo = wl.Topo
+	h.accum = maxInt(cfg.Accum, 1)
+	if cfg.Policy.Elastic() {
+		h.elastic = elastic.New(wl.Topo, wl.Nodes)
+	}
 
 	if cfg.Policy.UsesPeerShelter() {
 		if wl.Nodes < 2 {
@@ -323,6 +363,34 @@ func (h *harness) run() (*RunResult, error) {
 	if cfg.Chaos != nil {
 		injector.ArmPhase(cfg.Chaos.PhaseInjections...)
 	}
+	// Repair events re-admit failed hardware. When the job is running
+	// degraded and the repaired capacity again covers the full width,
+	// schedule a mid-run expand: degraded workers stop (and checkpoint) a
+	// couple of iterations ahead, and the next incarnation restarts at
+	// full width.
+	injector.AllNodes = h.cluster.Nodes
+	injector.OnRepair = func(node *gpu.Node) {
+		h.pool.MarkRepaired(node.ID)
+		if h.elastic == nil || !h.elastic.Degraded() {
+			return
+		}
+		if h.pool.FreeHealthy()+h.heldNodes >= h.elastic.Full().Nodes {
+			at := h.maxIter + 2
+			if at < cfg.Iters {
+				h.elastic.RequestExpand(at)
+				h.env.Tracef("harness: repairs restored full capacity; expand scheduled at iter %d", at)
+			}
+		}
+	}
+	plannedRepairs := 0
+	for _, inj := range cfg.IterFailures {
+		if inj.Kind == failure.NodeRepaired {
+			plannedRepairs++
+		}
+	}
+	if plannedRepairs > 0 {
+		injector.NotePlannedRepairs(plannedRepairs)
+	}
 	injector.Start(cfg.Failures)
 	h.injector = injector
 	// Communicator (re-)initialization under a fresh generation is a
@@ -357,12 +425,13 @@ func (h *harness) workerConfig(rank int, api cuda.API, gil *vclock.Mutex, layer 
 		Name:     fmt.Sprintf("w%d", rank),
 		JobKey:   "job",
 		Rank:     rank,
-		Topo:     wl.Topo,
+		Topo:     h.topo,
 		Model:    wl.TrainModel(),
 		Opt:      wl.Optimizer(),
 		Step:     wl.StepTime(),
 		API:      api,
 		DataSeed: 7,
+		Accum:    h.accum,
 		GIL:      gil,
 	}
 	if layer != nil {
@@ -414,6 +483,9 @@ func (h *harness) noteIterStart(rank, iter int) {
 	if h.lastBeat != nil {
 		h.lastBeat[rank] = h.env.Now()
 	}
+	if iter > h.maxIter {
+		h.maxIter = iter
+	}
 	if rank != h.refRank {
 		return
 	}
@@ -438,6 +510,10 @@ func (h *harness) noteIterStart(rank, iter int) {
 		h.pendingIter = remain
 	}
 	h.execIters++
+	if h.accum > 1 {
+		h.degradedIters++
+		h.degradedExtra += h.accum - 1
+	}
 }
 
 // measuredMinibatch estimates the clean minibatch time from early
@@ -466,7 +542,15 @@ func (h *harness) finish() {
 	res.WallTime = h.env.Now()
 	res.Minibatch = h.measuredMinibatch()
 	res.ItersExecuted = h.execIters
-	res.Completed = len(h.doneRanks) == h.cfg.WL.Topo.World()
+	// The final incarnation's world size: an elastic run that finished in
+	// degraded mode completed with fewer ranks than the full workload.
+	res.Completed = len(h.doneRanks) == h.topo.World()
+	if h.elastic != nil && h.elastic.Degraded() {
+		// Trace invariant 6: a run that closes while degraded must say so
+		// explicitly — every shrink is followed by an expand or this.
+		trace.Of(h.env).Instant(res.WallTime, "elastic", trace.LaneSim, "end-degraded",
+			"world", h.topo.World(), "completed", res.Completed)
+	}
 
 	if h.collectReports != nil {
 		h.collectReports()
@@ -477,19 +561,31 @@ func (h *harness) finish() {
 	mb := res.Minibatch
 	acct := metrics.Accounting{N: h.cfg.WL.GPUs()}
 	acct.Checkpoints = h.ckptCount
-	useful := vclock.Time(minInt(h.execIters, h.cfg.Iters)) * mb
+	// A degraded iteration runs Accum microbatches and makes the forward
+	// progress of Accum full-width iterations' worth of samples: credit it
+	// with Accum×mb of useful time (DegradedUseful reports the total).
+	useful := vclock.Time(minInt(h.execIters, h.cfg.Iters))*mb +
+		vclock.Time(h.degradedExtra)*mb
 	redoIters := h.execIters - minInt(h.execIters, h.cfg.Iters)
 	acct.Useful = useful
 	acct.RedoWork = vclock.Time(redoIters) * mb
 	acct.CkptStall = h.ckptStall
+	acct.WaitingForCapacity = h.waitCap
+	acct.DegradedIters = h.degradedIters
+	acct.DegradedUseful = vclock.Time(h.degradedIters+h.degradedExtra) * mb
 	acct.Recoveries = maxInt(res.Incarnations-1, len(res.Reports))
-	if res.Completed {
-		fixed := res.WallTime - acct.Useful - acct.RedoWork - acct.CkptStall
-		if fixed < 0 {
-			fixed = 0
-		}
-		acct.RecoveryFixed = fixed
+	// Whatever the run spent that no bucket claims is recovery overhead —
+	// for a completed run the fixed recovery costs, for a stalled or
+	// failed one the time burnt before it gave up. Charging it keeps
+	// useful + wasted == wall exact at every terminal state.
+	fixed := res.WallTime - acct.Useful - acct.RedoWork - acct.CkptStall - acct.WaitingForCapacity
+	if fixed < 0 {
+		// Degraded-iteration credit can slightly overestimate progress
+		// rate; shave Useful rather than break useful+wasted == wall.
+		acct.Useful += fixed
+		fixed = 0
 	}
+	acct.RecoveryFixed = fixed
 	res.Accounting = acct
 	h.runSpan.End(res.WallTime, "completed", res.Completed,
 		"incarnations", res.Incarnations, "recoveries", acct.Recoveries)
@@ -605,6 +701,9 @@ const (
 	endCompleted incarnationEnd = iota
 	endFailed
 	endHorizon
+	// endExpand: degraded workers stopped and checkpointed so the next
+	// incarnation can restart at full width on repaired nodes.
+	endExpand
 )
 
 func (e incarnationEnd) String() string {
@@ -613,6 +712,8 @@ func (e incarnationEnd) String() string {
 		return "completed"
 	case endFailed:
 		return "failed"
+	case endExpand:
+		return "expand"
 	default:
 		return "horizon"
 	}
@@ -641,26 +742,85 @@ func (h *harness) runIncarnations() error {
 func (h *harness) runOneIncarnation(p *vclock.Proc) (end incarnationEnd) {
 	cfg := h.cfg
 	wl := cfg.WL
-	world := wl.Topo.World()
-	isp := trace.Of(h.env).Begin(p.Now(), "core", trace.LaneSim, "incarnation", "gen", h.gen)
-	defer func() { isp.End(p.Now(), "end", end) }()
 
-	nodes, err := h.pool.Allocate(wl.Nodes, nil)
-	if err != nil {
-		h.env.Tracef("harness: allocation failed: %v", err)
+	// Elastic re-expand at the incarnation boundary: a degraded job
+	// returns to full width as soon as the repaired capacity exists. The
+	// rejoining ranks bootstrap from the degraded era's checkpoints —
+	// position keys are width-invariant, so cross-world assembly hands
+	// every new rank a surviving replica's state.
+	if h.elastic != nil && h.elastic.Degraded() && h.pool.FreeHealthy() >= h.elastic.Full().Nodes {
+		plan := h.elastic.Expand()
+		h.topo, h.accum = plan.Topo, maxInt(cfg.Accum, 1)
+		trace.Of(h.env).Instant(p.Now(), "elastic", trace.LaneSim, "expand",
+			"world", plan.Topo.World(), "nodes", plan.Nodes)
+		h.env.Tracef("harness: elastic expand back to full width D=%d on %d nodes",
+			plan.Topo.D, plan.Nodes)
+	}
+
+	// Allocate, shrinking — or waiting for a planned repair — when no full
+	// placement exists. Fixed-width policies keep the old behavior (give
+	// up until the horizon); elastic policies degrade instead of dying.
+	wantNodes := wl.Nodes
+	if h.elastic != nil {
+		wantNodes = h.elastic.Plan().Nodes
+	}
+	nodes, err := h.pool.Allocate(wantNodes, nil)
+	for err != nil {
+		if h.elastic == nil {
+			h.env.Tracef("harness: allocation failed: %v", err)
+			return endHorizon
+		}
+		minNodes := 0
+		if h.shelter != nil {
+			minNodes = 2 // peer shelter needs a second failure domain
+		}
+		if plan, ok := h.elastic.Shrink(wl.PerNode, h.pool.FreeHealthy(), minNodes); ok {
+			h.topo = plan.Topo
+			h.accum = plan.Accum * maxInt(cfg.Accum, 1)
+			wantNodes = plan.Nodes
+			trace.Of(h.env).Instant(p.Now(), "elastic", trace.LaneSim, "shrink",
+				"world", plan.Topo.World(), "accum", h.accum, "nodes", plan.Nodes)
+			h.env.Tracef("harness: elastic shrink to D=%d accum=%d on %d nodes",
+				plan.Topo.D, h.accum, plan.Nodes)
+			nodes, err = h.pool.Allocate(wantNodes, nil)
+			continue
+		}
+		if h.injector.RepairsPending() {
+			timeout := cfg.Horizon - p.Now()
+			if timeout <= 0 {
+				return endHorizon
+			}
+			wait0 := p.Now()
+			h.injector.AwaitRepair(p, timeout)
+			h.waitCap += p.Now() - wait0
+			nodes, err = h.pool.Allocate(wantNodes, nil)
+			continue
+		}
+		h.env.Tracef("harness: allocation failed, no viable shrink, no repairs pending: %v", err)
 		return endHorizon
 	}
+	h.heldNodes = wantNodes
+	defer func() { h.heldNodes = 0 }()
 	defer h.pool.Release(nodes)
+
+	world := h.topo.World()
+	isp := trace.Of(h.env).Begin(p.Now(), "core", trace.LaneSim, "incarnation",
+		"gen", h.gen, "world", world)
+	defer func() { isp.End(p.Now(), "end", end) }()
+
 	placement, err := scheduler.Place(nodes, world)
 	if err != nil {
 		return endHorizon
 	}
 	h.placement = placement
+	// Completion is judged against the CURRENT world: stale done-marks
+	// from a wider incarnation must not count.
+	h.doneRanks = make(map[int]bool)
 	if h.shelter != nil {
 		// Failure-domain-aware shelter placement: each rank's state goes to
 		// host nodes outside its own (and, when possible, outside every
 		// data-parallel replica's) failure domain.
-		plan, err := scheduler.PeerPlan(placement, wl.Topo, h.shelter.Params().Copies)
+		plan, err := scheduler.PeerPlan(placement, h.topo, h.shelter.Params().Copies)
 		if err != nil {
 			h.env.Tracef("harness: peer plan failed: %v", err)
 			return endHorizon
@@ -694,6 +854,10 @@ func (h *harness) runOneIncarnation(p *vclock.Proc) (end incarnationEnd) {
 	failed := h.env.NewEvent(fmt.Sprintf("job.failed.g%d", h.gen))
 	doneCount := 0
 	allDone := h.env.NewEvent(fmt.Sprintf("job.done.g%d", h.gen))
+	// expandStop fires when every degraded worker has reached the expand
+	// iteration and checkpointed; the next incarnation restarts full-width.
+	expandCount := 0
+	expandStop := h.env.NewEvent(fmt.Sprintf("job.expand.g%d", h.gen))
 
 	for r := 0; r < world; r++ {
 		drv, err := cuda.NewDriver(placement[r], h.engine, h.kernels, wl.CUDAParams())
@@ -786,6 +950,25 @@ func (h *harness) runOneIncarnation(p *vclock.Proc) (end incarnationEnd) {
 				}
 			}
 			for st.worker.Iter() < cfg.Iters {
+				if h.elastic != nil {
+					// Mid-run expand: stop at the scheduled iteration after
+					// persisting state so the full-width restart can restore
+					// it. The per-iteration all-reduce keeps every rank in
+					// lockstep, so all world workers stop at the same iter.
+					if at, ok := h.elastic.ExpandRequested(); ok && st.worker.Iter() >= at {
+						if err := h.elasticSave(wp, st.worker, r); err != nil {
+							h.noteDetected(wp.Now(), r, "elastic-save")
+							h.monitor.Notify(scheduler.Event{Kind: scheduler.EvRankExited, Rank: r, Err: err})
+							failed.Trigger()
+							return
+						}
+						expandCount++
+						if expandCount == world {
+							expandStop.Trigger()
+						}
+						return
+					}
+				}
 				if _, err := st.worker.RunIter(wp); err != nil {
 					h.noteDetected(wp.Now(), r, "iter-error")
 					h.monitor.Notify(scheduler.Event{Kind: scheduler.EvRankExited, Rank: r, Iter: st.worker.Iter(), Err: err})
@@ -824,7 +1007,10 @@ func (h *harness) runOneIncarnation(p *vclock.Proc) (end incarnationEnd) {
 	// periodic baselines have no interception layer to detect hangs).
 	hbStop := h.env.NewEvent(fmt.Sprintf("hb.stop.g%d", h.gen))
 	h.env.Go(fmt.Sprintf("heartbeat.g%d", h.gen), func(hp *vclock.Proc) {
-		threshold := 3*wl.Minibatch + cfg.HangTimeout + interval
+		// A degraded iteration runs accum microbatches, so heartbeats
+		// legitimately arrive accum× further apart.
+		mbEff := wl.Minibatch * vclock.Time(maxInt(h.accum, 1))
+		threshold := 3*mbEff + cfg.HangTimeout + interval
 		// Ranks with no beat yet are normally in legitimate setup
 		// (communicator rendezvous, checkpoint restore) and are skipped —
 		// but a fault during setup can wedge or kill every rank before any
@@ -842,7 +1028,7 @@ func (h *harness) runOneIncarnation(p *vclock.Proc) (end incarnationEnd) {
 			if hp.WaitTimeout(hbStop, 2*vclock.Second) {
 				return
 			}
-			if allDone.Triggered() || failed.Triggered() {
+			if allDone.Triggered() || failed.Triggered() || expandStop.Triggered() {
 				return
 			}
 			stale := false
@@ -876,10 +1062,11 @@ func (h *harness) runOneIncarnation(p *vclock.Proc) (end incarnationEnd) {
 	waitDone := h.env.NewEvent(fmt.Sprintf("sup.wait.g%d", h.gen))
 	h.env.Go(fmt.Sprintf("sup.select.g%d", h.gen), func(sp *vclock.Proc) {
 		defer waitDone.Trigger()
-		for !allDone.Triggered() && !failed.Triggered() {
+		for !allDone.Triggered() && !failed.Triggered() && !expandStop.Triggered() {
 			ev := h.env.NewEvent("tick")
 			h.env.Go("sel.done", func(q *vclock.Proc) { q.Wait(allDone); ev.Trigger() })
 			h.env.Go("sel.fail", func(q *vclock.Proc) { q.Wait(failed); ev.Trigger() })
+			h.env.Go("sel.expand", func(q *vclock.Proc) { q.Wait(expandStop); ev.Trigger() })
 			sp.Wait(ev)
 		}
 	})
@@ -896,6 +1083,19 @@ func (h *harness) runOneIncarnation(p *vclock.Proc) (end incarnationEnd) {
 		}
 		return endCompleted
 	}
+	if expandStop.Triggered() && !failed.Triggered() {
+		// Every degraded worker stopped cleanly at the expand iteration
+		// with its state persisted; restart the next incarnation at full
+		// width (the expand itself happens at the incarnation boundary).
+		hbStop.Trigger()
+		for _, st := range stacks {
+			if st.layer != nil {
+				st.layer.StopWatchdog()
+			}
+		}
+		h.gen++
+		return endExpand
+	}
 	// Failure path: for user-level JIT, wait for the checkpoint quorum
 	// before killing the job (§3.3). A catastrophic failure that killed
 	// every replica of some position never forms a quorum; the timeout
@@ -907,9 +1107,14 @@ func (h *harness) runOneIncarnation(p *vclock.Proc) (end incarnationEnd) {
 	if cfg.Policy.UserLevelJIT() {
 		var pre map[string]bool
 		if h.shelter != nil {
-			pre = h.shelter.CoveredPositions(wl.Topo)
+			pre = h.shelter.CoveredPositions(h.topo)
 		}
-		h.monitor.WaitCheckpointQuorumCovered(p, wl.Topo, 2*vclock.Minute, pre)
+		h.monitor.WaitCheckpointQuorumCovered(p, h.topo, 2*vclock.Minute, pre)
+	}
+	if h.elastic != nil {
+		// A failure mid-expand-window invalidates the scheduled stop: the
+		// incarnation boundary re-evaluates capacity from scratch.
+		h.elastic.CancelExpand()
 	}
 	hbStop.Trigger()
 	for _, st := range stacks {
@@ -963,7 +1168,36 @@ func (h *harness) policyNamespaces() []string {
 	if kind, ok := h.cfg.Policy.PeriodicKind(); ok {
 		out = append(out, kind.PolicyName())
 	}
+	if h.cfg.Policy.Elastic() {
+		out = append(out, ElasticPolicyName)
+	}
 	return out
+}
+
+// elasticSave persists a degraded worker's state to disk under the
+// elastic namespace so the full-width restart (or an oracle run sharing
+// the store) can restore it. It runs in the worker's own process at a
+// clean iteration boundary — this is a planned, user-level save, not a
+// failure-time JIT flush, so trace invariant 3 does not apply to it.
+func (h *harness) elasticSave(p *vclock.Proc, w *train.Worker, rank int) error {
+	wl := h.cfg.WL
+	sp := trace.Of(h.env).Begin(p.Now(), "ckpt", trace.Rank(rank), "elastic-save", "iter", w.Iter())
+	ms, err := w.SaveModelState(p)
+	if err != nil {
+		sp.End(p.Now(), "err", err)
+		return err
+	}
+	if bw := wl.SerializeBW(); bw > 0 {
+		p.Sleep(vclock.Time(float64(wl.StateBytesPerGPU()) / bw * float64(vclock.Second)))
+	}
+	dir := checkpoint.RankDir("job", ElasticPolicyName, ms.Iter, rank)
+	if err := checkpoint.WriteRankRetry(p, h.disk, dir, ms, wl.StateBytesPerGPU(), checkpoint.DefaultRetry()); err != nil {
+		sp.End(p.Now(), "err", err)
+		return err
+	}
+	h.monitor.Notify(scheduler.Event{Kind: scheduler.EvCheckpointDone, Rank: rank, Iter: ms.Iter})
+	sp.End(p.Now(), "iter", ms.Iter)
+	return nil
 }
 
 // restoreSources lists every store the restore path may assemble from:
@@ -992,7 +1226,15 @@ func (h *harness) restoreRank(p *vclock.Proc, w *train.Worker, rank int) (bool, 
 	h.injector.NotePhase(rank, failure.PhaseRestore)
 	t0 := p.Now()
 	sp := trace.Of(h.env).Begin(t0, "ckpt", trace.Rank(rank), "restore")
-	asm, err := checkpoint.AssembleSources(p, "job", h.restoreSources(), h.cfg.WL.Topo)
+	// Cross-width assembly: checkpoints may have been written by a wider
+	// (or, for an oracle run, narrower) era than the topology restoring
+	// now; position keys are width-invariant, so bound the writer scan by
+	// the larger of the two worlds.
+	writerWorld := maxInt(h.cfg.WL.Topo.World(), h.topo.World())
+	if h.cfg.RestoreWriterWorld > 0 {
+		writerWorld = h.cfg.RestoreWriterWorld
+	}
+	asm, err := checkpoint.AssembleSourcesCross(p, "job", h.restoreSources(), h.topo, writerWorld)
 	if err != nil {
 		sp.End(p.Now(), "err", err)
 		return false, nil

@@ -802,6 +802,32 @@ func (c *Coordinator) recoverHard(p *vclock.Proc, hard []int, advanced bool, bas
 		recs[i] = rec
 	}
 
+	// Eager no-viable-placement check, before any Phase A+B expense: if
+	// the job's surviving nodes plus free spares cannot host it, no amount
+	// of JIT checkpointing, CRIU snapshotting, or quorum waiting changes
+	// the outcome — the episode is terminal now. (Without this, the
+	// coordinator burned its bounded recovery attempts re-running the full
+	// hard path against an allocation that can never succeed.) A node is
+	// reusable only if none of its ranks is strategy-4: Phase C marks any
+	// node hosting a lost/unusable rank permanently failed.
+	jobNodes := make(map[int]bool)
+	badNodes := make(map[int]bool)
+	for _, rec := range recs {
+		nid := rec.r.Server.Device().NodeID
+		jobNodes[nid] = true
+		if rec.strat == 4 {
+			badNodes[nid] = true
+		}
+	}
+	nNodes := nodeCount(c.ranks)
+	if avail := c.cfg.Pool.FreeHealthy() + len(jobNodes) - len(badNodes); avail < nNodes {
+		c.env.Tracef("%s: hard recovery: no viable placement (%d nodes available, need %d)",
+			c.cfg.Job, avail, nNodes)
+		rep := c.buildReport(recs, "hard", advanced)
+		rep.Kind = KindNoViablePlacement
+		return rep, false
+	}
+
 	// Phase A+B per rank: JIT checkpoint (healthy only) + CRIU snapshot.
 	images := make([]scheduler.Image, len(recs))
 	for i, rec := range recs {
@@ -868,7 +894,6 @@ func (c *Coordinator) recoverHard(p *vclock.Proc, hard []int, advanced bool, bas
 			c.cfg.Pool.MarkFailed(rec.r.Server.Device().NodeID)
 		}
 	}
-	nNodes := nodeCount(c.ranks)
 	nodes, err := c.cfg.Pool.Allocate(nNodes, nil)
 	if err != nil {
 		// No spare capacity: recovery cannot proceed transparently.

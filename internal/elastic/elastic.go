@@ -1,0 +1,178 @@
+// Package elastic implements degraded-mode recovery for when spares run
+// out: rather than burning bounded recovery attempts against a placement
+// that can never succeed, the job shrinks to the largest viable topology,
+// keeps training at reduced data-parallel width with gradient
+// accumulation preserving the global batch, and re-expands to full width
+// once the failure plan marks nodes repaired.
+//
+// Only data-parallel replicas are ever dropped. Pipeline stages and
+// tensor partitions each hold a unique slice of model state, so removing
+// one would lose state; a data-parallel replica is redundant by
+// construction (§3.1 of the paper — the same redundancy JIT checkpointing
+// itself recovers from). Shrinking D from its full width D_f to a divisor
+// D' and raising the gradient-accumulation factor to D_f/D' keeps every
+// iteration's global batch — and therefore the optimizer-step semantics
+// and data-consumption order — identical to the full-width job.
+package elastic
+
+import (
+	"fmt"
+
+	"jitckpt/internal/train"
+)
+
+// Plan is one viable (possibly reduced) job shape.
+type Plan struct {
+	// Topo is the topology to run at (P and T always equal the full
+	// topology's; only D changes).
+	Topo train.Topology
+	// Accum is the gradient-accumulation factor relative to the FULL
+	// width: Accum = D_full / Topo.D, so iteration i consumes exactly the
+	// same global batch at any width.
+	Accum int
+	// Nodes is how many nodes the plan occupies.
+	Nodes int
+}
+
+// Shrink computes the largest viable topology strictly narrower than cur:
+// the biggest divisor D' < cur.D such that D'·P·T ranks fit on freeNodes
+// nodes of perNode devices each. minNodes forces the plan onto at least
+// that many nodes (peer-shelter placement needs two distinct failure
+// domains); FSDP additionally requires the shard group to survive intact
+// (D' must remain a multiple of FSDPShard). Pipeline and tensor degrees
+// are never reduced. Returns ok=false when no narrower viable shape
+// exists — the genuinely terminal case. The returned Accum is relative to
+// cur; Controller.Shrink rebases it to the full width.
+func Shrink(cur train.Topology, perNode, freeNodes, minNodes int) (Plan, bool) {
+	if perNode <= 0 || freeNodes <= 0 {
+		return Plan{}, false
+	}
+	for dp := cur.D - 1; dp >= 1; dp-- {
+		if cur.D%dp != 0 {
+			continue
+		}
+		t := cur
+		t.D = dp
+		if t.FSDP() && dp%t.FSDPShard != 0 {
+			continue
+		}
+		if err := t.Validate(); err != nil {
+			continue
+		}
+		world := t.World()
+		nodes := (world + perNode - 1) / perNode
+		if nodes < minNodes {
+			nodes = minNodes
+		}
+		if nodes > freeNodes {
+			continue
+		}
+		return Plan{Topo: t, Accum: cur.D / dp, Nodes: nodes}, true
+	}
+	return Plan{}, false
+}
+
+// Controller is the elastic state machine one job carries:
+//
+//	full ──shrink──▶ degraded ──expand──▶ full
+//	                    │  ▲
+//	                    └──┘ shrink (deeper degradation)
+//
+// Shrinks may nest when failures strike an already-degraded job; a single
+// expand always restores the full shape. The controller only decides
+// shapes — the harness performs the actual teardown, restore and
+// communicator re-initialization.
+type Controller struct {
+	full      train.Topology
+	fullNodes int
+	cur       Plan
+	degraded  bool
+	expandAt  int // iteration to stop at for a mid-run expand; -1 if none
+	shrinks   int
+	expands   int
+}
+
+// New creates a controller for a job whose full shape is topo on nodes
+// nodes.
+func New(topo train.Topology, nodes int) *Controller {
+	return &Controller{
+		full:      topo,
+		fullNodes: nodes,
+		cur:       Plan{Topo: topo, Accum: 1, Nodes: nodes},
+		expandAt:  -1,
+	}
+}
+
+// Degraded reports whether the job is currently below full width.
+func (c *Controller) Degraded() bool { return c.degraded }
+
+// Plan returns the shape the job should currently run at.
+func (c *Controller) Plan() Plan { return c.cur }
+
+// Full returns the job's full shape.
+func (c *Controller) Full() Plan {
+	return Plan{Topo: c.full, Accum: 1, Nodes: c.fullNodes}
+}
+
+// Shrink narrows the current shape to the largest viable one for the
+// available capacity, rebasing Accum to the full width. It returns
+// ok=false when no narrower viable shape exists.
+func (c *Controller) Shrink(perNode, freeNodes, minNodes int) (Plan, bool) {
+	p, ok := Shrink(c.cur.Topo, perNode, freeNodes, minNodes)
+	if !ok {
+		return Plan{}, false
+	}
+	p.Accum = c.full.D / p.Topo.D
+	c.cur = p
+	c.degraded = true
+	c.expandAt = -1
+	c.shrinks++
+	return p, true
+}
+
+// Expand restores the full shape. Panics if called at full width — the
+// harness must only expand a degraded job (trace invariant 6 enforces the
+// same ordering on the recorded run).
+func (c *Controller) Expand() Plan {
+	if !c.degraded {
+		panic("elastic: Expand at full width")
+	}
+	c.cur = c.Full()
+	c.degraded = false
+	c.expandAt = -1
+	c.expands++
+	return c.cur
+}
+
+// RequestExpand schedules a mid-run expand: degraded workers should stop
+// at the start of iteration atIter (after checkpointing) so the job can
+// restart at full width. No-op at full width.
+func (c *Controller) RequestExpand(atIter int) {
+	if c.degraded {
+		c.expandAt = atIter
+	}
+}
+
+// ExpandRequested returns the scheduled stop iteration, if any.
+func (c *Controller) ExpandRequested() (int, bool) {
+	if c.expandAt >= 0 {
+		return c.expandAt, true
+	}
+	return 0, false
+}
+
+// CancelExpand drops a scheduled expand (e.g. the job finished, or
+// capacity vanished again before the stop iteration).
+func (c *Controller) CancelExpand() { c.expandAt = -1 }
+
+// Transitions returns how many shrinks and expands have happened.
+func (c *Controller) Transitions() (shrinks, expands int) { return c.shrinks, c.expands }
+
+// String summarizes the controller state.
+func (c *Controller) String() string {
+	if !c.degraded {
+		return fmt.Sprintf("elastic: full D=%d on %d nodes", c.full.D, c.fullNodes)
+	}
+	return fmt.Sprintf("elastic: degraded D=%d accum=%d on %d nodes (full D=%d)",
+		c.cur.Topo.D, c.cur.Accum, c.cur.Nodes, c.full.D)
+}

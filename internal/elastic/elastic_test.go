@@ -1,0 +1,131 @@
+package elastic
+
+import (
+	"testing"
+
+	"jitckpt/internal/train"
+)
+
+func TestShrinkPicksLargestDivisor(t *testing.T) {
+	cur := train.Topology{D: 4, P: 1, T: 1}
+	p, ok := Shrink(cur, 2, 1, 0)
+	if !ok {
+		t.Fatal("expected a viable shrink")
+	}
+	if p.Topo.D != 2 || p.Accum != 2 || p.Nodes != 1 {
+		t.Fatalf("got D=%d accum=%d nodes=%d, want D=2 accum=2 nodes=1", p.Topo.D, p.Accum, p.Nodes)
+	}
+}
+
+func TestShrinkNeverDropsPipelineOrTensor(t *testing.T) {
+	cur := train.Topology{D: 2, P: 2, T: 2}
+	// 1 node x 4 GPUs: D'=1 needs P*T=4 ranks, which fits.
+	p, ok := Shrink(cur, 4, 1, 0)
+	if !ok {
+		t.Fatal("expected a viable shrink")
+	}
+	if p.Topo.P != 2 || p.Topo.T != 2 || p.Topo.D != 1 {
+		t.Fatalf("pipeline/tensor degrees changed: %+v", p.Topo)
+	}
+	// Too few devices for even one full P*T group: no viable shape.
+	if _, ok := Shrink(cur, 2, 1, 0); ok {
+		t.Fatal("shrink must refuse to drop pipeline/tensor ranks")
+	}
+}
+
+func TestShrinkRespectsFSDPShardGroup(t *testing.T) {
+	cur := train.Topology{D: 4, P: 1, T: 1, FSDPShard: 2}
+	p, ok := Shrink(cur, 2, 1, 0)
+	if !ok {
+		t.Fatal("expected a viable shrink")
+	}
+	if p.Topo.D != 2 {
+		t.Fatalf("got D=%d, want D=2 (the only divisor keeping the shard group)", p.Topo.D)
+	}
+	// D'=1 would break the shard group; with capacity for only 1 rank
+	// there is no viable shape.
+	if _, ok := Shrink(cur, 1, 1, 0); ok {
+		t.Fatal("shrink must not break the FSDP shard group")
+	}
+}
+
+func TestShrinkMinNodes(t *testing.T) {
+	cur := train.Topology{D: 4, P: 1, T: 1}
+	// Peer shelter needs two failure domains: the 2-rank plan must span 2
+	// nodes even though it fits on one.
+	p, ok := Shrink(cur, 2, 2, 2)
+	if !ok {
+		t.Fatal("expected a viable shrink")
+	}
+	if p.Nodes != 2 {
+		t.Fatalf("got nodes=%d, want 2 (minNodes)", p.Nodes)
+	}
+	if _, ok := Shrink(cur, 2, 1, 2); ok {
+		t.Fatal("minNodes=2 with one free node must fail")
+	}
+}
+
+func TestShrinkNoCapacity(t *testing.T) {
+	cur := train.Topology{D: 4, P: 1, T: 1}
+	if _, ok := Shrink(cur, 0, 1, 0); ok {
+		t.Fatal("perNode=0 must fail")
+	}
+	if _, ok := Shrink(cur, 2, 0, 0); ok {
+		t.Fatal("freeNodes=0 must fail")
+	}
+	if _, ok := Shrink(train.Topology{D: 1, P: 1, T: 1}, 2, 4, 0); ok {
+		t.Fatal("D=1 cannot shrink further")
+	}
+}
+
+func TestControllerStateMachine(t *testing.T) {
+	full := train.Topology{D: 8, P: 1, T: 1}
+	c := New(full, 4)
+	if c.Degraded() {
+		t.Fatal("fresh controller must start at full width")
+	}
+	p, ok := c.Shrink(2, 2, 0)
+	if !ok || p.Topo.D != 4 || p.Accum != 2 {
+		t.Fatalf("first shrink: %+v ok=%v", p, ok)
+	}
+	// Deeper degradation: accum stays relative to the FULL width.
+	p, ok = c.Shrink(2, 1, 0)
+	if !ok || p.Topo.D != 2 || p.Accum != 4 {
+		t.Fatalf("second shrink: %+v ok=%v, want D=2 accum=4", p, ok)
+	}
+	if !c.Degraded() {
+		t.Fatal("controller must be degraded after shrinks")
+	}
+	c.RequestExpand(17)
+	if at, ok := c.ExpandRequested(); !ok || at != 17 {
+		t.Fatalf("expand request: at=%d ok=%v", at, ok)
+	}
+	got := c.Expand()
+	if c.Degraded() || got.Topo.D != 8 || got.Accum != 1 || got.Nodes != 4 {
+		t.Fatalf("expand must restore full shape, got %+v", got)
+	}
+	if _, ok := c.ExpandRequested(); ok {
+		t.Fatal("expand must clear the pending request")
+	}
+	s, e := c.Transitions()
+	if s != 2 || e != 1 {
+		t.Fatalf("transitions: shrinks=%d expands=%d", s, e)
+	}
+}
+
+func TestControllerExpandAtFullWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Expand at full width must panic")
+		}
+	}()
+	New(train.Topology{D: 2, P: 1, T: 1}, 1).Expand()
+}
+
+func TestControllerRequestExpandAtFullWidthIsNoop(t *testing.T) {
+	c := New(train.Topology{D: 2, P: 1, T: 1}, 1)
+	c.RequestExpand(5)
+	if _, ok := c.ExpandRequested(); ok {
+		t.Fatal("RequestExpand at full width must be a no-op")
+	}
+}

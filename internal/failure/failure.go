@@ -58,6 +58,11 @@ const (
 	// once. It is the adversary the peer-shelter placement rule (replicate
 	// outside your own failure domain) exists for.
 	RackDown
+	// NodeRepaired is not a fault but a repair event: a previously failed
+	// node (or a node with a hard-failed GPU) has its hardware replaced and
+	// rejoins the allocatable pool. It is what the elastic recovery path
+	// waits for to re-expand a degraded job.
+	NodeRepaired
 )
 
 // String renders the fault kind.
@@ -79,6 +84,8 @@ func (k Kind) String() string {
 		return "storage-fault"
 	case RackDown:
 		return "rack-down"
+	case NodeRepaired:
+		return "node-repaired"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -92,7 +99,7 @@ func (k Kind) IsTransient() bool {
 // KindByName resolves a fault-kind name as rendered by String. ok is
 // false for unknown names.
 func KindByName(name string) (Kind, bool) {
-	for k := GPUHard; k <= RackDown; k++ {
+	for k := GPUHard; k <= NodeRepaired; k++ {
 		if k.String() == name {
 			return k, true
 		}
@@ -131,13 +138,17 @@ func (pl *Plan) Sort() {
 // than part of the steady mix.
 func DefaultMix() map[Kind]float64 {
 	return map[Kind]float64{
-		GPUHard:       0.18,
-		GPUSticky:     0.18,
-		DriverCorrupt: 0.12,
-		NetworkHang:   0.30,
-		NetworkError:  0.10,
+		GPUHard:       0.16,
+		GPUSticky:     0.16,
+		DriverCorrupt: 0.11,
+		NetworkHang:   0.28,
+		NetworkError:  0.09,
 		NodeDown:      0.07,
 		StorageFault:  0.05,
+		// Repairs arrive at roughly the rate nodes are destroyed (hard GPU
+		// board swaps plus host replacements): a standalone repair with
+		// nothing failed is skipped harmlessly.
+		NodeRepaired: 0.08,
 	}
 }
 
@@ -229,6 +240,36 @@ func pickKind(rng *rand.Rand, kinds []Kind, cumWeights []float64) Kind {
 	return kinds[len(kinds)-1]
 }
 
+// WithRepairs returns a copy of the plan with a NodeRepaired event
+// appended after every node-destroying injection (GPUHard, NodeDown, and
+// two for RackDown — a rack is two nodes in this harness), delayed by an
+// exponentially distributed repair time with the given mean. This models
+// hardware-replacement turnaround so elastic jobs that shrank under the
+// failures can re-expand when capacity returns.
+func (pl Plan) WithRepairs(rng *rand.Rand, meanDelay vclock.Time) Plan {
+	out := Plan{Injections: append([]Injection(nil), pl.Injections...)}
+	if meanDelay <= 0 {
+		return out
+	}
+	for _, inj := range pl.Injections {
+		repairs := 0
+		switch inj.Kind {
+		case GPUHard, NodeDown:
+			repairs = 1
+		case RackDown:
+			repairs = 2
+		}
+		for i := 0; i < repairs; i++ {
+			delay := vclock.Time(rng.ExpFloat64() * float64(meanDelay))
+			out.Injections = append(out.Injections, Injection{
+				At: inj.At + delay, Rank: inj.Rank, Kind: NodeRepaired,
+			})
+		}
+	}
+	out.Sort()
+	return out
+}
+
 // MTBF returns the expected time between job failures for n GPUs at
 // per-GPU rate f/day (the quantity reported as 3–30 h in the failure
 // studies the paper cites).
@@ -264,10 +305,91 @@ type Injector struct {
 	OnStorageFault func(inj Injection)
 	// OnInject observes applied injections (metrics, test assertions).
 	OnInject func(inj Injection)
+	// AllNodes lists every node in the cluster; required for NodeRepaired
+	// injections to find a repairable node when the FIFO of injected node
+	// failures is empty (e.g. a node excluded for a hard GPU).
+	AllNodes []*gpu.Node
+	// OnRepair observes applied NodeRepaired injections with the node that
+	// came back (the harness un-excludes it from the scheduler pool).
+	OnRepair func(node *gpu.Node)
 
-	applied []Injection
-	skipped []Injection
-	phased  []*phaseState
+	applied        []Injection
+	skipped        []Injection
+	phased         []*phaseState
+	failedNodes    []*gpu.Node // FIFO of injection-failed nodes awaiting repair
+	pendingRepairs int
+	repairWait     *vclock.Event
+}
+
+// RepairsPending reports whether any scheduled NodeRepaired events have
+// not yet fired — capacity the elastic path may wait for instead of
+// giving up.
+func (in *Injector) RepairsPending() bool { return in.pendingRepairs > 0 }
+
+// NotePlannedRepairs registers n future NodeRepaired events that arrive
+// outside the Start plan (iteration- or phase-anchored repairs).
+func (in *Injector) NotePlannedRepairs(n int) { in.pendingRepairs += n }
+
+// AwaitRepair blocks until the next NodeRepaired injection is processed
+// or the timeout elapses; it reports whether a repair arrived. Because
+// the simulation is cooperative, a caller that checked RepairsPending and
+// immediately awaits cannot miss a repair.
+func (in *Injector) AwaitRepair(p *vclock.Proc, timeout vclock.Time) bool {
+	if in.repairWait == nil {
+		in.repairWait = in.Env.NewEvent("repair-wait")
+	}
+	return p.WaitTimeout(in.repairWait, timeout)
+}
+
+// repairable returns a node needing repair: the oldest injection-failed
+// node still down, else any failed node, else any node holding a
+// hard-failed device. Nil means nothing needs repair.
+func (in *Injector) repairable() *gpu.Node {
+	for _, n := range in.failedNodes {
+		if n.Failed {
+			return n
+		}
+	}
+	for _, n := range in.AllNodes {
+		if n.Failed {
+			return n
+		}
+	}
+	for _, n := range in.AllNodes {
+		for _, d := range n.Devices {
+			if d.Health() == gpu.Hard {
+				return n
+			}
+		}
+	}
+	return nil
+}
+
+// repairNode brings a node back: hardware for every unhealthy device is
+// replaced (blank, healthy) and the node rejoins service.
+func (in *Injector) repairNode(node *gpu.Node) {
+	node.Failed = false
+	for _, d := range node.Devices {
+		if d.Health() != gpu.Healthy {
+			d.Repair()
+		}
+	}
+	in.Env.Tracef("failure: node %d repaired", node.ID)
+	if in.OnRepair != nil {
+		in.OnRepair(node)
+	}
+}
+
+// noteRepairProcessed accounts one NodeRepaired event (applied or
+// skipped) and wakes any AwaitRepair waiter so it re-evaluates capacity.
+func (in *Injector) noteRepairProcessed() {
+	if in.pendingRepairs > 0 {
+		in.pendingRepairs--
+	}
+	if in.repairWait != nil {
+		in.repairWait.Trigger()
+		in.repairWait = nil
+	}
 }
 
 // Applied returns the injections performed so far.
@@ -286,6 +408,10 @@ func (in *Injector) targetLost(inj Injection) bool {
 		return in.OnStorageFault == nil
 	case NetworkHang, NetworkError:
 		return false // communicator faults do not target a device
+	case NodeRepaired:
+		// A repair with nothing failed has no target (skipped, like a
+		// fault whose target is already gone).
+		return in.repairable() == nil
 	}
 	if in.NodeOf != nil {
 		if node := in.NodeOf(inj.Rank); node != nil && node.Failed {
@@ -304,6 +430,9 @@ func (in *Injector) targetLost(inj Injection) bool {
 // lost or its node failed by an earlier fault) is skipped — recorded in
 // Skipped, not Applied — so double-failing cannot corrupt accounting.
 func (in *Injector) Apply(inj Injection) bool {
+	if inj.Kind == NodeRepaired {
+		defer in.noteRepairProcessed()
+	}
 	if in.targetLost(inj) {
 		in.skipped = append(in.skipped, inj)
 		in.Env.Tracef("failure: skipped %v on rank %d (target already lost)", inj.Kind, inj.Rank)
@@ -337,6 +466,8 @@ func (in *Injector) Apply(inj Injection) bool {
 		in.DeviceOf(inj.Rank).InjectDriverCorrupt()
 	case StorageFault:
 		in.OnStorageFault(inj)
+	case NodeRepaired:
+		in.repairNode(in.repairable())
 	case NetworkHang, NetworkError:
 		key := inj.CommKey
 		if key == "" && in.CommKeyOf != nil {
@@ -368,6 +499,7 @@ func (in *Injector) failNode(node *gpu.Node) {
 		return
 	}
 	node.Failed = true
+	in.failedNodes = append(in.failedNodes, node)
 	for _, d := range node.Devices {
 		d.InjectHard()
 	}
@@ -377,6 +509,11 @@ func (in *Injector) failNode(node *gpu.Node) {
 func (in *Injector) Start(plan Plan) {
 	plan.Sort()
 	injections := plan.Injections
+	for _, inj := range injections {
+		if inj.Kind == NodeRepaired {
+			in.pendingRepairs++
+		}
+	}
 	in.Env.Go("failure-injector", func(p *vclock.Proc) {
 		for _, inj := range injections {
 			if d := inj.At - p.Now(); d > 0 {

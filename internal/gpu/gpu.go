@@ -347,6 +347,24 @@ func (d *Device) Reset() error {
 	return nil
 }
 
+// Repair models a hardware replacement: the failed board is swapped and
+// the slot comes back as a blank healthy device. Unlike Reset it is legal
+// on hard-failed devices — it is precisely how hardware "comes back" —
+// and it clears everything: streams (killed), buffers, tag sequences and
+// memory accounting. Callers restore state from checkpoints afterwards.
+func (d *Device) Repair() {
+	for _, id := range d.streamIDs() {
+		d.streams[id].proc.Kill()
+		delete(d.streams, id)
+	}
+	d.buffers = make(map[int]*Buffer)
+	d.tagSeq = make(map[string]int)
+	d.memUsed = 0
+	d.health = Healthy
+	d.env.Tracef("%s repaired (hardware replaced)", d.Name())
+	trace.Of(d.env).Instant(d.env.Now(), "gpu", d.lane, "repair")
+}
+
 func (d *Device) streamIDs() []int {
 	ids := make([]int, 0, len(d.streams))
 	for id := range d.streams {

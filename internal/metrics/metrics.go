@@ -25,14 +25,29 @@ type Accounting struct {
 	RecoveryFixed vclock.Time
 	// RedoWork is wall time re-executing minibatches lost to a failure.
 	RedoWork vclock.Time
+	// WaitingForCapacity is wall time the job sat idle because no viable
+	// placement existed — spares exhausted, waiting for a repair (or for an
+	// elastic shrink decision). Previously folded into RecoveryFixed; split
+	// out because degraded-mode policy choices trade exactly this bucket
+	// against DegradedUseful throughput.
+	WaitingForCapacity vclock.Time
 	// Recoveries counts failure-recovery episodes.
 	Recoveries int
 	// Checkpoints counts checkpoints taken.
 	Checkpoints int
+	// DegradedIters counts iterations executed at reduced data-parallel
+	// width (elastic degraded mode).
+	DegradedIters int
+	// DegradedUseful is the portion of Useful spent at reduced width. It is
+	// an informational sub-bucket of Useful, not an additional wasted
+	// bucket: degraded iterations still make full forward progress.
+	DegradedUseful vclock.Time
 }
 
 // Wasted returns total wasted wall time.
-func (a *Accounting) Wasted() vclock.Time { return a.CkptStall + a.RecoveryFixed + a.RedoWork }
+func (a *Accounting) Wasted() vclock.Time {
+	return a.CkptStall + a.RecoveryFixed + a.RedoWork + a.WaitingForCapacity
+}
 
 // WastedFraction returns wasted/(useful+wasted), the paper's w_f.
 func (a *Accounting) WastedFraction() float64 {
@@ -50,9 +65,13 @@ func (a *Accounting) WastedGPUHours() float64 {
 
 // String summarizes the accounting.
 func (a *Accounting) String() string {
-	return fmt.Sprintf("useful=%v ckpt=%v fixed=%v redo=%v (wf=%.3f%%, %d recoveries, %d ckpts)",
-		a.Useful, a.CkptStall, a.RecoveryFixed, a.RedoWork,
+	s := fmt.Sprintf("useful=%v ckpt=%v fixed=%v redo=%v wait=%v (wf=%.3f%%, %d recoveries, %d ckpts)",
+		a.Useful, a.CkptStall, a.RecoveryFixed, a.RedoWork, a.WaitingForCapacity,
 		100*a.WastedFraction(), a.Recoveries, a.Checkpoints)
+	if a.DegradedIters > 0 {
+		s += fmt.Sprintf(" degraded=%d iters/%v", a.DegradedIters, a.DegradedUseful)
+	}
+	return s
 }
 
 // Phase is one named step of a breakdown (a Table 7 row).

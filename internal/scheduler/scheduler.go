@@ -88,6 +88,14 @@ func (p *Pool) MarkFailed(nodeID int) {
 	p.env.Tracef("scheduler: node %d marked failed", nodeID)
 }
 
+// MarkRepaired re-admits a previously failed node after its hardware was
+// replaced. Callers must repair the node's devices first (gpu.Device
+// Repair), or Allocate will immediately re-exclude it.
+func (p *Pool) MarkRepaired(nodeID int) {
+	delete(p.failed, nodeID)
+	p.env.Tracef("scheduler: node %d repaired and re-admitted", nodeID)
+}
+
 // FreeHealthy returns how many nodes remain allocatable.
 func (p *Pool) FreeHealthy() int {
 	n := 0

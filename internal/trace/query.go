@@ -2,6 +2,7 @@ package trace
 
 import (
 	"fmt"
+	"sort"
 
 	"jitckpt/internal/vclock"
 )
@@ -172,6 +173,20 @@ func overlaps(a, b SpanRec) bool {
 //  4. Well-formedness: event times never exceed the log's wall time and
 //     every closed span has End >= Start.
 //
+//  5. Elastic world-size changes happen only inside a recovery episode:
+//     every elastic/shrink instant follows a failure detection of the
+//     same run, every elastic/expand instant follows a node-repaired
+//     injection, and adjacent core/incarnation spans whose "world" args
+//     differ have an elastic shrink or expand instant between their
+//     starts.
+//
+//  6. Elastic transitions are well-ordered per run: expand and
+//     end-degraded require a preceding unmatched shrink (shrinks may
+//     nest — deeper degradation — and one expand restores full width),
+//     nothing follows end-degraded, and a run whose core/run span closed
+//     while still degraded must have declared it with an explicit
+//     elastic/end-degraded instant.
+//
 // It returns nil when every invariant holds, or an error naming the
 // first violation of each kind.
 func CheckInvariants(q *Query) error {
@@ -305,6 +320,114 @@ incarnation:
 			errs = append(errs, fmt.Errorf(
 				"run %d %s: jit-save at %v precedes every failure detection",
 				s.Run, s.Lane, s.Start))
+			break
+		}
+	}
+
+	// (5) elastic transitions happen only inside recovery episodes.
+	shrinks := q.Instants("elastic", "shrink")
+	expands := q.Instants("elastic", "expand")
+	for _, s := range shrinks {
+		ok := false
+		for _, d := range detections {
+			if d.Run == s.Run && d.T <= s.T {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			errs = append(errs, fmt.Errorf(
+				"run %d: elastic shrink at %v precedes every failure detection", s.Run, s.T))
+			break
+		}
+	}
+	injects := q.Instants("fail", "inject")
+	for _, e := range expands {
+		ok := false
+		for _, in := range injects {
+			if in.Run == e.Run && in.T <= e.T && in.Args["kind"] == "node-repaired" {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			errs = append(errs, fmt.Errorf(
+				"run %d: elastic expand at %v without a prior node-repaired injection", e.Run, e.T))
+			break
+		}
+	}
+	transitions := append(append([]InstRec(nil), shrinks...), expands...)
+	incsByRun := make(map[int][]SpanRec)
+	for _, inc := range q.Spans("core", "incarnation") {
+		incsByRun[inc.Run] = append(incsByRun[inc.Run], inc)
+	}
+worlds:
+	for run := 1; run <= q.runs; run++ {
+		incs := incsByRun[run]
+		for i := 1; i < len(incs); i++ {
+			a, b := incs[i-1], incs[i]
+			if a.Args["world"] == "" || b.Args["world"] == "" || a.Args["world"] == b.Args["world"] {
+				continue
+			}
+			ok := false
+			for _, t := range transitions {
+				if t.Run == run && t.T >= a.Start && t.T <= b.Start {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				errs = append(errs, fmt.Errorf(
+					"run %d: world size changed %s->%s between incarnations at %v and %v without an elastic transition",
+					run, a.Args["world"], b.Args["world"], a.Start, b.Start))
+				break worlds
+			}
+		}
+	}
+
+	// (6) elastic transitions alternate correctly per run.
+	elastics := append(append([]InstRec(nil), transitions...), q.Instants("elastic", "end-degraded")...)
+	sort.Slice(elastics, func(i, j int) bool { return elastics[i].Seq < elastics[j].Seq })
+	closedRun := make(map[int]bool)
+	for _, rs := range q.Spans("core", "run") {
+		if !rs.Open {
+			closedRun[rs.Run] = true
+		}
+	}
+alternation:
+	for run := 1; run <= q.runs; run++ {
+		depth, ended := 0, false
+		for _, ev := range elastics {
+			if ev.Run != run {
+				continue
+			}
+			if ended {
+				errs = append(errs, fmt.Errorf(
+					"run %d: elastic %s at %v after end-degraded", run, ev.Name, ev.T))
+				break alternation
+			}
+			switch ev.Name {
+			case "shrink":
+				depth++
+			case "expand":
+				if depth == 0 {
+					errs = append(errs, fmt.Errorf(
+						"run %d: elastic expand at %v without a prior shrink", run, ev.T))
+					break alternation
+				}
+				depth = 0
+			case "end-degraded":
+				if depth == 0 {
+					errs = append(errs, fmt.Errorf(
+						"run %d: end-degraded at %v while at full width", run, ev.T))
+					break alternation
+				}
+				ended = true
+			}
+		}
+		if depth > 0 && !ended && closedRun[run] {
+			errs = append(errs, fmt.Errorf(
+				"run %d: run finished degraded without an expand or end-degraded", run))
 			break
 		}
 	}

@@ -223,6 +223,19 @@ func Kernels() cuda.Registry {
 			}
 			return nil
 		},
+		// acc.add: dst[i] += src[i]. Gradient accumulation across
+		// microbatches (elastic degraded mode). This is the one kernel that
+		// accumulates rather than writes; the accumulator is seeded by copy
+		// on the first microbatch, and the elastic policies that use it run
+		// user-level JIT checkpointing, never the transparent replay path,
+		// so §4.1 validation idempotence is unaffected.
+		"acc.add": func(a cuda.KernelArgs) error {
+			dst, src := a.Bufs[0], a.Bufs[1]
+			for i := range dst {
+				dst[i] += src[i]
+			}
+			return nil
+		},
 		// zero: fill with zeros.
 		"zero": func(a cuda.KernelArgs) error {
 			for i := range a.Bufs[0] {

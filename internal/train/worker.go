@@ -37,6 +37,14 @@ type Config struct {
 	Hooks Hooks
 	// DataSeed drives the synthetic dataset.
 	DataSeed uint64
+	// Accum is the gradient-accumulation factor: each RunIter executes
+	// Accum microbatches, accumulating local gradients, and performs one
+	// data-parallel all-reduce and optimizer step over the sum. 0 or 1
+	// means the plain single-microbatch step. Elastic degraded mode sets
+	// Accum = D_full/D_degraded so the global batch (and therefore the
+	// step semantics) is preserved at reduced width: iteration i consumes
+	// exactly the samples [i*D*Accum, (i+1)*D*Accum).
+	Accum int
 	// GIL, when set, is held across each minibatch's device calls —
 	// reproducing the interpreter-lock behaviour (§3.2, including the
 	// footnote's "violations of best practice") that the user-level
@@ -53,6 +61,7 @@ type layerState struct {
 	rowOff int
 
 	w, g, m, v cuda.Buf // weight shard, gradient shard, optimizer state
+	gacc       cuda.Buf // accumulated gradient across microbatches (Accum > 1)
 	zFull      cuda.Buf // pre-activation, full width
 	dzFull     cuda.Buf
 	zPart      cuda.Buf // TP only: this rank's pre-activation rows
@@ -268,6 +277,11 @@ func (w *Worker) allocBuffers(p *vclock.Proc) error {
 		if ls.g, err = alloc(paramBytes, rows*h, fmt.Sprintf("%sL%d.dw", TagGradPrefix, gl)); err != nil {
 			return err
 		}
+		if cfg.Accum > 1 {
+			if ls.gacc, err = alloc(paramBytes, rows*h, fmt.Sprintf("%sL%d.dwacc", TagGradPrefix, gl)); err != nil {
+				return err
+			}
+		}
 		if ls.m, err = alloc(optBytes, rows*h, fmt.Sprintf("%sL%d.m", TagOptPrefix, gl)); err != nil {
 			return err
 		}
@@ -374,14 +388,22 @@ func (w *Worker) runIter(p *vclock.Proc) (float32, error) {
 		}()
 	}
 
-	if err := w.loadData(p, iter); err != nil {
-		return 0, err
-	}
-	if err := w.forward(p); err != nil {
-		return 0, err
-	}
-	if err := w.lossAndBackward(p); err != nil {
-		return 0, err
+	acc := w.accumFactor()
+	for m := 0; m < acc; m++ {
+		if err := w.loadData(p, iter, m); err != nil {
+			return 0, err
+		}
+		if err := w.forward(p); err != nil {
+			return 0, err
+		}
+		if err := w.lossAndBackward(p); err != nil {
+			return 0, err
+		}
+		if acc > 1 {
+			if err := w.accumulateGrads(p, m, acc); err != nil {
+				return 0, err
+			}
+		}
 	}
 	if err := w.syncGradients(p); err != nil {
 		return 0, err
@@ -421,11 +443,23 @@ func (w *Worker) runIter(p *vclock.Proc) (float32, error) {
 	return loss, nil
 }
 
-// loadData feeds x into the first stage and y into the last.
-func (w *Worker) loadData(p *vclock.Proc, iter int) error {
+// accumFactor returns the effective gradient-accumulation factor (≥1).
+func (w *Worker) accumFactor() int {
+	if w.cfg.Accum > 1 {
+		return w.cfg.Accum
+	}
+	return 1
+}
+
+// loadData feeds microbatch m of minibatch iter: x into the first stage
+// and y into the last. The sample index walks the dataset so that a job
+// at width D with accumulation factor A consumes exactly the samples
+// [i*D*A, (i+1)*D*A) in iteration i — the same global batch a job at
+// width D*A without accumulation would consume.
+func (w *Worker) loadData(p *vclock.Proc, iter, m int) error {
 	cfg := w.cfg
 	ds := Dataset{Seed: cfg.DataSeed, Hidden: cfg.Model.Hidden}
-	sample := iter*cfg.Topo.D + w.d
+	sample := (iter*w.accumFactor()+m)*cfg.Topo.D + w.d
 	if w.p == 0 {
 		x, _ := ds.Sample(sample)
 		if err := cfg.API.MemcpyH2D(p, w.acts[0], x, w.compute); err != nil {
@@ -593,6 +627,45 @@ func (w *Worker) lossAndBackward(p *vclock.Proc) error {
 	return nil
 }
 
+// accumulateGrads folds microbatch m's local gradients into the
+// accumulation buffers (Accum > 1 only). The first microbatch seeds the
+// accumulator by copy; after the last, the sum is copied back into the
+// regular gradient buffers so gradient synchronization and the optimizer
+// are oblivious to accumulation.
+func (w *Worker) accumulateGrads(p *vclock.Proc, m, acc int) error {
+	cfg := w.cfg
+	api := cfg.API
+	dur := cfg.Step.BwdPerLayer / 20
+	for _, ls := range w.layers {
+		var lp cuda.LaunchParams
+		if m == 0 {
+			lp = cuda.LaunchParams{
+				Kernel: "slice.copy", Dur: dur,
+				Bufs: []cuda.Buf{ls.g, ls.gacc}, IArgs: []int64{0},
+			}
+		} else {
+			lp = cuda.LaunchParams{
+				Kernel: "acc.add", Dur: dur,
+				Bufs: []cuda.Buf{ls.gacc, ls.g},
+			}
+		}
+		if err := api.Launch(p, lp, w.compute); err != nil {
+			return err
+		}
+	}
+	if m == acc-1 {
+		for _, ls := range w.layers {
+			if err := api.Launch(p, cuda.LaunchParams{
+				Kernel: "slice.copy", Dur: dur,
+				Bufs: []cuda.Buf{ls.gacc, ls.g}, IArgs: []int64{0},
+			}, w.compute); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // syncGradients performs the data-parallel gradient all-reduce on the
 // communication stream, wired to the compute stream exactly as Figure 3
 // shows: record backward-done on compute, make the comm stream wait for
@@ -641,7 +714,7 @@ func (w *Worker) optimizerStep(p *vclock.Proc, iter int) error {
 	cfg := w.cfg
 	api := cfg.API
 	lr := cfg.Opt.LRAt(iter)
-	scale := float32(1) / float32(cfg.Topo.D)
+	scale := float32(1) / float32(cfg.Topo.D*w.accumFactor())
 	for _, ls := range w.layers {
 		var lp cuda.LaunchParams
 		switch cfg.Opt.Kind {
