@@ -140,6 +140,69 @@ func BenchmarkDollarCost(b *testing.B) {
 	}
 }
 
+// --- Simulator kernel speed (the BENCH_sim.json trajectory) ---
+
+// BenchmarkChaosGrid runs the full table 10 chaos grid — the hot-path
+// workload the BENCH_sim.json perf trajectory tracks. ns/op, allocs/op
+// and B/op here are the simulator's own cost; sim-events/s is the kernel
+// throughput metric the committed baseline pins.
+func BenchmarkChaosGrid(b *testing.B) {
+	run := func(b *testing.B, workers int) {
+		b.ReportAllocs()
+		var events uint64
+		for i := 0; i < b.N; i++ {
+			opt := experiments.DefaultChaosOptions()
+			opt.Workers = workers
+			rows, err := experiments.RunChaos(opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			events = 0
+			for _, row := range rows {
+				events += row.Sim.Events()
+			}
+		}
+		b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "sim-events/s")
+	}
+	b.Run("serial", func(b *testing.B) { run(b, 1) })
+	b.Run("parallel", func(b *testing.B) { run(b, experiments.DefaultWorkers()) })
+}
+
+// BenchmarkSteadyTraining measures a failure-free 4-rank training run —
+// the allocs/op column is what the buffer-reuse work in internal/train
+// drives toward zero marginal cost per iteration.
+func BenchmarkSteadyTraining(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run(core.JobConfig{
+			WL: experiments.ChaosWorkload(), Policy: core.PolicyNone, Iters: 50, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Completed {
+			b.Fatal("steady run incomplete")
+		}
+	}
+}
+
+// BenchmarkPerfPoint runs the same measurement cmd/jitbench -bench uses
+// to produce BENCH_sim.json, so a plain `go test -bench PerfPoint` shows
+// the current trajectory point inline.
+func BenchmarkPerfPoint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report, err := experiments.RunBench(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, name := range []string{"chaos_grid_events_per_sec", "train_allocs_per_iter", "vclock_sleep_cycle_ns"} {
+			if m, ok := report.Metric(name); ok {
+				b.ReportMetric(m.Value, m.Name)
+			}
+		}
+	}
+}
+
 // --- Ablations (DESIGN.md "design choices worth ablating") ---
 
 // BenchmarkAblationWatchdogTimeout sweeps the hang-detection timeout: a

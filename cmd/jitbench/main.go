@@ -18,6 +18,12 @@
 //	jitbench -table 10 -mix "gpu-hard:0.3,network-hang:0.7"
 //	                                      # chaos suite under a custom fault mix
 //	jitbench -table 4 -trace bench.json   # Chrome trace of every measurement run
+//	jitbench -parallel 0                  # sweep runs across all CPUs
+//	                                      # (results identical to serial)
+//	jitbench -bench BENCH_sim.json        # measure the perf point instead of
+//	                                      # printing tables
+//	jitbench -bench new.json -baseline BENCH_sim.json
+//	                                      # ...and warn on >10% regressions
 //
 // The checked-in reference output lives at docs/jitbench_output.txt;
 // regenerate it after changing the simulation with:
@@ -43,7 +49,23 @@ func main() {
 	policySpec := flag.String("policies", "", "comma-separated policy filter for the peer comparison (e.g. PeerShelter,UserJIT+Peer)")
 	mixSpec := flag.String("mix", "", "failure-kind mix for the chaos suite, e.g. \"gpu-hard:0.2,network-hang:0.5\" (empty = paper default)")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of every measurement run (one trace pid per run)")
+	parallel := flag.Int("parallel", 1, "worker count for sweep grids (0 = GOMAXPROCS, 1 = serial); results are identical either way")
+	benchOut := flag.String("bench", "", "measure the simulator's performance point and write it as JSON (skips table output)")
+	baseline := flag.String("baseline", "", "prior BENCH_sim.json to compare against (with -bench); warns on >10% regressions")
 	flag.Parse()
+
+	workers := *parallel
+	if workers == 0 {
+		workers = experiments.DefaultWorkers()
+	}
+
+	if *benchOut != "" {
+		if err := runBench(*benchOut, *baseline, workers); err != nil {
+			fmt.Fprintf(os.Stderr, "jitbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	policies, err := experiments.ParsePolicies(*policySpec)
 	if err != nil {
@@ -55,7 +77,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "jitbench: %v\n", err)
 		os.Exit(2)
 	}
-	opt := experiments.Options{Iters: *iters, Seed: *seed}
+	opt := experiments.Options{Iters: *iters, Seed: *seed, Workers: workers}
 	if *traceOut != "" {
 		opt.Recorder = trace.New()
 	}
@@ -72,6 +94,46 @@ func main() {
 		fmt.Fprintf(os.Stderr, "jitbench: %v\n", runErr)
 		os.Exit(1)
 	}
+}
+
+// runBench measures the performance point, writes it to out, and — when a
+// baseline is given — prints warnings for metrics that regressed >10%.
+// Regressions never fail the run: wall-clock metrics are noisy, and the
+// trajectory file exists to be inspected, not to gate.
+func runBench(out, baselinePath string, workers int) error {
+	fmt.Fprintf(os.Stderr, "jitbench: measuring performance point (workers=%d)...\n", workers)
+	report, err := experiments.RunBench(workers)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := experiments.WriteBench(f, report); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "jitbench: wrote %d metrics to %s\n", len(report.Metrics), out)
+	if baselinePath == "" {
+		return nil
+	}
+	base, err := experiments.ReadBenchFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	warnings := experiments.CompareBench(base, report, 0.10)
+	if len(warnings) == 0 {
+		fmt.Fprintf(os.Stderr, "jitbench: no regressions >10%% vs %s\n", baselinePath)
+		return nil
+	}
+	for _, w := range warnings {
+		fmt.Fprintf(os.Stderr, "jitbench: WARNING: %s\n", w)
+	}
+	return nil
 }
 
 // writeTrace exports the recorded events as Chrome trace-event JSON.
@@ -174,6 +236,7 @@ func run(table int, opt experiments.Options, quick bool, policies []experiments.
 		copt.Mix = mix
 		copt.Policies = policies
 		copt.Recorder = opt.Recorder
+		copt.Workers = opt.Workers
 		if quick {
 			copt.Seeds = copt.Seeds[:1]
 		}
@@ -186,6 +249,7 @@ func run(table int, opt experiments.Options, quick bool, policies []experiments.
 	if want(11) {
 		eopt := experiments.DefaultElasticOptions()
 		eopt.Recorder = opt.Recorder
+		eopt.Workers = opt.Workers
 		if quick {
 			eopt.Seeds = eopt.Seeds[:1]
 			eopt.MTBFs = eopt.MTBFs[:1]

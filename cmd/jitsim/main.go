@@ -23,6 +23,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"jitckpt/internal/checkpoint"
 	"jitckpt/internal/core"
@@ -66,6 +67,7 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file (open in chrome://tracing or Perfetto)")
 	traceText := flag.String("trace-text", "", "write the compact deterministic text timeline to a file (\"-\" = stdout)")
 	lossTail := flag.Int("loss", 5, "loss-trace entries to print")
+	stats := flag.Bool("stats", false, "print simulation-kernel event counters and wall-clock throughput")
 	flag.Parse()
 
 	wl, err := workload.ByName(*wlName)
@@ -123,7 +125,9 @@ func main() {
 		}
 	}
 
+	start := time.Now()
 	res, err := core.Run(cfg)
+	elapsed := time.Since(start)
 	if rec != nil {
 		// Export whatever was recorded even when the run errored: the
 		// trace is most valuable exactly then.
@@ -135,6 +139,14 @@ func main() {
 		fatal(err)
 	}
 	report(res, *lossTail)
+	if *stats {
+		s := res.SimStats
+		sec := elapsed.Seconds()
+		fmt.Printf("kernel:       %d dispatches, %d timer fires, %d triggers, %d spawns\n",
+			s.Dispatches, s.TimerFires, s.Triggers, s.Spawns)
+		fmt.Printf("throughput:   %.0f events/s, %.0f sim-s per wall-s (%.1fms wall)\n",
+			float64(s.Events())/sec, res.WallTime.Sec()/sec, 1000*sec)
+	}
 	if !res.Completed {
 		os.Exit(2)
 	}

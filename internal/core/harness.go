@@ -119,6 +119,10 @@ type RunResult struct {
 	// Disk is the run's shared checkpoint store; oracle runs pass it back
 	// in via JobConfig.DiskStore to restore from this run's checkpoints.
 	Disk *checkpoint.Store
+	// SimStats are the simulation kernel's event counters for the run
+	// (process dispatches, timer fires, event triggers, spawns) — the
+	// denominator-free raw material for events/sec benchmarking.
+	SimStats vclock.Stats
 }
 
 // OptimalInterval computes the periodic-checkpoint interval 1/c* for a
@@ -540,6 +544,7 @@ func (h *harness) measuredMinibatch() vclock.Time {
 func (h *harness) finish() {
 	res := h.res
 	res.WallTime = h.env.Now()
+	res.SimStats = h.env.Stats()
 	res.Minibatch = h.measuredMinibatch()
 	res.ItersExecuted = h.execIters
 	// The final incarnation's world size: an elastic run that finished in

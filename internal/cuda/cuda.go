@@ -176,6 +176,87 @@ type eventState struct {
 	op   *gpu.Op
 }
 
+// launchMode distinguishes the op shapes a pooled launchOp can take.
+type launchMode int8
+
+const (
+	launchKernel launchMode = iota
+	launchH2D
+	launchD2D
+)
+
+// launchOp is the pooled per-launch state for the driver's asynchronous
+// fire-and-forget ops (kernel launches and async memcpys). One launchOp is
+// one in-flight op; when the stream finishes it, the op returns itself to
+// the driver's free list, so steady-state launches allocate nothing. The
+// issuer never retains a pointer to it (these ops are enqueued with
+// EnqueueAsync and have no completion event), which is what makes reuse
+// safe. Immediate arguments are copied in at launch time, giving
+// capture-at-call semantics like the wire protocol it models.
+type launchOp struct {
+	d      *Driver
+	mode   launchMode
+	kernel string
+	fn     KernelFunc
+	bufs   []*gpu.Buffer
+	iargs  []int64
+	fargs  []float32
+	host   []float32 // H2D staging copy, captured at call time
+	args   KernelArgs
+	op     gpu.Op
+	next   *launchOp
+}
+
+func (d *Driver) getLaunch() *launchOp {
+	lo := d.launchFree
+	if lo == nil {
+		lo = &launchOp{d: d}
+		lo.op.NameFn = lo.name
+		lo.op.Exec = lo.exec
+		lo.op.Free = lo.release
+		return lo
+	}
+	d.launchFree = lo.next
+	lo.next = nil
+	return lo
+}
+
+func (lo *launchOp) release() {
+	for i := range lo.bufs {
+		lo.bufs[i] = nil
+	}
+	lo.bufs = lo.bufs[:0]
+	lo.fn = nil
+	lo.op.Name = ""
+	lo.op.Err = nil
+	lo.next = lo.d.launchFree
+	lo.d.launchFree = lo
+}
+
+// name is only called when a trace recorder is attached; memcpy modes set
+// op.Name statically, so this formats kernel names alone.
+func (lo *launchOp) name() string {
+	return "kernel." + lo.kernel
+}
+
+func (lo *launchOp) exec(dev *gpu.Device) error {
+	switch lo.mode {
+	case launchH2D:
+		copy(lo.bufs[0].Data, lo.host)
+		return nil
+	case launchD2D:
+		copy(lo.bufs[0].Data, lo.bufs[1].Data)
+		return nil
+	}
+	lo.args.Bufs = lo.args.Bufs[:0]
+	for _, gb := range lo.bufs {
+		lo.args.Bufs = append(lo.args.Bufs, gb.Data)
+	}
+	lo.args.IArgs = lo.iargs
+	lo.args.FArgs = lo.fargs
+	return lo.fn(lo.args)
+}
+
 // Driver is the local (non-proxied) implementation of API for one device.
 type Driver struct {
 	dev     *gpu.Device
@@ -191,6 +272,8 @@ type Driver struct {
 	nextBuf    Buf
 	comms      map[Comm]*nccl.Comm
 	nextComm   Comm
+
+	launchFree *launchOp
 
 	lastErr error
 }
@@ -330,13 +413,13 @@ func (d *Driver) MemcpyH2D(p *vclock.Proc, dst Buf, src []float32, s Stream) err
 	if err != nil {
 		return err
 	}
-	data := append([]float32(nil), src...) // capture at call time
-	dur := gpu.TransferTime(gb.ModelBytes, d.params.H2DBandwidth)
-	gs.Enqueue(gpu.FuncOp("memcpyH2D", dur, func(dev *gpu.Device) error {
-		n := copy(gb.Data, data)
-		_ = n
-		return nil
-	}))
+	lo := d.getLaunch()
+	lo.mode = launchH2D
+	lo.bufs = append(lo.bufs, gb)
+	lo.host = append(lo.host[:0], src...) // capture at call time
+	lo.op.Name = "memcpyH2D"
+	lo.op.Dur = gpu.TransferTime(gb.ModelBytes, d.params.H2DBandwidth)
+	gs.EnqueueAsync(&lo.op)
 	return nil
 }
 
@@ -385,11 +468,12 @@ func (d *Driver) MemcpyD2D(p *vclock.Proc, dst, src Buf, s Stream) error {
 	if err != nil {
 		return err
 	}
-	dur := gpu.TransferTime(sb.ModelBytes, d.params.D2DBandwidth)
-	gs.Enqueue(gpu.FuncOp("memcpyD2D", dur, func(dev *gpu.Device) error {
-		copy(db.Data, sb.Data)
-		return nil
-	}))
+	lo := d.getLaunch()
+	lo.mode = launchD2D
+	lo.bufs = append(lo.bufs, db, sb)
+	lo.op.Name = "memcpyD2D"
+	lo.op.Dur = gpu.TransferTime(sb.ModelBytes, d.params.D2DBandwidth)
+	gs.EnqueueAsync(&lo.op)
 	return nil
 }
 
@@ -579,25 +663,22 @@ func (d *Driver) Launch(p *vclock.Proc, lp LaunchParams, s Stream) error {
 	if err != nil {
 		return err
 	}
-	bufs := make([]*gpu.Buffer, len(lp.Bufs))
-	for i, bh := range lp.Bufs {
+	lo := d.getLaunch()
+	lo.mode = launchKernel
+	lo.kernel = lp.Kernel
+	lo.fn = fn
+	for _, bh := range lp.Bufs {
 		gb, err := d.buf(bh)
 		if err != nil {
+			lo.release()
 			return err
 		}
-		bufs[i] = gb
+		lo.bufs = append(lo.bufs, gb)
 	}
-	gs.Enqueue(gpu.FuncOp("kernel."+lp.Kernel, lp.Dur, func(dev *gpu.Device) error {
-		args := KernelArgs{
-			Bufs:  make([]tensor.Vector, len(bufs)),
-			IArgs: lp.IArgs,
-			FArgs: lp.FArgs,
-		}
-		for i, gb := range bufs {
-			args.Bufs[i] = gb.Data
-		}
-		return fn(args)
-	}))
+	lo.iargs = append(lo.iargs[:0], lp.IArgs...)
+	lo.fargs = append(lo.fargs[:0], lp.FArgs...)
+	lo.op.Dur = lp.Dur
+	gs.EnqueueAsync(&lo.op)
 	return nil
 }
 

@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"jitckpt/internal/core"
+	"jitckpt/internal/vclock"
+)
+
+// BenchSchema identifies the BENCH_sim.json format version.
+const BenchSchema = "jitckpt-bench/v1"
+
+// BenchMetric is one measured quantity of a bench run. Better says which
+// direction is an improvement ("higher" or "lower"), so the comparison
+// tool can flag regressions without a per-metric table.
+type BenchMetric struct {
+	Name   string  `json:"name"`
+	Value  float64 `json:"value"`
+	Unit   string  `json:"unit"`
+	Better string  `json:"better"`
+}
+
+// BenchReport is one point of the simulator's performance trajectory,
+// serialized as BENCH_sim.json. The committed baseline at the repository
+// root is the previous point; CI re-measures and compares against it.
+type BenchReport struct {
+	Schema     string        `json:"schema"`
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Workers    int           `json:"workers"`
+	Metrics    []BenchMetric `json:"metrics"`
+}
+
+// Metric returns the named metric and whether it exists.
+func (r *BenchReport) Metric(name string) (BenchMetric, bool) {
+	for _, m := range r.Metrics {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return BenchMetric{}, false
+}
+
+func (r *BenchReport) add(name string, value float64, unit, better string) {
+	r.Metrics = append(r.Metrics, BenchMetric{Name: name, Value: value, Unit: unit, Better: better})
+}
+
+// RunBench measures the simulator's performance point: kernel microbench,
+// steady-state training allocation rates, the table 10 chaos grid's
+// throughput, and per-table wall times over the quick model subsets.
+// workers is the sweep concurrency (≤1 = serial).
+func RunBench(workers int) (*BenchReport, error) {
+	r := &BenchReport{
+		Schema:     BenchSchema,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    workers,
+	}
+
+	// Kernel microbench: one full sleep cycle = timer push, heap pop,
+	// clock advance, process dispatch.
+	const sleepCycles = 200000
+	env := vclock.NewEnv(1)
+	env.Go("bench", func(p *vclock.Proc) {
+		for i := 0; i < sleepCycles; i++ {
+			p.Sleep(vclock.Microsecond)
+		}
+	})
+	start := time.Now()
+	if err := env.Run(); err != nil {
+		return nil, fmt.Errorf("bench: vclock microbench: %w", err)
+	}
+	r.add("vclock_sleep_cycle_ns", float64(time.Since(start).Nanoseconds())/sleepCycles, "ns", "lower")
+
+	// Steady-state training allocation rate: marginal allocs and bytes per
+	// job minibatch (4 ranks), from the delta between a short and a long
+	// failure-free run so setup costs cancel.
+	wl := chaosWorkload()
+	measure := func(iters int) (mallocs, bytes uint64, err error) {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		res, err := core.Run(core.JobConfig{WL: wl, Policy: core.PolicyNone, Iters: iters, Seed: 1})
+		if err != nil {
+			return 0, 0, err
+		}
+		if !res.Completed {
+			return 0, 0, fmt.Errorf("bench: steady run (%d iters) incomplete", iters)
+		}
+		runtime.ReadMemStats(&after)
+		return after.Mallocs - before.Mallocs, after.TotalAlloc - before.TotalAlloc, nil
+	}
+	const shortIters, longIters = 40, 240
+	m1, b1, err := measure(shortIters)
+	if err != nil {
+		return nil, err
+	}
+	m2, b2, err := measure(longIters)
+	if err != nil {
+		return nil, err
+	}
+	span := float64(longIters - shortIters)
+	r.add("train_allocs_per_iter", (float64(m2)-float64(m1))/span, "allocs", "lower")
+	r.add("train_bytes_per_iter", (float64(b2)-float64(b1))/span, "bytes", "lower")
+
+	// The table 10 chaos grid: the headline throughput metrics.
+	copt := DefaultChaosOptions()
+	copt.Workers = workers
+	start = time.Now()
+	rows, err := RunChaos(copt)
+	if err != nil {
+		return nil, fmt.Errorf("bench: chaos grid: %w", err)
+	}
+	wall := time.Since(start).Seconds()
+	var events uint64
+	var simSec float64
+	for _, row := range rows {
+		events += row.Sim.Events()
+		simSec += row.SimTime.Sec()
+	}
+	r.add("chaos_grid_wall_ms", wall*1000, "ms", "lower")
+	r.add("chaos_grid_events_per_sec", float64(events)/wall, "events/s", "higher")
+	r.add("chaos_grid_sim_per_wall", simSec/wall, "sim-s/wall-s", "higher")
+
+	// Per-table wall times over the quick subsets jitbench -quick uses.
+	opt := DefaultOptions()
+	opt.Workers = workers
+	tables := []struct {
+		name string
+		run  func() error
+	}{
+		{"table3", func() error { _, err := RunTable3(Table3Models()[:2], opt); return err }},
+		{"table4", func() error { _, err := RunTable4(Table4Models()[:2], opt); return err }},
+		{"table5", func() error { _, err := RunTable5(Table5Models()[:2], opt); return err }},
+		{"table6", func() error { _, err := RunTable6(Table6Models()[:2], opt); return err }},
+		{"table7", func() error { _, err := RunTable7(Table7Models()[:2], opt); return err }},
+		{"table9", func() error { _, err := RunPeerComparison(PeerModels()[:1], nil, opt); return err }},
+		{"table11", func() error {
+			eopt := DefaultElasticOptions()
+			eopt.Workers = workers
+			eopt.Seeds = eopt.Seeds[:1]
+			eopt.MTBFs = eopt.MTBFs[:1]
+			_, err := RunElasticSweep(eopt)
+			return err
+		}},
+	}
+	for _, t := range tables {
+		start = time.Now()
+		if err := t.run(); err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", t.name, err)
+		}
+		r.add(t.name+"_wall_ms", time.Since(start).Seconds()*1000, "ms", "lower")
+	}
+	return r, nil
+}
+
+// WriteBench serializes a report as indented JSON.
+func WriteBench(w io.Writer, r *BenchReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadBenchFile loads a BENCH_sim.json report.
+func ReadBenchFile(path string) (*BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r BenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	if r.Schema != BenchSchema {
+		return nil, fmt.Errorf("bench: %s: unknown schema %q (want %q)", path, r.Schema, BenchSchema)
+	}
+	return &r, nil
+}
+
+// CompareBench reports regressions of cur against base: metrics present in
+// both whose value moved more than tol (e.g. 0.10 for 10%) in the worse
+// direction. Wall-time metrics are inherently noisy; the caller decides
+// whether a regression fails the build or just warns.
+func CompareBench(base, cur *BenchReport, tol float64) []string {
+	var warnings []string
+	for _, b := range base.Metrics {
+		c, ok := cur.Metric(b.Name)
+		if !ok || b.Value == 0 {
+			continue
+		}
+		change := c.Value/b.Value - 1
+		regressed := (b.Better == "lower" && change > tol) ||
+			(b.Better == "higher" && change < -tol)
+		if regressed {
+			warnings = append(warnings, fmt.Sprintf(
+				"%s regressed %.1f%%: %.4g -> %.4g %s (%s is better)",
+				b.Name, 100*change, b.Value, c.Value, b.Unit, b.Better))
+		}
+	}
+	return warnings
+}

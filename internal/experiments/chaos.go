@@ -33,6 +33,11 @@ type ChaosOptions struct {
 	// Recorder, when set, collects the structured event trace of every
 	// soak run (each under its own run ID).
 	Recorder *trace.Recorder
+	// Workers caps the number of concurrent runs in the policy×seed grid
+	// (0 or 1 = serial). Every run is an independent simulation, so rows,
+	// loss trajectories and merged traces are byte-identical to a serial
+	// sweep regardless of the worker count.
+	Workers int
 }
 
 // DefaultChaosOptions returns the standard chaos-suite configuration.
@@ -50,6 +55,10 @@ func DefaultChaosOptions() ChaosOptions {
 func ChaosPolicies() []core.Policy {
 	return []core.Policy{core.PolicyPCDisk, core.PolicyUserJIT, core.PolicyPeerShelter, core.PolicyJITWithPeer}
 }
+
+// ChaosWorkload returns the chaos suite's job; the root benchmarks reuse
+// it as the standard steady-training measurement subject.
+func ChaosWorkload() workload.Workload { return chaosWorkload() }
 
 // chaosWorkload is a small fast data-parallel job (4 GPUs over 2 nodes)
 // so a full policy×seed sweep stays cheap; the recovery machinery it
@@ -83,6 +92,11 @@ type ChaosRow struct {
 	// bit for bit.
 	Completed    bool
 	BitIdentical bool
+	// Sim and SimTime carry the run's kernel event counters and final
+	// simulated time, the raw material for the bench harness's events/sec
+	// and simulated-seconds-per-wall-second metrics.
+	Sim     vclock.Stats
+	SimTime vclock.Time
 }
 
 // drawKind samples a fault kind from the normalized mix. Kinds are
@@ -165,44 +179,59 @@ func RunChaos(opt ChaosOptions) ([]ChaosRow, error) {
 		return nil, err
 	}
 
-	var rows []ChaosRow
+	type cell struct {
+		policy core.Policy
+		seed   int64
+	}
+	var cells []cell
 	for _, policy := range policies {
 		for _, seed := range opt.Seeds {
-			rng := rand.New(rand.NewSource(seed * 131))
-			injections := chaosInjections(rng, wl, opt.Iters, mix)
-			cfg := core.JobConfig{
-				WL: wl, Policy: policy, Iters: opt.Iters, Seed: 1, CollectLoss: true,
-				Recorder:    opt.Recorder,
-				HangTimeout: 2 * vclock.Second, SpareNodes: 4,
-				IterFailures: injections,
-				Chaos: &core.ChaosConfig{
-					DiskChaos:    checkpoint.RandomChaos(rand.New(rand.NewSource(seed*17)), opt.WriteFaultP),
-					ShelterChaos: checkpoint.RandomChaos(rand.New(rand.NewSource(seed*29)), opt.WriteFaultP),
-				},
-			}
-			if _, isPeriodic := policy.PeriodicKind(); isPeriodic {
-				cfg.CkptInterval = 4 * wl.Minibatch
-			}
-			res, err := core.Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			row := ChaosRow{
-				Policy:       policy,
-				Seed:         seed,
-				Incarnations: res.Incarnations,
-				Recoveries:   len(res.Reports),
-				Completed:    res.Completed,
-			}
-			for _, inj := range injections {
-				row.Kinds = append(row.Kinds, inj.Kind)
-			}
-			if res.Completed {
-				row.RedoIters = res.ItersExecuted - opt.Iters
-				row.BitIdentical = lossEqual(ref.Loss, res.Loss, opt.Iters)
-			}
-			rows = append(rows, row)
+			cells = append(cells, cell{policy, seed})
 		}
+	}
+	rows := make([]ChaosRow, len(cells))
+	err = runGrid(len(cells), opt.Workers, opt.Recorder, func(i int, rec *trace.Recorder) error {
+		policy, seed := cells[i].policy, cells[i].seed
+		rng := rand.New(rand.NewSource(seed * 131))
+		injections := chaosInjections(rng, wl, opt.Iters, mix)
+		cfg := core.JobConfig{
+			WL: wl, Policy: policy, Iters: opt.Iters, Seed: 1, CollectLoss: true,
+			Recorder:    rec,
+			HangTimeout: 2 * vclock.Second, SpareNodes: 4,
+			IterFailures: injections,
+			Chaos: &core.ChaosConfig{
+				DiskChaos:    checkpoint.RandomChaos(rand.New(rand.NewSource(seed*17)), opt.WriteFaultP),
+				ShelterChaos: checkpoint.RandomChaos(rand.New(rand.NewSource(seed*29)), opt.WriteFaultP),
+			},
+		}
+		if _, isPeriodic := policy.PeriodicKind(); isPeriodic {
+			cfg.CkptInterval = 4 * wl.Minibatch
+		}
+		res, err := core.Run(cfg)
+		if err != nil {
+			return err
+		}
+		row := ChaosRow{
+			Policy:       policy,
+			Seed:         seed,
+			Incarnations: res.Incarnations,
+			Recoveries:   len(res.Reports),
+			Completed:    res.Completed,
+			Sim:          res.SimStats,
+			SimTime:      res.WallTime,
+		}
+		for _, inj := range injections {
+			row.Kinds = append(row.Kinds, inj.Kind)
+		}
+		if res.Completed {
+			row.RedoIters = res.ItersExecuted - opt.Iters
+			row.BitIdentical = lossEqual(ref.Loss, res.Loss, opt.Iters)
+		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -31,6 +31,10 @@ type ElasticOptions struct {
 	// Recorder, when set, collects the structured event trace of every
 	// sweep run (each under its own run ID).
 	Recorder *trace.Recorder
+	// Workers caps the number of concurrent runs in the sweep (0 or 1 =
+	// serial). Rows, metrics and merged traces are byte-identical to a
+	// serial sweep regardless of the worker count.
+	Workers int
 }
 
 // DefaultElasticOptions returns the standard sweep configuration.
@@ -111,62 +115,97 @@ func RunElasticSweep(opt ElasticOptions) ([]ElasticRow, error) {
 	wl := chaosWorkload()
 	mix := elasticMix()
 
-	var rows []ElasticRow
+	type cell struct {
+		mtbf   vclock.Time
+		spares int
+		policy core.Policy
+		seed   int64
+	}
+	var cells []cell
 	for _, mtbf := range opt.MTBFs {
 		for _, spares := range opt.Spares {
 			for _, policy := range ElasticPolicies() {
-				row := ElasticRow{Policy: policy, MTBF: mtbf, Spares: spares}
-				var usefulSum, waitSum float64
 				for _, seed := range opt.Seeds {
-					rng := rand.New(rand.NewSource(seed*211 + int64(mtbf/vclock.Millisecond)))
-					// Job-level MTBF m over n GPUs means a per-GPU daily
-					// rate of day/(m·n).
-					fPerGPUDay := float64(vclock.Day) / (float64(mtbf) * float64(wl.GPUs()))
-					plan := failure.PoissonPlan(rng, wl.Topo.World(), fPerGPUDay, opt.PlanHorizon, mix).
-						WithRepairs(rng, opt.MeanRepair)
-					// A shared recorder (for -trace export) accumulates every
-					// run, so count this run's transitions as deltas.
-					rec := opt.Recorder
-					if rec == nil {
-						rec = trace.New()
-					}
-					pre := trace.NewQuery(rec)
-					shrink0 := len(pre.Instants("elastic", "shrink"))
-					expand0 := len(pre.Instants("elastic", "expand"))
-					res, err := core.Run(core.JobConfig{
-						WL: wl, Policy: policy, Iters: opt.Iters, Seed: 1,
-						HangTimeout: 2 * vclock.Second, SpareNodes: spares,
-						Failures: plan,
-						Recorder: rec,
-					})
-					if err != nil {
-						return nil, fmt.Errorf("elastic sweep %v mtbf=%v spares=%d seed=%d: %w",
-							policy, mtbf, spares, seed, err)
-					}
-					q := trace.NewQuery(rec)
-					shrinks := len(q.Instants("elastic", "shrink")) - shrink0
-					expands := len(q.Instants("elastic", "expand")) - expand0
-					row.Runs++
-					if res.Completed {
-						row.Completed++
-						// Full width iff the run never shrank or expanded back.
-						if shrinks == 0 || expands > 0 {
-							row.FullWidth++
-						}
-					}
-					row.Shrinks += shrinks
-					row.Expands += expands
-					row.DegradedIters += res.Accounting.DegradedIters
-					if res.WallTime > 0 {
-						usefulSum += float64(res.Accounting.Useful) / float64(res.WallTime)
-						waitSum += float64(res.Accounting.WaitingForCapacity) / float64(res.WallTime)
-					}
+					cells = append(cells, cell{mtbf, spares, policy, seed})
 				}
-				row.UsefulFrac = usefulSum / float64(row.Runs)
-				row.WaitFrac = waitSum / float64(row.Runs)
-				rows = append(rows, row)
 			}
 		}
+	}
+	type runResult struct {
+		completed        bool
+		shrinks, expands int
+		degraded         int
+		useful, wait     float64
+	}
+	runs := make([]runResult, len(cells))
+	err := runGrid(len(cells), opt.Workers, opt.Recorder, func(i int, rec *trace.Recorder) error {
+		c := cells[i]
+		rng := rand.New(rand.NewSource(c.seed*211 + int64(c.mtbf/vclock.Millisecond)))
+		// Job-level MTBF m over n GPUs means a per-GPU daily rate of
+		// day/(m·n).
+		fPerGPUDay := float64(vclock.Day) / (float64(c.mtbf) * float64(wl.GPUs()))
+		plan := failure.PoissonPlan(rng, wl.Topo.World(), fPerGPUDay, opt.PlanHorizon, mix).
+			WithRepairs(rng, opt.MeanRepair)
+		// The sweep needs a recorder for the transition counts; a shared
+		// one (serial -trace export) accumulates every run, so count this
+		// run's transitions as deltas.
+		if rec == nil {
+			rec = trace.New()
+		}
+		pre := trace.NewQuery(rec)
+		shrink0 := len(pre.Instants("elastic", "shrink"))
+		expand0 := len(pre.Instants("elastic", "expand"))
+		res, err := core.Run(core.JobConfig{
+			WL: wl, Policy: c.policy, Iters: opt.Iters, Seed: 1,
+			HangTimeout: 2 * vclock.Second, SpareNodes: c.spares,
+			Failures: plan,
+			Recorder: rec,
+		})
+		if err != nil {
+			return fmt.Errorf("elastic sweep %v mtbf=%v spares=%d seed=%d: %w",
+				c.policy, c.mtbf, c.spares, c.seed, err)
+		}
+		q := trace.NewQuery(rec)
+		r := runResult{
+			completed: res.Completed,
+			shrinks:   len(q.Instants("elastic", "shrink")) - shrink0,
+			expands:   len(q.Instants("elastic", "expand")) - expand0,
+			degraded:  res.Accounting.DegradedIters,
+		}
+		if res.WallTime > 0 {
+			r.useful = float64(res.Accounting.Useful) / float64(res.WallTime)
+			r.wait = float64(res.Accounting.WaitingForCapacity) / float64(res.WallTime)
+		}
+		runs[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []ElasticRow
+	for i := 0; i < len(cells); i += len(opt.Seeds) {
+		c := cells[i]
+		row := ElasticRow{Policy: c.policy, MTBF: c.mtbf, Spares: c.spares}
+		var usefulSum, waitSum float64
+		for _, r := range runs[i : i+len(opt.Seeds)] {
+			row.Runs++
+			if r.completed {
+				row.Completed++
+				// Full width iff the run never shrank or expanded back.
+				if r.shrinks == 0 || r.expands > 0 {
+					row.FullWidth++
+				}
+			}
+			row.Shrinks += r.shrinks
+			row.Expands += r.expands
+			row.DegradedIters += r.degraded
+			usefulSum += r.useful
+			waitSum += r.wait
+		}
+		row.UsefulFrac = usefulSum / float64(row.Runs)
+		row.WaitFrac = waitSum / float64(row.Runs)
+		rows = append(rows, row)
 	}
 	return rows, nil
 }

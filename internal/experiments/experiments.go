@@ -32,6 +32,11 @@ type Options struct {
 	// Recorder, when set, collects the structured event trace of every
 	// measurement run (each under its own run ID).
 	Recorder *trace.Recorder
+	// Workers caps the number of concurrently measured models in the
+	// per-model tables (0 or 1 = serial). Each model's runs are
+	// independent simulations, so tables and traces are byte-identical to
+	// a serial run regardless of the worker count.
+	Workers int
 }
 
 // DefaultOptions returns the standard measurement configuration.
@@ -102,25 +107,28 @@ func Table3Models() []string {
 // model (or one/day for PC_1/day). The JIT-C column is the measured
 // increase in minibatch time from interception and replay logging.
 func RunTable3(models []string, opt Options) ([]Table3Row, error) {
-	var rows []Table3Row
-	for _, name := range models {
+	rows := make([]Table3Row, len(models))
+	err := runGrid(len(models), opt.Workers, opt.Recorder, func(i int, rec *trace.Recorder) error {
+		name := models[i]
+		mopt := opt
+		mopt.Recorder = rec
 		wl, err := workload.ByName(name)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := Table3Row{Model: name}
 
-		base, err := steadyMinibatch(wl, core.PolicyNone, opt)
+		base, err := steadyMinibatch(wl, core.PolicyNone, mopt)
 		if err != nil {
-			return nil, err
+			return err
 		}
 
 		// Per-checkpoint stall per policy, from a run with one forced
 		// checkpoint.
 		stall := func(policy core.Policy) (float64, error) {
 			res, err := core.Run(core.JobConfig{
-				WL: wl, Policy: policy, Iters: opt.Iters, Seed: opt.Seed,
-				Recorder:     opt.Recorder,
+				WL: wl, Policy: policy, Iters: mopt.Iters, Seed: mopt.Seed,
+				Recorder:     rec,
 				CkptInterval: 4 * wl.Minibatch, // force a couple of checkpoints
 			})
 			if err != nil {
@@ -133,15 +141,15 @@ func RunTable3(models []string, opt Options) ([]Table3Row, error) {
 		}
 		oDisk, err := stall(core.PolicyPCDisk)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		oMem, err := stall(core.PolicyPCMem)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		oCF, err := stall(core.PolicyCheckFreq)
 		if err != nil {
-			return nil, err
+			return err
 		}
 
 		// Overhead fraction = per-checkpoint stall × checkpoint frequency.
@@ -156,16 +164,20 @@ func RunTable3(models []string, opt Options) ([]Table3Row, error) {
 		row.PCDaily = oMem / 86400 // one PC_mem-style checkpoint per day
 
 		// JIT steady-state overhead: minibatch delta under interception.
-		jit, err := steadyMinibatch(wl, core.PolicyUserJIT, opt)
+		jit, err := steadyMinibatch(wl, core.PolicyUserJIT, mopt)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		delta := (jit - base).Sec()
 		if delta < 0 {
 			delta = 0
 		}
 		row.JITC = delta / base.Sec()
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -204,40 +216,47 @@ func Table4Models() []string {
 // injected mid-training; the healthy replicas checkpoint just in time and
 // the job restarts from that checkpoint.
 func RunTable4(models []string, opt Options) ([]Table4Row, error) {
-	var rows []Table4Row
-	for _, name := range models {
+	rows := make([]Table4Row, len(models))
+	err := runGrid(len(models), opt.Workers, opt.Recorder, func(i int, rec *trace.Recorder) error {
+		name := models[i]
+		mopt := opt
+		mopt.Recorder = rec
 		wl, err := workload.ByName(name)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		base, err := steadyMinibatch(wl, core.PolicyNone, opt)
+		base, err := steadyMinibatch(wl, core.PolicyNone, mopt)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := core.Run(core.JobConfig{
-			WL: wl, Policy: core.PolicyUserJIT, Iters: opt.Iters, Seed: opt.Seed,
-			Recorder:     opt.Recorder,
+			WL: wl, Policy: core.PolicyUserJIT, Iters: mopt.Iters, Seed: mopt.Seed,
+			Recorder:     rec,
 			SpareNodes:   spareNodesFor(wl),
-			IterFailures: []core.IterInjection{{Iter: opt.Iters / 2, Frac: 0.4, Rank: failTarget(wl), Kind: failure.GPUHard}},
+			IterFailures: []core.IterInjection{{Iter: mopt.Iters / 2, Frac: 0.4, Rank: failTarget(wl), Kind: failure.GPUHard}},
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if !res.Completed || res.Incarnations != 2 {
-			return nil, fmt.Errorf("experiments: %s user-JIT run incomplete (inc=%d)", name, res.Incarnations)
+			return fmt.Errorf("experiments: %s user-JIT run incomplete (inc=%d)", name, res.Incarnations)
 		}
 		over := (res.Minibatch - base).Sec()
 		if over < 0 {
 			over = 0
 		}
-		rows = append(rows, Table4Row{
+		rows[i] = Table4Row{
 			Model:     name,
 			Ckpt:      res.JITCheckpointTime,
 			Restore:   res.RestoreTime,
 			Recovery:  res.JITCheckpointTime + res.RestoreTime,
 			Minibatch: res.Minibatch,
 			Overhead:  over,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -8,6 +8,7 @@ import (
 	"jitckpt/internal/core"
 	"jitckpt/internal/failure"
 	"jitckpt/internal/metrics"
+	"jitckpt/internal/trace"
 	"jitckpt/internal/vclock"
 	"jitckpt/internal/workload"
 )
@@ -120,17 +121,20 @@ func RunPeerComparison(models []string, policies []core.Policy, opt Options) ([]
 	if len(policies) == 0 {
 		policies = PeerComparisonPolicies()
 	}
-	var rows []PeerRow
-	for _, name := range models {
+	rows := make([]PeerRow, len(models)*len(policies))
+	gerr := runGrid(len(models), opt.Workers, opt.Recorder, func(mi int, rec *trace.Recorder) error {
+		name := models[mi]
+		mopt := opt
+		mopt.Recorder = rec
 		wl, err := workload.ByName(name)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		base, err := steadyMinibatch(wl, core.PolicyNone, opt)
+		base, err := steadyMinibatch(wl, core.PolicyNone, mopt)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		for _, policy := range policies {
+		for pi, policy := range policies {
 			row := PeerRow{Model: name, Policy: policy}
 
 			// Steady-state overhead, measured failure-free.
@@ -139,14 +143,14 @@ func RunPeerComparison(models []string, policies []core.Policy, opt Options) ([]
 				// as in Table 3.
 				res, err := core.Run(core.JobConfig{
 					WL: wl, Policy: policy, Iters: opt.Iters, Seed: opt.Seed,
-					Recorder:     opt.Recorder,
+					Recorder:     rec,
 					CkptInterval: 4 * wl.Minibatch,
 				})
 				if err != nil {
-					return nil, err
+					return err
 				}
 				if !res.Completed || res.Accounting.Checkpoints == 0 {
-					return nil, fmt.Errorf("experiments: %s %v steady run incomplete", name, policy)
+					return fmt.Errorf("experiments: %s %v steady run incomplete", name, policy)
 				}
 				o := res.Accounting.CkptStall.Sec() / float64(res.Accounting.Checkpoints)
 				p := analysis.Params{O: o, F: analysis.PerDay(FailureRate), N: wl.GPUs()}
@@ -154,13 +158,13 @@ func RunPeerComparison(models []string, policies []core.Policy, opt Options) ([]
 			} else {
 				res, err := core.Run(core.JobConfig{
 					WL: wl, Policy: policy, Iters: opt.Iters, Seed: opt.Seed,
-					Recorder: opt.Recorder,
+					Recorder: rec,
 				})
 				if err != nil {
-					return nil, err
+					return err
 				}
 				if !res.Completed {
-					return nil, fmt.Errorf("experiments: %s %v steady run incomplete", name, policy)
+					return fmt.Errorf("experiments: %s %v steady run incomplete", name, policy)
 				}
 				delta := (res.Minibatch - base).Sec()
 				if delta < 0 {
@@ -179,7 +183,7 @@ func RunPeerComparison(models []string, policies []core.Policy, opt Options) ([]
 			// One catastrophic failure mid-run.
 			cfg := core.JobConfig{
 				WL: wl, Policy: policy, Iters: opt.Iters, Seed: opt.Seed,
-				Recorder:     opt.Recorder,
+				Recorder:     rec,
 				SpareNodes:   spareNodesFor(wl),
 				IterFailures: catastrophicKill(wl, opt.Iters/2),
 			}
@@ -192,15 +196,19 @@ func RunPeerComparison(models []string, policies []core.Policy, opt Options) ([]
 			}
 			res, err := core.Run(cfg)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			row.Recovered = res.Completed
 			if res.Completed {
 				row.RedoIters = res.ItersExecuted - opt.Iters
 				row.WastedGPUSec = float64(row.RedoIters) * res.Minibatch.Sec() * float64(wl.GPUs())
 			}
-			rows = append(rows, row)
+			rows[mi*len(policies)+pi] = row
 		}
+		return nil
+	})
+	if gerr != nil {
+		return nil, gerr
 	}
 	return rows, nil
 }

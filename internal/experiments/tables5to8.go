@@ -7,6 +7,7 @@ import (
 	"jitckpt/internal/core"
 	"jitckpt/internal/failure"
 	"jitckpt/internal/metrics"
+	"jitckpt/internal/trace"
 	"jitckpt/internal/vclock"
 	"jitckpt/internal/workload"
 )
@@ -33,38 +34,45 @@ func Table5Models() []string {
 // no GPU state is copied; communicators are re-created and the minibatch
 // replayed.
 func RunTable5(models []string, opt Options) ([]Table5Row, error) {
-	var rows []Table5Row
-	for _, name := range models {
+	rows := make([]Table5Row, len(models))
+	err := runGrid(len(models), opt.Workers, opt.Recorder, func(i int, rec *trace.Recorder) error {
+		name := models[i]
+		mopt := opt
+		mopt.Recorder = rec
 		wl, err := workload.ByName(name)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		base, err := steadyMinibatch(wl, core.PolicyNone, opt)
+		base, err := steadyMinibatch(wl, core.PolicyNone, mopt)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := core.Run(core.JobConfig{
-			WL: wl, Policy: core.PolicyTransparentJIT, Iters: opt.Iters, Seed: opt.Seed,
-			Recorder:     opt.Recorder,
-			IterFailures: []core.IterInjection{{Iter: opt.Iters / 2, Frac: 0.4, Rank: failTarget(wl), Kind: failure.NetworkHang}},
+			WL: wl, Policy: core.PolicyTransparentJIT, Iters: mopt.Iters, Seed: mopt.Seed,
+			Recorder:     rec,
+			IterFailures: []core.IterInjection{{Iter: mopt.Iters / 2, Frac: 0.4, Rank: failTarget(wl), Kind: failure.NetworkHang}},
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if !res.Completed || len(res.Reports) == 0 {
-			return nil, fmt.Errorf("experiments: %s transient run incomplete (reports=%d)", name, len(res.Reports))
+			return fmt.Errorf("experiments: %s transient run incomplete (reports=%d)", name, len(res.Reports))
 		}
 		over := (res.Minibatch - base).Sec()
 		if over < 0 {
 			over = 0
 		}
-		rows = append(rows, Table5Row{
+		rows[i] = Table5Row{
 			Model:     name,
 			GPU:       wl.GPU,
 			Recovery:  res.Reports[0].HealthyAvg,
 			Minibatch: res.Minibatch,
 			Overhead:  over,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -102,31 +110,36 @@ func Table6Models() []string {
 // JIT-checkpoint their GPU state and CRIU-checkpoint, the job migrates,
 // and state is restored from the checkpoint files.
 func RunTable6(models []string, opt Options) ([]Table6Row, error) {
-	var rows []Table6Row
-	for _, name := range models {
+	rows := make([]Table6Row, len(models))
+	err := runGrid(len(models), opt.Workers, opt.Recorder, func(i int, rec *trace.Recorder) error {
+		name := models[i]
 		wl, err := workload.ByName(name)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := core.Run(core.JobConfig{
 			WL: wl, Policy: core.PolicyTransparentJIT, Iters: opt.Iters, Seed: opt.Seed,
-			Recorder:     opt.Recorder,
+			Recorder:     rec,
 			SpareNodes:   spareNodesFor(wl),
 			IterFailures: []core.IterInjection{{Iter: opt.Iters / 2, Frac: 0.4, Rank: failTarget(wl), Kind: failure.GPUHard}},
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if !res.Completed || len(res.Reports) == 0 {
-			return nil, fmt.Errorf("experiments: %s hard run incomplete (reports=%d)", name, len(res.Reports))
+			return fmt.Errorf("experiments: %s hard run incomplete (reports=%d)", name, len(res.Reports))
 		}
-		rows = append(rows, Table6Row{
+		rows[i] = Table6Row{
 			Model:     name,
 			GPU:       wl.GPU,
 			Healthy:   res.Reports[0].HealthyAvg,
 			Failed:    res.Reports[0].FailedAvg,
 			Minibatch: res.Minibatch,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -167,24 +180,29 @@ var Table7PhaseLabels = map[string]string{
 // RunTable7 measures the per-step breakdown of transparent transient
 // recovery on one healthy rank worker.
 func RunTable7(models []string, opt Options) ([]Table7Breakdown, error) {
-	var out []Table7Breakdown
-	for _, name := range models {
+	out := make([]Table7Breakdown, len(models))
+	err := runGrid(len(models), opt.Workers, opt.Recorder, func(i int, rec *trace.Recorder) error {
+		name := models[i]
 		wl, err := workload.ByName(name)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := core.Run(core.JobConfig{
 			WL: wl, Policy: core.PolicyTransparentJIT, Iters: opt.Iters, Seed: opt.Seed,
-			Recorder:     opt.Recorder,
+			Recorder:     rec,
 			IterFailures: []core.IterInjection{{Iter: opt.Iters / 2, Frac: 0.4, Rank: failTarget(wl), Kind: failure.NetworkHang}},
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if !res.Completed || len(res.Reports) == 0 {
-			return nil, fmt.Errorf("experiments: %s breakdown run incomplete", name)
+			return fmt.Errorf("experiments: %s breakdown run incomplete", name)
 		}
-		out = append(out, Table7Breakdown{Model: name, Phases: res.Reports[0].Phases})
+		out[i] = Table7Breakdown{Model: name, Phases: res.Reports[0].Phases}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

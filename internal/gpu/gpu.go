@@ -79,12 +79,38 @@ type Buffer struct {
 
 // Op is one unit of work on a stream. Run executes in the stream's process:
 // it may sleep to model compute time and may block on events (collectives do
-// both). Done triggers when the op completes; Err carries its outcome.
+// both). When Run is nil, the stream sleeps Dur and then calls Exec — the
+// common kernel/memcpy shape, expressible without a wrapper closure. Done
+// triggers when the op completes (it stays nil for fire-and-forget ops
+// enqueued with EnqueueAsync); Err carries the outcome.
 type Op struct {
 	Name string
-	Run  func(p *vclock.Proc, dev *Device) error
+	// NameFn lazily produces the op's trace name when Name is empty. It is
+	// only invoked when a trace recorder is attached, so pooled hot-path
+	// ops skip name formatting entirely on untraced runs.
+	NameFn func() string
+	Run    func(p *vclock.Proc, dev *Device) error
+	// Dur and Exec are the declarative form of Run: sleep Dur, then apply
+	// Exec (which may be nil) to the device at completion time.
+	Dur  vclock.Time
+	Exec func(dev *Device) error
 	Done *vclock.Event
 	Err  error
+	// Free, when set, is called by the stream after the op fully completes;
+	// pooled ops use it to return themselves to their owner's free list.
+	// Ops with a Free hook must not be retained or re-read by the issuer.
+	Free func()
+}
+
+// name resolves the op's display name for tracing.
+func (op *Op) name() string {
+	if op.Name != "" {
+		return op.Name
+	}
+	if op.NameFn != nil {
+		return op.NameFn()
+	}
+	return "op"
 }
 
 // Stream is an in-order execution queue on a device.
@@ -388,6 +414,16 @@ func (s *Stream) Enqueue(op *Op) *vclock.Event {
 	return op.Done
 }
 
+// EnqueueAsync appends a fire-and-forget op: no completion event is
+// created, so callers that never wait on the op (kernel launches, async
+// memcpys, collectives whose completion is observed via stream sync) pay
+// no per-op event allocation. Completion is still observable through
+// Pending, DrainEvent, and AsyncErr.
+func (s *Stream) EnqueueAsync(op *Op) {
+	s.pending++
+	s.q.Push(op)
+}
+
 // Pending returns the number of enqueued-but-incomplete ops.
 func (s *Stream) Pending() int { return s.pending }
 
@@ -395,9 +431,7 @@ func (s *Stream) Pending() int { return s.pending }
 // has completed. On an idle stream it is already triggered.
 func (s *Stream) DrainEvent() *vclock.Event {
 	if s.pending == 0 {
-		ev := s.dev.env.NewEvent("drain.idle")
-		ev.Trigger()
-		return ev
+		return s.dev.env.DoneEvent()
 	}
 	if s.drain == nil || s.drain.Triggered() {
 		s.drain = s.dev.env.NewEvent(fmt.Sprintf("%s.s%d.drain", s.dev.Name(), s.ID))
@@ -419,14 +453,26 @@ func (s *Stream) run(p *vclock.Proc) {
 			// but guard anyway: hang forever.
 			p.Wait(s.dev.env.NewEvent("dead-device"))
 		case Sticky:
-			rec.Instant(p.Now(), "gpu", s.dev.lane, "sticky-err", "op", op.Name)
+			if rec != nil {
+				rec.Instant(p.Now(), "gpu", s.dev.lane, "sticky-err", "op", op.name())
+			}
 			op.Err = ErrSticky
-			op.Done.Trigger()
-			s.complete()
+			s.finish(op)
 			continue
 		}
-		sp := rec.Begin(p.Now(), "gpu", s.dev.lane, op.Name)
-		err := op.Run(p, s.dev)
+		var sp trace.Span
+		if rec != nil {
+			sp = rec.Begin(p.Now(), "gpu", s.dev.lane, op.name())
+		}
+		var err error
+		if op.Run != nil {
+			err = op.Run(p, s.dev)
+		} else {
+			p.Sleep(op.Dur)
+			if op.Exec != nil {
+				err = op.Exec(s.dev)
+			}
+		}
 		sp.End(p.Now())
 		if s.dev.health == Hard {
 			// Device died while the op was executing: never complete.
@@ -439,8 +485,19 @@ func (s *Stream) run(p *vclock.Proc) {
 		if err != nil && s.asyncErr == nil {
 			s.asyncErr = err
 		}
+		s.finish(op)
+	}
+}
+
+// finish triggers the op's completion event (if any), updates stream
+// accounting, and returns pooled ops to their owner.
+func (s *Stream) finish(op *Op) {
+	if op.Done != nil {
 		op.Done.Trigger()
-		s.complete()
+	}
+	s.complete()
+	if op.Free != nil {
+		op.Free()
 	}
 }
 
@@ -453,19 +510,13 @@ func (s *Stream) complete() {
 
 // SleepOp returns an op that models pure compute time.
 func SleepOp(name string, dur vclock.Time) *Op {
-	return &Op{Name: name, Run: func(p *vclock.Proc, _ *Device) error {
-		p.Sleep(dur)
-		return nil
-	}}
+	return &Op{Name: name, Dur: dur}
 }
 
 // FuncOp returns an op that sleeps dur then applies fn to the device. fn
 // runs at op completion time, which is where kernels mutate buffer contents.
 func FuncOp(name string, dur vclock.Time, fn func(dev *Device) error) *Op {
-	return &Op{Name: name, Run: func(p *vclock.Proc, dev *Device) error {
-		p.Sleep(dur)
-		return fn(dev)
-	}}
+	return &Op{Name: name, Dur: dur, Exec: fn}
 }
 
 // Node is a host machine with attached devices.

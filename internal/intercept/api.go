@@ -290,7 +290,14 @@ func (l *Layer) Launch(p *vclock.Proc, lp cuda.LaunchParams, s cuda.Stream) erro
 		if err := l.inner.Launch(p, phys, ps); err != nil {
 			return err
 		}
-		l.record(replay.Call{Kind: replay.CallLaunch, Launch: lp, Stream: s})
+		if l.cfg.LogReplay && !l.ignoreMut {
+			// The log outlives this call: capture the argument slices, which
+			// callers are free to reuse for their next launch.
+			lp.Bufs = append([]cuda.Buf(nil), lp.Bufs...)
+			lp.IArgs = append([]int64(nil), lp.IArgs...)
+			lp.FArgs = append([]float32(nil), lp.FArgs...)
+			l.log.Record(replay.Call{Kind: replay.CallLaunch, Launch: lp, Stream: s})
+		}
 		return nil
 	})
 }

@@ -117,6 +117,47 @@ func TestReplayLogRecordsAndRollsOver(t *testing.T) {
 	})
 }
 
+// TestReplayLogImmuneToArgReuse pins a latent aliasing bug: the replay log
+// outlives each Launch call, but it used to retain the caller's argument
+// slices by reference. A worker reusing one LaunchParams value across
+// iterations (mutating only the learning rate, say) would silently rewrite
+// every previously recorded call, corrupting the minibatch log that
+// transparent recovery replays. The intercept layer must capture the
+// slices at record time.
+func TestReplayLogImmuneToArgReuse(t *testing.T) {
+	r := newRig(t, Config{Mode: ModeTransparent})
+	r.run(t, func(p *vclock.Proc) {
+		b, _ := r.layer.Malloc(p, 64, 2, "w")
+		b2, _ := r.layer.Malloc(p, 64, 2, "w2")
+		r.layer.StartMinibatch(1)
+		lp := cuda.LaunchParams{
+			Kernel: "set", Dur: vclock.Millisecond,
+			Bufs:  []cuda.Buf{b},
+			IArgs: []int64{1},
+			FArgs: []float32{10},
+		}
+		if err := r.layer.Launch(p, lp, cuda.DefaultStream); err != nil {
+			t.Fatal(err)
+		}
+		// The caller reuses its slices for the next launch.
+		lp.IArgs[0] = 2
+		lp.FArgs[0] = 20
+		lp.Bufs[0] = b2
+		if err := r.layer.Launch(p, lp, cuda.DefaultStream); err != nil {
+			t.Fatal(err)
+		}
+		log := r.layer.Log().Minibatch
+		if len(log) == 0 {
+			t.Fatal("nothing recorded")
+		}
+		first := log[0].Launch
+		if first.IArgs[0] != 1 || first.FArgs[0] != 10 || first.Bufs[0] != b {
+			t.Errorf("recorded call mutated by caller slice reuse: IArgs=%v FArgs=%v Bufs=%v, want [1] [10] [%v]",
+				first.IArgs, first.FArgs, first.Bufs, b)
+		}
+	})
+}
+
 func TestUserLevelModeDoesNotLog(t *testing.T) {
 	r := newRig(t, Config{Mode: ModeUserLevel})
 	r.run(t, func(p *vclock.Proc) {

@@ -154,31 +154,102 @@ type commGroup struct {
 	fault  FaultKind
 	colls  map[int]*collState
 	p2ps   map[p2pKey]*p2pState
+
+	collFree *collState
+	p2pFree  *p2pState
 }
 
+// collState is the match state for one in-flight collective. States are
+// pooled per group: refs counts the ranks that have entered arriveColl and
+// not yet returned, and the state recycles once every participant has left
+// AND the last arriver has retired it from the match map (done). Ranks
+// that never arrive (hung collectives) simply strand the state, which the
+// garbage collector reclaims as before.
 type collState struct {
-	kind    string
-	count   int // elements, for size validation
-	bytes   int64
-	arrived map[int]*collArrival
-	ready   *vclock.Event
-	err     error
-	root    int
+	kind     string
+	bytes    int64
+	arrived  []collArrival // indexed by rank
+	narrived int
+	ready    *vclock.Event
+	err      error
+	root     int
+	sum      []float32 // reduce-scatter scratch, reused across collectives
+	refs     int
+	done     bool
+	next     *collState
 }
 
 type collArrival struct {
 	in, out *gpu.Buffer
+	present bool
+}
+
+func (g *commGroup) getColl() *collState {
+	cs := g.collFree
+	if cs == nil {
+		cs = &collState{}
+	} else {
+		g.collFree = cs.next
+		*cs = collState{arrived: cs.arrived, sum: cs.sum}
+	}
+	if cap(cs.arrived) < g.nranks {
+		cs.arrived = make([]collArrival, g.nranks)
+	} else {
+		cs.arrived = cs.arrived[:g.nranks]
+		for i := range cs.arrived {
+			cs.arrived[i] = collArrival{}
+		}
+	}
+	cs.ready = g.engine.env.NewEvent("nccl.coll")
+	return cs
+}
+
+// leaveColl drops one participant reference, recycling the state when it is
+// both retired and empty.
+func (g *commGroup) leaveColl(cs *collState) {
+	cs.refs--
+	if cs.refs == 0 && cs.done {
+		cs.ready = nil
+		cs.next = g.collFree
+		g.collFree = cs
+	}
 }
 
 type p2pKey struct {
 	src, dst, seq int
 }
 
+// p2pState is the match state for one send/recv pair, pooled like
+// collState (refs counts the two endpoints).
 type p2pState struct {
 	srcBuf, dstBuf *gpu.Buffer
 	ready          *vclock.Event
 	bytes          int64
 	failure        error
+	refs           int
+	done           bool
+	next           *p2pState
+}
+
+func (g *commGroup) getP2P() *p2pState {
+	st := g.p2pFree
+	if st == nil {
+		st = &p2pState{}
+	} else {
+		g.p2pFree = st.next
+		*st = p2pState{}
+	}
+	st.ready = g.engine.env.NewEvent("nccl.p2p")
+	return st
+}
+
+func (g *commGroup) leaveP2P(st *p2pState) {
+	st.refs--
+	if st.refs == 0 && st.done {
+		st.ready = nil
+		st.next = g.p2pFree
+		g.p2pFree = st
+	}
 }
 
 // Comm is one rank's handle on a communicator.
@@ -297,42 +368,82 @@ func (c *Comm) Key() string { return c.group.key }
 // Generation returns the communicator's generation.
 func (c *Comm) Generation() int { return c.group.gen }
 
+// collReq bundles one rank's collective call into a single allocation: the
+// stream op plus everything its Run and lazily-formatted trace name need.
+// The op's name is only materialized when a trace recorder is attached.
+type collReq struct {
+	g         *commGroup
+	kind      string
+	seq, rank int
+	root      int
+	in, out   *gpu.Buffer
+	op        gpu.Op
+}
+
+func (cr *collReq) run(p *vclock.Proc, dev *gpu.Device) error {
+	return cr.g.arriveColl(p, cr.kind, cr.seq, cr.rank, cr.in, cr.out, cr.root)
+}
+
+func (cr *collReq) name() string {
+	return fmt.Sprintf("nccl.%s.%s.g%d.#%d.r%d", cr.kind, cr.g.key, cr.g.gen, cr.seq, cr.rank)
+}
+
+// collCost returns the modelled wire traffic for one collective of b bytes
+// across n ranks (ring algorithms throughout).
+func collCost(kind string, b int64, n int) int64 {
+	switch kind {
+	case "allreduce":
+		if n <= 1 {
+			return 0
+		}
+		return 2 * b * int64(n-1) / int64(n)
+	case "broadcast":
+		return b
+	case "allgather":
+		if n <= 1 {
+			return 0
+		}
+		return b * int64(n-1)
+	case "reducescatter":
+		if n <= 1 {
+			return 0
+		}
+		return b * int64(n-1) / int64(n)
+	default: // barrier
+		return 0
+	}
+}
+
 // collective enqueues a collective op on stream s. The returned op
 // completes when all ranks have arrived and the transfer time has elapsed.
-func (c *Comm) collective(s *gpu.Stream, kind string, in, out *gpu.Buffer, root int, costBytes func(int64, int) int64) (*gpu.Op, error) {
+func (c *Comm) collective(s *gpu.Stream, kind string, in, out *gpu.Buffer, root int) (*gpu.Op, error) {
 	if c.dead {
 		return nil, ErrCommDead
 	}
-	seq := c.collSeq
+	cr := &collReq{g: c.group, kind: kind, seq: c.collSeq, rank: c.Rank, root: root, in: in, out: out}
 	c.collSeq++
-	g := c.group
-	rank := c.Rank
-	op := &gpu.Op{
-		Name: fmt.Sprintf("nccl.%s.%s.g%d.#%d.r%d", kind, g.key, g.gen, seq, rank),
-		Run: func(p *vclock.Proc, dev *gpu.Device) error {
-			return g.arriveColl(p, kind, seq, rank, in, out, root, costBytes)
-		},
-	}
-	s.Enqueue(op)
-	return op, nil
+	cr.op.NameFn = cr.name
+	cr.op.Run = cr.run
+	s.Enqueue(&cr.op)
+	return &cr.op, nil
 }
 
-func (g *commGroup) arriveColl(p *vclock.Proc, kind string, seq, rank int, in, out *gpu.Buffer, root int, costBytes func(int64, int) int64) error {
+func (g *commGroup) arriveColl(p *vclock.Proc, kind string, seq, rank int, in, out *gpu.Buffer, root int) error {
 	cs, ok := g.colls[seq]
 	if !ok {
-		cs = &collState{
-			kind:    kind,
-			arrived: make(map[int]*collArrival),
-			ready:   g.engine.env.NewEvent(fmt.Sprintf("nccl.%s.%s.#%d", kind, g.key, seq)),
-			root:    root,
-		}
+		cs = g.getColl()
+		cs.kind = kind
+		cs.root = root
 		g.colls[seq] = cs
 	}
+	cs.refs++
 	if cs.kind != kind || cs.root != root {
 		cs.err = fmt.Errorf("%w: rank %d issued %s(root=%d), group expects %s(root=%d)",
 			ErrMismatch, rank, kind, root, cs.kind, cs.root)
 		cs.ready.Trigger()
-		return cs.err
+		err := cs.err
+		g.leaveColl(cs)
+		return err
 	}
 	if g.fault == FaultError {
 		// Async network error: this rank fails immediately, and ranks
@@ -343,13 +454,18 @@ func (g *commGroup) arriveColl(p *vclock.Proc, kind string, seq, rank int, in, o
 		}
 		cs.ready.Trigger()
 		delete(g.colls, seq)
+		cs.done = true
+		g.leaveColl(cs)
 		return ErrNetwork
 	}
-	if prev, dup := cs.arrived[rank]; dup && prev != nil {
+	a := &cs.arrived[rank]
+	if a.present {
+		g.leaveColl(cs)
 		return fmt.Errorf("%w: rank %d arrived twice at %s #%d", ErrMismatch, rank, kind, seq)
 	}
-	cs.arrived[rank] = &collArrival{in: in, out: out}
-	if len(cs.arrived) == g.nranks && g.fault != FaultHang {
+	a.in, a.out, a.present = in, out, true
+	cs.narrived++
+	if cs.narrived == g.nranks && g.fault != FaultHang {
 		// Last arriver: validate, compute, charge the transfer, release.
 		if err := cs.validateSizes(); err != nil {
 			cs.err = err
@@ -358,26 +474,33 @@ func (g *commGroup) arriveColl(p *vclock.Proc, kind string, seq, rank int, in, o
 		}
 		bytes := cs.maxBytes()
 		cost := g.engine.params.BaseLatency +
-			gpu.TransferTime(costBytes(bytes, g.nranks), g.engine.params.BusBandwidth)
+			gpu.TransferTime(collCost(kind, bytes, g.nranks), g.engine.params.BusBandwidth)
 		p.Sleep(cost)
 		err := cs.err
-		trace.Of(g.engine.env).Instant(p.Now(), "nccl", g.key, "collective",
-			"kind", kind, "gen", g.gen, "seq", seq, "bytes", bytes, "nranks", g.nranks)
+		if rec := trace.Of(g.engine.env); rec != nil {
+			rec.Instant(p.Now(), "nccl", g.key, "collective",
+				"kind", kind, "gen", g.gen, "seq", seq, "bytes", bytes, "nranks", g.nranks)
+		}
 		if err == nil && g.engine.observer != nil {
 			g.engine.observer(CollectiveDone{Key: g.key, Gen: g.gen, Kind: kind, Bytes: bytes, Ranks: g.nranks})
 		}
 		cs.ready.Trigger()
 		delete(g.colls, seq)
+		cs.done = true
+		g.leaveColl(cs)
 		return err
 	}
 	p.Wait(cs.ready) // barrier: hangs if a rank never arrives or fault==hang
-	return cs.err
+	err := cs.err
+	g.leaveColl(cs)
+	return err
 }
 
 func (cs *collState) maxBytes() int64 {
 	var m int64
-	for _, a := range cs.arrived {
-		if a.in != nil && a.in.ModelBytes > m {
+	for i := range cs.arrived {
+		a := &cs.arrived[i]
+		if a.present && a.in != nil && a.in.ModelBytes > m {
 			m = a.in.ModelBytes
 		}
 	}
@@ -386,8 +509,9 @@ func (cs *collState) maxBytes() int64 {
 
 func (cs *collState) validateSizes() error {
 	n := -1
-	for _, a := range cs.arrived {
-		if a.in == nil {
+	for i := range cs.arrived {
+		a := &cs.arrived[i]
+		if !a.present || a.in == nil {
 			continue
 		}
 		if n == -1 {
@@ -407,8 +531,8 @@ func (cs *collState) apply(nranks int) error {
 		// Sum over ranks, written back to every rank's buffer.
 		var first *gpu.Buffer
 		for r := 0; r < nranks; r++ {
-			a := cs.arrived[r]
-			if a == nil || a.in == nil {
+			a := &cs.arrived[r]
+			if !a.present || a.in == nil {
 				continue
 			}
 			if first == nil {
@@ -423,20 +547,20 @@ func (cs *collState) apply(nranks int) error {
 			return nil
 		}
 		for r := 0; r < nranks; r++ {
-			a := cs.arrived[r]
-			if a == nil || a.in == nil || a.in == first {
+			a := &cs.arrived[r]
+			if !a.present || a.in == nil || a.in == first {
 				continue
 			}
 			copy(a.in.Data, first.Data)
 		}
 	case "broadcast":
-		rootArr := cs.arrived[cs.root]
-		if rootArr == nil || rootArr.in == nil {
+		rootArr := &cs.arrived[cs.root]
+		if !rootArr.present || rootArr.in == nil {
 			return fmt.Errorf("%w: broadcast root %d missing", ErrMismatch, cs.root)
 		}
 		for r := 0; r < nranks; r++ {
-			a := cs.arrived[r]
-			if a == nil || a.in == nil || r == cs.root {
+			a := &cs.arrived[r]
+			if !a.present || a.in == nil || r == cs.root {
 				continue
 			}
 			copy(a.in.Data, rootArr.in.Data)
@@ -445,42 +569,44 @@ func (cs *collState) apply(nranks int) error {
 		// out = concat of in across ranks; each rank's out must hold
 		// nranks*len(in) elements.
 		for r := 0; r < nranks; r++ {
-			src := cs.arrived[r]
-			if src == nil || src.in == nil {
+			src := &cs.arrived[r]
+			if !src.present || src.in == nil {
 				continue
 			}
 			chunk := len(src.in.Data)
 			for q := 0; q < nranks; q++ {
-				dst := cs.arrived[q]
-				if dst == nil || dst.out == nil || len(dst.out.Data) < (r+1)*chunk {
+				dst := &cs.arrived[q]
+				if !dst.present || dst.out == nil || len(dst.out.Data) < (r+1)*chunk {
 					continue
 				}
 				copy(dst.out.Data[r*chunk:(r+1)*chunk], src.in.Data)
 			}
 		}
 	case "reducescatter":
-		// Sum inputs elementwise, then rank r receives chunk r.
-		var sum []float32
+		// Sum inputs elementwise into pooled scratch, then rank r receives
+		// chunk r.
+		sum := cs.sum[:0]
 		for r := 0; r < nranks; r++ {
-			a := cs.arrived[r]
-			if a == nil || a.in == nil {
+			a := &cs.arrived[r]
+			if !a.present || a.in == nil {
 				continue
 			}
-			if sum == nil {
-				sum = append([]float32(nil), a.in.Data...)
+			if len(sum) == 0 {
+				sum = append(sum, a.in.Data...)
 			} else {
 				for i := range sum {
 					sum[i] += a.in.Data[i]
 				}
 			}
 		}
-		if sum == nil {
+		cs.sum = sum[:0]
+		if len(sum) == 0 {
 			return nil
 		}
 		chunk := len(sum) / nranks
 		for r := 0; r < nranks; r++ {
-			a := cs.arrived[r]
-			if a == nil || a.out == nil || chunk == 0 {
+			a := &cs.arrived[r]
+			if !a.present || a.out == nil || chunk == 0 {
 				continue
 			}
 			copy(a.out.Data, sum[r*chunk:(r+1)*chunk])
@@ -496,12 +622,7 @@ func (cs *collState) apply(nranks int) error {
 // AllReduce enqueues a sum-allreduce of buf across all ranks. Every rank's
 // buffer ends up holding the elementwise sum.
 func (c *Comm) AllReduce(s *gpu.Stream, buf *gpu.Buffer) (*gpu.Op, error) {
-	return c.collective(s, "allreduce", buf, nil, 0, func(b int64, n int) int64 {
-		if n <= 1 {
-			return 0
-		}
-		return 2 * b * int64(n-1) / int64(n) // ring allreduce traffic
-	})
+	return c.collective(s, "allreduce", buf, nil, 0)
 }
 
 // Broadcast enqueues a broadcast of root's buffer contents to all ranks.
@@ -509,34 +630,24 @@ func (c *Comm) Broadcast(s *gpu.Stream, buf *gpu.Buffer, root int) (*gpu.Op, err
 	if root < 0 || root >= c.NRanks {
 		return nil, fmt.Errorf("%w: broadcast root %d", ErrInvalidRank, root)
 	}
-	return c.collective(s, "broadcast", buf, nil, root, func(b int64, n int) int64 { return b })
+	return c.collective(s, "broadcast", buf, nil, root)
 }
 
 // AllGather enqueues an allgather: every rank contributes in and receives
 // the rank-ordered concatenation in out.
 func (c *Comm) AllGather(s *gpu.Stream, in, out *gpu.Buffer) (*gpu.Op, error) {
-	return c.collective(s, "allgather", in, out, 0, func(b int64, n int) int64 {
-		if n <= 1 {
-			return 0
-		}
-		return b * int64(n-1)
-	})
+	return c.collective(s, "allgather", in, out, 0)
 }
 
 // ReduceScatter enqueues a reduce-scatter: inputs are summed and rank r
 // receives chunk r of the sum in out.
 func (c *Comm) ReduceScatter(s *gpu.Stream, in, out *gpu.Buffer) (*gpu.Op, error) {
-	return c.collective(s, "reducescatter", in, out, 0, func(b int64, n int) int64 {
-		if n <= 1 {
-			return 0
-		}
-		return b * int64(n-1) / int64(n)
-	})
+	return c.collective(s, "reducescatter", in, out, 0)
 }
 
 // Barrier enqueues a data-free synchronization across all ranks.
 func (c *Comm) Barrier(s *gpu.Stream) (*gpu.Op, error) {
-	return c.collective(s, "barrier", nil, nil, 0, func(int64, int) int64 { return 0 })
+	return c.collective(s, "barrier", nil, nil, 0)
 }
 
 // Send enqueues a point-to-point send of buf to peer. It matches the
@@ -549,18 +660,12 @@ func (c *Comm) Send(s *gpu.Stream, buf *gpu.Buffer, peer int) (*gpu.Op, error) {
 	if peer < 0 || peer >= c.NRanks {
 		return nil, fmt.Errorf("%w: send peer %d", ErrInvalidRank, peer)
 	}
-	seq := c.sendSeq[peer]
+	pr := &p2pReq{g: c.group, src: c.Rank, dst: peer, seq: c.sendSeq[peer], buf: buf, isSend: true}
 	c.sendSeq[peer]++
-	g := c.group
-	src := c.Rank
-	op := &gpu.Op{
-		Name: fmt.Sprintf("nccl.send.%s.%d->%d.#%d", g.key, src, peer, seq),
-		Run: func(p *vclock.Proc, dev *gpu.Device) error {
-			return g.arriveP2P(p, src, peer, seq, buf, true)
-		},
-	}
-	s.Enqueue(op)
-	return op, nil
+	pr.op.NameFn = pr.name
+	pr.op.Run = pr.run
+	s.Enqueue(&pr.op)
+	return &pr.op, nil
 }
 
 // Recv enqueues a point-to-point receive into buf from peer.
@@ -571,18 +676,33 @@ func (c *Comm) Recv(s *gpu.Stream, buf *gpu.Buffer, peer int) (*gpu.Op, error) {
 	if peer < 0 || peer >= c.NRanks {
 		return nil, fmt.Errorf("%w: recv peer %d", ErrInvalidRank, peer)
 	}
-	seq := c.recvSeq[peer]
+	pr := &p2pReq{g: c.group, src: peer, dst: c.Rank, seq: c.recvSeq[peer], buf: buf, isSend: false}
 	c.recvSeq[peer]++
-	g := c.group
-	dst := c.Rank
-	op := &gpu.Op{
-		Name: fmt.Sprintf("nccl.recv.%s.%d<-%d.#%d", g.key, dst, peer, seq),
-		Run: func(p *vclock.Proc, dev *gpu.Device) error {
-			return g.arriveP2P(p, peer, dst, seq, buf, false)
-		},
+	pr.op.NameFn = pr.name
+	pr.op.Run = pr.run
+	s.Enqueue(&pr.op)
+	return &pr.op, nil
+}
+
+// p2pReq bundles one endpoint's send/recv call into a single allocation,
+// with a lazily-formatted trace name like collReq.
+type p2pReq struct {
+	g             *commGroup
+	src, dst, seq int
+	buf           *gpu.Buffer
+	isSend        bool
+	op            gpu.Op
+}
+
+func (pr *p2pReq) run(p *vclock.Proc, dev *gpu.Device) error {
+	return pr.g.arriveP2P(p, pr.src, pr.dst, pr.seq, pr.buf, pr.isSend)
+}
+
+func (pr *p2pReq) name() string {
+	if pr.isSend {
+		return fmt.Sprintf("nccl.send.%s.%d->%d.#%d", pr.g.key, pr.src, pr.dst, pr.seq)
 	}
-	s.Enqueue(op)
-	return op, nil
+	return fmt.Sprintf("nccl.recv.%s.%d<-%d.#%d", pr.g.key, pr.dst, pr.src, pr.seq)
 }
 
 func (g *commGroup) arriveP2P(p *vclock.Proc, src, dst, seq int, buf *gpu.Buffer, isSend bool) error {
@@ -592,9 +712,10 @@ func (g *commGroup) arriveP2P(p *vclock.Proc, src, dst, seq int, buf *gpu.Buffer
 	k := p2pKey{src, dst, seq}
 	st, ok := g.p2ps[k]
 	if !ok {
-		st = &p2pState{ready: g.engine.env.NewEvent(fmt.Sprintf("nccl.p2p.%d->%d.#%d", src, dst, seq))}
+		st = g.getP2P()
 		g.p2ps[k] = st
 	}
+	st.refs++
 	if isSend {
 		st.srcBuf = buf
 	} else {
@@ -617,8 +738,12 @@ func (g *commGroup) arriveP2P(p *vclock.Proc, src, dst, seq int, buf *gpu.Buffer
 		err := st.failure
 		st.ready.Trigger()
 		delete(g.p2ps, k)
+		st.done = true
+		g.leaveP2P(st)
 		return err
 	}
 	p.Wait(st.ready) // hangs if the peer never shows up
-	return st.failure
+	err := st.failure
+	g.leaveP2P(st)
+	return err
 }

@@ -210,8 +210,13 @@ func (c *Client) EventDestroy(p *vclock.Proc, ev cuda.Event) error {
 	return err
 }
 
-// Launch is fire-and-forget on the client. See cuda.API.
+// Launch is fire-and-forget on the client. The server dequeues the request
+// later, so the argument slices are captured here — callers may reuse them
+// for their next launch. See cuda.API.
 func (c *Client) Launch(p *vclock.Proc, lp cuda.LaunchParams, s cuda.Stream) error {
+	lp.Bufs = append([]cuda.Buf(nil), lp.Bufs...)
+	lp.IArgs = append([]int64(nil), lp.IArgs...)
+	lp.FArgs = append([]float32(nil), lp.FArgs...)
 	return c.callAsync(p, &Request{Method: MLaunch, Launch: lp, Stream: s})
 }
 

@@ -102,6 +102,35 @@ func (r *Recorder) Events() []Ev {
 	return r.evs
 }
 
+// Merge appends src's events to r, renumbering sequence numbers and run
+// IDs exactly as if src's runs had been recorded into r directly (the
+// first merged run advances r's run counter iff r already holds events,
+// mirroring BeginRun). It lets a parallel sweep record each run into a
+// private recorder and splice the results together in serial order,
+// producing output byte-identical to a serial sweep.
+func (r *Recorder) Merge(src *Recorder) {
+	if r == nil || src == nil || len(src.evs) == 0 {
+		return
+	}
+	runOff := 0
+	if len(r.evs) > 0 {
+		// src's first run-begin would have found a non-empty log and
+		// incremented the run counter.
+		runOff = r.run
+	}
+	seqOff := r.seq
+	for _, ev := range src.evs {
+		ev.Seq += seqOff
+		if ev.Ref != 0 {
+			ev.Ref += seqOff
+		}
+		ev.Run += runOff
+		r.evs = append(r.evs, ev)
+	}
+	r.seq += src.seq
+	r.run = runOff + src.run
+}
+
 // Reset clears the log, keeping allocated capacity.
 func (r *Recorder) Reset() {
 	if r == nil {

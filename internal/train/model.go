@@ -257,15 +257,22 @@ type Dataset struct {
 
 // Sample returns input x and target y for global sample index idx.
 func (ds Dataset) Sample(idx int) (x, y tensor.Vector) {
-	rng := tensor.NewRNG(ds.Seed ^ (uint64(idx+1) * 0x9E3779B97F4A7C15))
 	x = tensor.NewVector(ds.Hidden)
 	y = tensor.NewVector(ds.Hidden)
+	ds.SampleInto(idx, x, y)
+	return x, y
+}
+
+// SampleInto writes sample idx into the caller-provided x and y vectors
+// (each of length Hidden), letting steady-state data loading reuse one
+// scratch pair instead of allocating per microbatch.
+func (ds Dataset) SampleInto(idx int, x, y tensor.Vector) {
+	rng := tensor.NewRNG(ds.Seed ^ (uint64(idx+1) * 0x9E3779B97F4A7C15))
 	rng.FillUniform(x, 1)
 	for i := range y {
 		// A fixed smooth target function keeps the regression learnable.
 		y[i] = tensor.Tanh(x[i]*0.7 + 0.1*x[(i+1)%len(x)])
 	}
-	return x, y
 }
 
 // InitShard deterministically initializes the weight shard for a layer:

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"jitckpt/internal/cuda"
+	"jitckpt/internal/tensor"
 	"jitckpt/internal/trace"
 	"jitckpt/internal/vclock"
 )
@@ -68,6 +69,17 @@ type layerState struct {
 	dzPart     cuda.Buf
 	wFull      cuda.Buf // FSDP only: allgathered weights
 	gFull      cuda.Buf // FSDP only: full gradient before reduce-scatter
+
+	// Prebuilt launch parameters for this layer's kernels, constructed once
+	// by buildLaunchParams so steady-state iterations reuse the argument
+	// slices instead of allocating fresh ones per launch. Safe because every
+	// device API captures argument values at call time; only the optimizer
+	// entry mutates (learning rate, Adam step count), in place.
+	fwdLin, fwdAct          cuda.LaunchParams
+	bwdAct, bwdSlice        cuda.LaunchParams
+	bwdDw, bwdDx            cuda.LaunchParams
+	accSeed, accAdd, accOut cuda.LaunchParams
+	opt                     cuda.LaunchParams
 }
 
 // Worker is one training rank: it owns that rank's buffers, streams and
@@ -94,6 +106,11 @@ type Worker struct {
 	frComm    cuda.Comm // FSDP cross-group replica comm
 	worldComm cuda.Comm // all ranks: the pre-optimizer flush barrier
 	normBuf   cuda.Buf  // global grad-norm scalar
+
+	lossLP             cuda.LaunchParams // mse.loss (last stage only)
+	ds                 Dataset
+	xScratch, yScratch tensor.Vector // reused sample buffers
+	rankLane           string        // trace lane label, computed once
 
 	gen   int // communicator generation currently in use
 	iter  int // next minibatch to execute
@@ -122,6 +139,7 @@ func NewWorker(cfg Config) (*Worker, error) {
 	}
 	w := &Worker{cfg: cfg}
 	w.d, w.p, w.t = cfg.Topo.Coords(cfg.Rank)
+	w.rankLane = trace.Rank(cfg.Rank)
 	return w, nil
 }
 
@@ -231,6 +249,7 @@ func (w *Worker) Setup(p *vclock.Proc, gen int) error {
 	if err := w.allocBuffers(p); err != nil {
 		return err
 	}
+	w.buildLaunchParams()
 	if err := w.initParams(p); err != nil {
 		return err
 	}
@@ -339,6 +358,119 @@ func (w *Worker) allocBuffers(p *vclock.Proc) error {
 	return nil
 }
 
+// buildLaunchParams precomputes every kernel's launch parameters from the
+// freshly allocated buffers, so steady-state iterations launch with the
+// same argument slices every time instead of building fresh composite
+// literals per call. The device APIs capture argument values at call time,
+// which also makes the in-place optimizer mutation (learning rate, Adam
+// step count) safe.
+func (w *Worker) buildLaunchParams() {
+	cfg := w.cfg
+	h := cfg.Model.Hidden
+	st := cfg.Step
+	n := len(w.layers)
+
+	for li, ls := range w.layers {
+		in, out := w.acts[li], w.acts[li+1]
+		switch {
+		case cfg.Topo.FSDP():
+			ls.fwdLin = cuda.LaunchParams{
+				Kernel: "linear.fwd", Dur: st.FwdPerLayer * 7 / 10,
+				Bufs: []cuda.Buf{ls.wFull, in, ls.zFull}, IArgs: []int64{int64(h), int64(h)},
+			}
+			ls.bwdDw = cuda.LaunchParams{
+				Kernel: "linear.bwd.dw", Dur: st.BwdPerLayer * 45 / 100,
+				Bufs: []cuda.Buf{ls.dzFull, in, ls.gFull}, IArgs: []int64{int64(h), int64(h)},
+			}
+			ls.bwdDx = cuda.LaunchParams{
+				Kernel: "linear.bwd.dx", Dur: st.BwdPerLayer * 45 / 100,
+				Bufs: []cuda.Buf{ls.wFull, ls.dzFull, w.dacts[li]}, IArgs: []int64{int64(h), int64(h)},
+			}
+		case cfg.Topo.T > 1:
+			ls.fwdLin = cuda.LaunchParams{
+				Kernel: "linear.fwd", Dur: st.FwdPerLayer * 7 / 10,
+				Bufs: []cuda.Buf{ls.w, in, ls.zPart}, IArgs: []int64{int64(ls.rows), int64(h)},
+			}
+			ls.bwdSlice = cuda.LaunchParams{
+				Kernel: "slice.copy", Dur: st.BwdPerLayer / 20,
+				Bufs: []cuda.Buf{ls.dzFull, ls.dzPart}, IArgs: []int64{int64(ls.rowOff)},
+			}
+			ls.bwdDw = cuda.LaunchParams{
+				Kernel: "linear.bwd.dw", Dur: st.BwdPerLayer * 45 / 100,
+				Bufs: []cuda.Buf{ls.dzPart, in, ls.g}, IArgs: []int64{int64(ls.rows), int64(h)},
+			}
+			ls.bwdDx = cuda.LaunchParams{
+				Kernel: "linear.bwd.dx", Dur: st.BwdPerLayer * 45 / 100,
+				Bufs: []cuda.Buf{ls.w, ls.dzPart, w.dacts[li]}, IArgs: []int64{int64(ls.rows), int64(h)},
+			}
+		default:
+			ls.fwdLin = cuda.LaunchParams{
+				Kernel: "linear.fwd", Dur: st.FwdPerLayer * 7 / 10,
+				Bufs: []cuda.Buf{ls.w, in, ls.zFull}, IArgs: []int64{int64(h), int64(h)},
+			}
+			ls.bwdDw = cuda.LaunchParams{
+				Kernel: "linear.bwd.dw", Dur: st.BwdPerLayer * 45 / 100,
+				Bufs: []cuda.Buf{ls.dzFull, in, ls.g}, IArgs: []int64{int64(h), int64(h)},
+			}
+			ls.bwdDx = cuda.LaunchParams{
+				Kernel: "linear.bwd.dx", Dur: st.BwdPerLayer * 45 / 100,
+				Bufs: []cuda.Buf{ls.w, ls.dzFull, w.dacts[li]}, IArgs: []int64{int64(h), int64(h)},
+			}
+		}
+		ls.fwdAct = cuda.LaunchParams{
+			Kernel: "tanh.fwd", Dur: st.FwdPerLayer * 1 / 10,
+			Bufs: []cuda.Buf{ls.zFull, out},
+		}
+		ls.bwdAct = cuda.LaunchParams{
+			Kernel: "tanh.bwd", Dur: st.BwdPerLayer / 10,
+			Bufs: []cuda.Buf{w.dacts[li+1], w.acts[li+1], ls.dzFull},
+		}
+		if cfg.Accum > 1 {
+			dur := st.BwdPerLayer / 20
+			ls.accSeed = cuda.LaunchParams{
+				Kernel: "slice.copy", Dur: dur,
+				Bufs: []cuda.Buf{ls.g, ls.gacc}, IArgs: []int64{0},
+			}
+			ls.accAdd = cuda.LaunchParams{
+				Kernel: "acc.add", Dur: dur,
+				Bufs: []cuda.Buf{ls.gacc, ls.g},
+			}
+			ls.accOut = cuda.LaunchParams{
+				Kernel: "slice.copy", Dur: dur,
+				Bufs: []cuda.Buf{ls.gacc, ls.g}, IArgs: []int64{0},
+			}
+		}
+		scale := float32(1) / float32(cfg.Topo.D*w.accumFactor())
+		switch cfg.Opt.Kind {
+		case Adam:
+			ls.opt = cuda.LaunchParams{
+				Kernel: "adam.step", Dur: st.OptPerLayer,
+				Bufs:  []cuda.Buf{ls.w, ls.g, ls.m, ls.v},
+				FArgs: []float32{0, cfg.Opt.Momentum, cfg.Opt.Beta2, cfg.Opt.Eps, scale},
+				IArgs: []int64{0},
+			}
+		default:
+			ls.opt = cuda.LaunchParams{
+				Kernel: "sgd.step", Dur: st.OptPerLayer,
+				Bufs:  []cuda.Buf{ls.w, ls.g, ls.m},
+				FArgs: []float32{0, cfg.Opt.Momentum, scale},
+			}
+		}
+	}
+
+	if w.IsLastStage() {
+		w.lossLP = cuda.LaunchParams{
+			Kernel: "mse.loss", Dur: st.BwdPerLayer / 10,
+			Bufs: []cuda.Buf{w.acts[n], w.yBuf, w.dacts[n], w.lossB},
+		}
+	}
+	w.ds = Dataset{Seed: cfg.DataSeed, Hidden: h}
+	if w.xScratch == nil {
+		w.xScratch = tensor.NewVector(h)
+		w.yScratch = tensor.NewVector(h)
+	}
+}
+
 // initParams loads the deterministic initial weight shards; optimizer
 // state starts zeroed (fresh allocations are zeroed).
 func (w *Worker) initParams(p *vclock.Proc) error {
@@ -360,8 +492,12 @@ func (w *Worker) RunIter(p *vclock.Proc) (float32, error) {
 	}
 	// The iter span closes on return (with err on failure); a kill mid-
 	// minibatch unwinds past this frame and leaves it open, which is how
-	// the trace marks an interrupted iteration.
-	sp := trace.Of(p.Env()).Begin(p.Now(), "train", trace.Rank(w.cfg.Rank), "iter", "iter", w.iter)
+	// the trace marks an interrupted iteration. The nil-recorder guard
+	// keeps the untraced hot path free of interface boxing.
+	var sp trace.Span
+	if rec := trace.Of(p.Env()); rec != nil {
+		sp = rec.Begin(p.Now(), "train", w.rankLane, "iter", "iter", w.iter)
+	}
 	loss, err := w.runIter(p)
 	if err != nil {
 		sp.End(p.Now(), "err", err)
@@ -416,7 +552,10 @@ func (w *Worker) runIter(p *vclock.Proc) (float32, error) {
 	// which parameter buffers mutate on the device. It closes only once the
 	// synchronize confirms the kernels retired; an error or kill leaves it
 	// open (the mutation never completed, so trace invariants skip it).
-	osp := trace.Of(p.Env()).Begin(p.Now(), "train", trace.Rank(cfg.Rank), "opt-step", "iter", iter)
+	var osp trace.Span
+	if rec := trace.Of(p.Env()); rec != nil {
+		osp = rec.Begin(p.Now(), "train", w.rankLane, "opt-step", "iter", iter)
+	}
 	if err := w.optimizerStep(p, iter); err != nil {
 		return 0, err
 	}
@@ -458,17 +597,17 @@ func (w *Worker) accumFactor() int {
 // width D*A without accumulation would consume.
 func (w *Worker) loadData(p *vclock.Proc, iter, m int) error {
 	cfg := w.cfg
-	ds := Dataset{Seed: cfg.DataSeed, Hidden: cfg.Model.Hidden}
 	sample := (iter*w.accumFactor()+m)*cfg.Topo.D + w.d
+	if w.p == 0 || w.IsLastStage() {
+		w.ds.SampleInto(sample, w.xScratch, w.yScratch)
+	}
 	if w.p == 0 {
-		x, _ := ds.Sample(sample)
-		if err := cfg.API.MemcpyH2D(p, w.acts[0], x, w.compute); err != nil {
+		if err := cfg.API.MemcpyH2D(p, w.acts[0], w.xScratch, w.compute); err != nil {
 			return err
 		}
 	}
 	if w.IsLastStage() {
-		_, y := ds.Sample(sample)
-		if err := cfg.API.MemcpyH2D(p, w.yBuf, y, w.compute); err != nil {
+		if err := cfg.API.MemcpyH2D(p, w.yBuf, w.yScratch, w.compute); err != nil {
 			return err
 		}
 	}
@@ -479,49 +618,34 @@ func (w *Worker) loadData(p *vclock.Proc, iter, m int) error {
 func (w *Worker) forward(p *vclock.Proc) error {
 	cfg := w.cfg
 	api := cfg.API
-	h := cfg.Model.Hidden
-	st := cfg.Step
 
 	if cfg.Topo.P > 1 && w.p > 0 {
 		if err := api.Recv(p, w.ppComm, w.acts[0], w.p-1, w.compute); err != nil {
 			return err
 		}
 	}
-	for li, ls := range w.layers {
-		in, out := w.acts[li], w.acts[li+1]
+	for _, ls := range w.layers {
 		switch {
 		case cfg.Topo.FSDP():
 			if err := api.AllGather(p, w.fsComm, ls.w, ls.wFull, w.compute); err != nil {
 				return err
 			}
-			if err := api.Launch(p, cuda.LaunchParams{
-				Kernel: "linear.fwd", Dur: st.FwdPerLayer * 7 / 10,
-				Bufs: []cuda.Buf{ls.wFull, in, ls.zFull}, IArgs: []int64{int64(h), int64(h)},
-			}, w.compute); err != nil {
+			if err := api.Launch(p, ls.fwdLin, w.compute); err != nil {
 				return err
 			}
 		case cfg.Topo.T > 1:
-			if err := api.Launch(p, cuda.LaunchParams{
-				Kernel: "linear.fwd", Dur: st.FwdPerLayer * 7 / 10,
-				Bufs: []cuda.Buf{ls.w, in, ls.zPart}, IArgs: []int64{int64(ls.rows), int64(h)},
-			}, w.compute); err != nil {
+			if err := api.Launch(p, ls.fwdLin, w.compute); err != nil {
 				return err
 			}
 			if err := api.AllGather(p, w.tpComm, ls.zPart, ls.zFull, w.compute); err != nil {
 				return err
 			}
 		default:
-			if err := api.Launch(p, cuda.LaunchParams{
-				Kernel: "linear.fwd", Dur: st.FwdPerLayer * 7 / 10,
-				Bufs: []cuda.Buf{ls.w, in, ls.zFull}, IArgs: []int64{int64(h), int64(h)},
-			}, w.compute); err != nil {
+			if err := api.Launch(p, ls.fwdLin, w.compute); err != nil {
 				return err
 			}
 		}
-		if err := api.Launch(p, cuda.LaunchParams{
-			Kernel: "tanh.fwd", Dur: st.FwdPerLayer * 1 / 10,
-			Bufs: []cuda.Buf{ls.zFull, out},
-		}, w.compute); err != nil {
+		if err := api.Launch(p, ls.fwdAct, w.compute); err != nil {
 			return err
 		}
 	}
@@ -539,15 +663,10 @@ func (w *Worker) forward(p *vclock.Proc) error {
 func (w *Worker) lossAndBackward(p *vclock.Proc) error {
 	cfg := w.cfg
 	api := cfg.API
-	h := cfg.Model.Hidden
-	st := cfg.Step
 	n := len(w.layers)
 
 	if w.IsLastStage() {
-		if err := api.Launch(p, cuda.LaunchParams{
-			Kernel: "mse.loss", Dur: st.BwdPerLayer / 10,
-			Bufs: []cuda.Buf{w.acts[n], w.yBuf, w.dacts[n], w.lossB},
-		}, w.compute); err != nil {
+		if err := api.Launch(p, w.lossLP, w.compute); err != nil {
 			return err
 		}
 	} else if cfg.Topo.P > 1 {
@@ -558,46 +677,28 @@ func (w *Worker) lossAndBackward(p *vclock.Proc) error {
 
 	for li := n - 1; li >= 0; li-- {
 		ls := w.layers[li]
-		if err := api.Launch(p, cuda.LaunchParams{
-			Kernel: "tanh.bwd", Dur: st.BwdPerLayer / 10,
-			Bufs: []cuda.Buf{w.dacts[li+1], w.acts[li+1], ls.dzFull},
-		}, w.compute); err != nil {
+		if err := api.Launch(p, ls.bwdAct, w.compute); err != nil {
 			return err
 		}
 		switch {
 		case cfg.Topo.FSDP():
-			if err := api.Launch(p, cuda.LaunchParams{
-				Kernel: "linear.bwd.dw", Dur: st.BwdPerLayer * 45 / 100,
-				Bufs: []cuda.Buf{ls.dzFull, w.acts[li], ls.gFull}, IArgs: []int64{int64(h), int64(h)},
-			}, w.compute); err != nil {
+			if err := api.Launch(p, ls.bwdDw, w.compute); err != nil {
 				return err
 			}
-			if err := api.Launch(p, cuda.LaunchParams{
-				Kernel: "linear.bwd.dx", Dur: st.BwdPerLayer * 45 / 100,
-				Bufs: []cuda.Buf{ls.wFull, ls.dzFull, w.dacts[li]}, IArgs: []int64{int64(h), int64(h)},
-			}, w.compute); err != nil {
+			if err := api.Launch(p, ls.bwdDx, w.compute); err != nil {
 				return err
 			}
 			if err := api.ReduceScatter(p, w.fsComm, ls.gFull, ls.g, w.compute); err != nil {
 				return err
 			}
 		case cfg.Topo.T > 1:
-			if err := api.Launch(p, cuda.LaunchParams{
-				Kernel: "slice.copy", Dur: st.BwdPerLayer / 20,
-				Bufs: []cuda.Buf{ls.dzFull, ls.dzPart}, IArgs: []int64{int64(ls.rowOff)},
-			}, w.compute); err != nil {
+			if err := api.Launch(p, ls.bwdSlice, w.compute); err != nil {
 				return err
 			}
-			if err := api.Launch(p, cuda.LaunchParams{
-				Kernel: "linear.bwd.dw", Dur: st.BwdPerLayer * 45 / 100,
-				Bufs: []cuda.Buf{ls.dzPart, w.acts[li], ls.g}, IArgs: []int64{int64(ls.rows), int64(h)},
-			}, w.compute); err != nil {
+			if err := api.Launch(p, ls.bwdDw, w.compute); err != nil {
 				return err
 			}
-			if err := api.Launch(p, cuda.LaunchParams{
-				Kernel: "linear.bwd.dx", Dur: st.BwdPerLayer * 45 / 100,
-				Bufs: []cuda.Buf{ls.w, ls.dzPart, w.dacts[li]}, IArgs: []int64{int64(ls.rows), int64(h)},
-			}, w.compute); err != nil {
+			if err := api.Launch(p, ls.bwdDx, w.compute); err != nil {
 				return err
 			}
 			// Each TP rank computed a partial input gradient: sum them.
@@ -605,16 +706,10 @@ func (w *Worker) lossAndBackward(p *vclock.Proc) error {
 				return err
 			}
 		default:
-			if err := api.Launch(p, cuda.LaunchParams{
-				Kernel: "linear.bwd.dw", Dur: st.BwdPerLayer * 45 / 100,
-				Bufs: []cuda.Buf{ls.dzFull, w.acts[li], ls.g}, IArgs: []int64{int64(h), int64(h)},
-			}, w.compute); err != nil {
+			if err := api.Launch(p, ls.bwdDw, w.compute); err != nil {
 				return err
 			}
-			if err := api.Launch(p, cuda.LaunchParams{
-				Kernel: "linear.bwd.dx", Dur: st.BwdPerLayer * 45 / 100,
-				Bufs: []cuda.Buf{ls.w, ls.dzFull, w.dacts[li]}, IArgs: []int64{int64(h), int64(h)},
-			}, w.compute); err != nil {
+			if err := api.Launch(p, ls.bwdDx, w.compute); err != nil {
 				return err
 			}
 		}
@@ -633,21 +728,11 @@ func (w *Worker) lossAndBackward(p *vclock.Proc) error {
 // regular gradient buffers so gradient synchronization and the optimizer
 // are oblivious to accumulation.
 func (w *Worker) accumulateGrads(p *vclock.Proc, m, acc int) error {
-	cfg := w.cfg
-	api := cfg.API
-	dur := cfg.Step.BwdPerLayer / 20
+	api := w.cfg.API
 	for _, ls := range w.layers {
-		var lp cuda.LaunchParams
+		lp := ls.accAdd
 		if m == 0 {
-			lp = cuda.LaunchParams{
-				Kernel: "slice.copy", Dur: dur,
-				Bufs: []cuda.Buf{ls.g, ls.gacc}, IArgs: []int64{0},
-			}
-		} else {
-			lp = cuda.LaunchParams{
-				Kernel: "acc.add", Dur: dur,
-				Bufs: []cuda.Buf{ls.gacc, ls.g},
-			}
+			lp = ls.accSeed
 		}
 		if err := api.Launch(p, lp, w.compute); err != nil {
 			return err
@@ -655,10 +740,7 @@ func (w *Worker) accumulateGrads(p *vclock.Proc, m, acc int) error {
 	}
 	if m == acc-1 {
 		for _, ls := range w.layers {
-			if err := api.Launch(p, cuda.LaunchParams{
-				Kernel: "slice.copy", Dur: dur,
-				Bufs: []cuda.Buf{ls.gacc, ls.g}, IArgs: []int64{0},
-			}, w.compute); err != nil {
+			if err := api.Launch(p, ls.accOut, w.compute); err != nil {
 				return err
 			}
 		}
@@ -714,25 +796,14 @@ func (w *Worker) optimizerStep(p *vclock.Proc, iter int) error {
 	cfg := w.cfg
 	api := cfg.API
 	lr := cfg.Opt.LRAt(iter)
-	scale := float32(1) / float32(cfg.Topo.D*w.accumFactor())
 	for _, ls := range w.layers {
-		var lp cuda.LaunchParams
-		switch cfg.Opt.Kind {
-		case Adam:
-			lp = cuda.LaunchParams{
-				Kernel: "adam.step", Dur: cfg.Step.OptPerLayer,
-				Bufs:  []cuda.Buf{ls.w, ls.g, ls.m, ls.v},
-				FArgs: []float32{lr, cfg.Opt.Momentum, cfg.Opt.Beta2, cfg.Opt.Eps, scale},
-				IArgs: []int64{int64(iter + 1)},
-			}
-		default:
-			lp = cuda.LaunchParams{
-				Kernel: "sgd.step", Dur: cfg.Step.OptPerLayer,
-				Bufs:  []cuda.Buf{ls.w, ls.g, ls.m},
-				FArgs: []float32{lr, cfg.Opt.Momentum, scale},
-			}
+		// In-place mutation of the prebuilt params: the device APIs capture
+		// argument values at call time, so the previous launch cannot see it.
+		ls.opt.FArgs[0] = lr
+		if cfg.Opt.Kind == Adam {
+			ls.opt.IArgs[0] = int64(iter + 1)
 		}
-		if err := api.Launch(p, lp, w.compute); err != nil {
+		if err := api.Launch(p, ls.opt, w.compute); err != nil {
 			return err
 		}
 	}

@@ -3,11 +3,18 @@ package vclock
 // Queue is an unbounded FIFO queue usable from simulation processes. Pop
 // blocks the calling process until an item is available. Queues are the
 // building block for stream work queues and proxy IPC channels.
+//
+// Blocked consumers park directly on the queue's waiter list (no
+// intermediate Event), and the item slice is head-compacted rather than
+// re-sliced, so a steady-state push/pop cycle allocates nothing.
 type Queue[T any] struct {
 	env   *Env
 	items []T
-	wake  *Event
+	head  int
 	name  string
+
+	waiters []*waitToken
+	whead   int
 }
 
 // NewQueue creates an empty queue bound to env.
@@ -16,73 +23,108 @@ func NewQueue[T any](env *Env, name string) *Queue[T] {
 }
 
 // Len returns the number of queued items.
-func (q *Queue[T]) Len() int { return len(q.items) }
+func (q *Queue[T]) Len() int { return len(q.items) - q.head }
 
 // Push appends v and wakes any processes blocked in Pop.
 func (q *Queue[T]) Push(v T) {
 	q.items = append(q.items, v)
-	if q.wake != nil && !q.wake.triggered {
-		q.wake.Trigger()
+	q.wakeAll()
+}
+
+// wakeAll wakes every blocked consumer in registration order, exactly as
+// triggering a shared wake event would.
+func (q *Queue[T]) wakeAll() {
+	if q.whead == len(q.waiters) {
+		return
 	}
+	e := q.env
+	for q.whead < len(q.waiters) {
+		tok := q.waiters[q.whead]
+		q.waiters[q.whead] = nil
+		q.whead++
+		if tok.fired {
+			e.releaseToken(tok)
+			continue
+		}
+		tok.fired = true
+		tok.cause = wakeEvent
+		if tok.heapIdx >= 0 {
+			e.timers.remove(tok)
+			e.releaseToken(tok)
+		}
+		tok.p.token = tok
+		e.runq.push(tok.p)
+	}
+	q.waiters = q.waiters[:0]
+	q.whead = 0
+}
+
+// popHead removes and returns the head item. Call only when Len() > 0.
+func (q *Queue[T]) popHead() T {
+	v := q.items[q.head]
+	var zero T
+	q.items[q.head] = zero
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return v
 }
 
 // Pop removes and returns the head item, blocking p while the queue is
 // empty.
 func (q *Queue[T]) Pop(p *Proc) T {
-	for len(q.items) == 0 {
-		p.Wait(q.waitEvent())
+	for q.Len() == 0 {
+		if p.killed {
+			panic(killedSentinel{})
+		}
+		tok := q.env.newToken(p, 1)
+		q.waiters = append(q.waiters, tok)
+		p.yield()
 	}
-	v := q.items[0]
-	var zero T
-	q.items[0] = zero
-	q.items = q.items[1:]
-	return v
+	return q.popHead()
 }
 
 // PopTimeout is Pop with a deadline; ok reports whether an item was
 // obtained before d elapsed.
 func (q *Queue[T]) PopTimeout(p *Proc, d Time) (v T, ok bool) {
 	deadline := p.Now() + d
-	for len(q.items) == 0 {
+	for q.Len() == 0 {
+		if p.killed {
+			panic(killedSentinel{})
+		}
 		remain := deadline - p.Now()
-		if remain <= 0 || !p.WaitTimeout(q.waitEvent(), remain) {
-			if len(q.items) > 0 {
+		if remain <= 0 {
+			return v, false
+		}
+		tok := q.env.newToken(p, 2)
+		q.waiters = append(q.waiters, tok)
+		q.env.addTimer(p.Now()+remain, tok)
+		if p.yield() != wakeEvent {
+			if q.Len() > 0 {
 				break
 			}
 			return v, false
 		}
 	}
-	v = q.items[0]
-	var zero T
-	q.items[0] = zero
-	q.items = q.items[1:]
-	return v, true
+	return q.popHead(), true
 }
 
 // TryPop removes the head item without blocking; ok reports success.
 func (q *Queue[T]) TryPop() (v T, ok bool) {
-	if len(q.items) == 0 {
+	if q.Len() == 0 {
 		return v, false
 	}
-	v = q.items[0]
-	var zero T
-	q.items[0] = zero
-	q.items = q.items[1:]
-	return v, true
+	return q.popHead(), true
 }
 
 // Drain removes and returns all queued items.
 func (q *Queue[T]) Drain() []T {
-	out := q.items
+	out := q.items[q.head:]
 	q.items = nil
+	q.head = 0
 	return out
-}
-
-func (q *Queue[T]) waitEvent() *Event {
-	if q.wake == nil || q.wake.triggered {
-		q.wake = q.env.NewEvent(q.name + ".wake")
-	}
-	return q.wake
 }
 
 // Mutex is a virtual-time mutual-exclusion lock with owner tracking. It
@@ -94,6 +136,7 @@ type Mutex struct {
 	env     *Env
 	owner   *Proc
 	waiters []*waitToken
+	whead   int
 	name    string
 }
 
@@ -109,7 +152,7 @@ func (m *Mutex) Lock(p *Proc) {
 		panic("vclock: recursive Mutex.Lock by " + p.name)
 	}
 	for m.owner != nil {
-		tok := &waitToken{p: p}
+		tok := m.env.newToken(p, 1)
 		m.waiters = append(m.waiters, tok)
 		p.yield()
 	}
@@ -150,16 +193,22 @@ func (m *Mutex) Owner() *Proc { return m.owner }
 
 func (m *Mutex) release() {
 	m.owner = nil
-	for len(m.waiters) > 0 {
-		tok := m.waiters[0]
-		m.waiters = m.waiters[1:]
+	for m.whead < len(m.waiters) {
+		tok := m.waiters[m.whead]
+		m.waiters[m.whead] = nil
+		m.whead++
+		if m.whead == len(m.waiters) {
+			m.waiters = m.waiters[:0]
+			m.whead = 0
+		}
 		if tok.fired {
+			m.env.releaseToken(tok)
 			continue
 		}
 		tok.fired = true
 		tok.cause = wakeEvent
 		tok.p.token = tok
-		m.env.runq = append(m.env.runq, tok.p)
+		m.env.runq.push(tok.p)
 		break
 	}
 }

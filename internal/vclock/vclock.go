@@ -19,10 +19,15 @@
 // Blocking primitives must only be called from inside the owning process.
 // Trigger may be called from any process (or from scheduler callbacks), but
 // never from outside the simulation.
+//
+// The scheduler's hot path is allocation-free in steady state: timers live
+// in a value-typed indexed heap (eventq.go), the run queue is a ring
+// buffer, and wait tokens are recycled through a free list once every
+// reference to them (timer heap, event waiter lists, the woken process)
+// has been dropped.
 package vclock
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"runtime/debug"
@@ -100,11 +105,16 @@ type Proc struct {
 }
 
 // waitToken resolves the race between an event trigger and a timer for the
-// same blocked process: whichever fires first claims the token.
+// same blocked process: whichever fires first claims the token. Tokens are
+// pooled: refs counts live references (timer-heap entry, waiter-list
+// entries, and the woken process's token slot), and a token returns to the
+// environment's free list when the count hits zero.
 type waitToken struct {
-	p     *Proc
-	fired bool
-	cause wakeCause
+	p       *Proc
+	fired   bool
+	cause   wakeCause
+	refs    int32
+	heapIdx int32 // index in the timer heap, -1 when absent
 }
 
 // Event is a one-shot condition processes can wait on. Once triggered it
@@ -116,31 +126,30 @@ type Event struct {
 	name      string
 }
 
-// timer is a pending virtual-time wakeup.
-type timer struct {
-	deadline Time
-	seq      uint64
-	token    *waitToken
+// Stats counts the scheduling work a simulation performed. The bench
+// harness divides these by wall time for its events/sec trajectory metric.
+type Stats struct {
+	// Dispatches is the number of process wakeups executed (every resume
+	// of a process counts once, including the final kill).
+	Dispatches uint64
+	// TimerFires is the number of clock advances driven by timer expiry.
+	TimerFires uint64
+	// Triggers is the number of Event.Trigger calls that fired.
+	Triggers uint64
+	// Spawns is the number of processes created.
+	Spawns uint64
 }
 
-type timerHeap []*timer
+// Events totals the scheduler events a run processed: dispatches, timer
+// fires and event triggers (spawns are counted by their first dispatch).
+func (s Stats) Events() uint64 { return s.Dispatches + s.TimerFires + s.Triggers }
 
-func (h timerHeap) Len() int { return len(h) }
-func (h timerHeap) Less(i, j int) bool {
-	if h[i].deadline != h[j].deadline {
-		return h[i].deadline < h[j].deadline
-	}
-	return h[i].seq < h[j].seq
-}
-func (h timerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *timerHeap) Push(x interface{}) { *h = append(*h, x.(*timer)) }
-func (h *timerHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return it
+// Add accumulates other into s (for aggregating stats across runs).
+func (s *Stats) Add(other Stats) {
+	s.Dispatches += other.Dispatches
+	s.TimerFires += other.TimerFires
+	s.Triggers += other.Triggers
+	s.Spawns += other.Spawns
 }
 
 // Env is a simulation environment: a virtual clock plus the set of processes
@@ -149,8 +158,8 @@ func (h *timerHeap) Pop() interface{} {
 type Env struct {
 	now     Time
 	seq     uint64
-	timers  timerHeap
-	runq    []*Proc
+	timers  timerQueue
+	runq    procRing
 	procs   map[int]*Proc
 	nextID  int
 	rng     *rand.Rand
@@ -159,6 +168,10 @@ type Env struct {
 	running bool
 	tracer  func(t Time, format string, args ...interface{})
 	rec     interface{}
+
+	tokFree []*waitToken
+	doneEv  *Event
+	stats   Stats
 }
 
 // ProcRecorder is implemented by recorders that want process-lifecycle
@@ -180,6 +193,9 @@ func NewEnv(seed int64) *Env {
 
 // Now returns the current virtual time.
 func (e *Env) Now() Time { return e.now }
+
+// Stats returns the scheduling-work counters accumulated so far.
+func (e *Env) Stats() Stats { return e.stats }
 
 // Rand returns the environment's deterministic random source. It must only
 // be used from inside simulation processes (or between Run calls).
@@ -207,6 +223,28 @@ func (e *Env) SetRecorder(r interface{}) { e.rec = r }
 // Recorder returns the attached recorder slot (nil when tracing is off).
 func (e *Env) Recorder() interface{} { return e.rec }
 
+// newToken takes a token from the free list (or allocates one) with the
+// given initial reference count.
+func (e *Env) newToken(p *Proc, refs int32) *waitToken {
+	if n := len(e.tokFree) - 1; n >= 0 {
+		tok := e.tokFree[n]
+		e.tokFree[n] = nil
+		e.tokFree = e.tokFree[:n]
+		tok.p, tok.fired, tok.cause, tok.refs, tok.heapIdx = p, false, 0, refs, -1
+		return tok
+	}
+	return &waitToken{p: p, refs: refs, heapIdx: -1}
+}
+
+// releaseToken drops one reference; the token is recycled when none remain.
+func (e *Env) releaseToken(tok *waitToken) {
+	tok.refs--
+	if tok.refs == 0 {
+		tok.p = nil
+		e.tokFree = append(e.tokFree, tok)
+	}
+}
+
 // Go spawns a new simulation process. It may be called before Run or from
 // inside a running process; the new process is appended to the run queue and
 // will execute at the current virtual time.
@@ -221,7 +259,8 @@ func (e *Env) Go(name string, body func(p *Proc)) *Proc {
 	}
 	e.nextID++
 	e.procs[p.id] = p
-	e.runq = append(e.runq, p)
+	e.runq.push(p)
+	e.stats.Spawns++
 	if pr, ok := e.rec.(ProcRecorder); ok {
 		pr.ProcStart(e.now, p.id, p.name)
 	}
@@ -231,6 +270,17 @@ func (e *Env) Go(name string, body func(p *Proc)) *Proc {
 // NewEvent creates an untriggered event.
 func (e *Env) NewEvent(name string) *Event {
 	return &Event{env: e, name: name}
+}
+
+// DoneEvent returns a shared, permanently-triggered event. Waiting on it
+// returns immediately; triggering it is a no-op. Callers that need an
+// "already complete" completion handle (an idle stream's drain, for
+// example) use it instead of allocating a fresh triggered event.
+func (e *Env) DoneEvent() *Event {
+	if e.doneEv == nil {
+		e.doneEv = &Event{env: e, triggered: true, name: "done"}
+	}
+	return e.doneEv
 }
 
 // start launches the goroutine backing p. Called the first time p is
@@ -271,6 +321,7 @@ func (e *Env) dispatch(p *Proc, cause wakeCause) {
 		e.start(p)
 	}
 	p.state = stateRunnable
+	e.stats.Dispatches++
 	p.resume <- cause
 	<-e.yieldCh
 }
@@ -292,15 +343,20 @@ func (e *Env) RunUntil(limit Time) error {
 	defer func() { e.running = false }()
 
 	for e.failure == nil {
-		if len(e.runq) > 0 {
-			p := e.runq[0]
-			e.runq = e.runq[1:]
+		if e.runq.len() > 0 {
+			p := e.runq.pop()
 			if p.state == stateDead {
+				// Stale wakeup of a process that already unwound.
+				if p.token != nil {
+					e.releaseToken(p.token)
+					p.token = nil
+				}
 				continue
 			}
 			cause := wakeRun
 			if p.token != nil {
 				cause = p.token.cause
+				e.releaseToken(p.token)
 				p.token = nil
 			}
 			if p.killed {
@@ -311,22 +367,26 @@ func (e *Env) RunUntil(limit Time) error {
 		}
 		// Nothing runnable: advance the clock to the next timer.
 		fired := false
-		for len(e.timers) > 0 {
-			next := e.timers[0]
-			if next.token.fired {
-				heap.Pop(&e.timers)
+		for e.timers.len() > 0 {
+			next := e.timers.min()
+			if next.tok.fired {
+				// Fired tokens are removed from the heap eagerly, so this
+				// is defensive only.
+				e.releaseToken(e.timers.popMin().tok)
 				continue
 			}
 			if limit >= 0 && next.deadline > limit {
 				e.shutdown()
 				return e.failure
 			}
-			heap.Pop(&e.timers)
-			e.now = next.deadline
-			next.token.fired = true
-			next.token.cause = wakeTimeout
-			next.token.p.token = next.token
-			e.runq = append(e.runq, next.token.p)
+			ent := e.timers.popMin()
+			e.now = ent.deadline
+			tok := ent.tok
+			tok.fired = true
+			tok.cause = wakeTimeout
+			tok.p.token = tok // the heap's reference becomes the token slot's
+			e.runq.push(tok.p)
+			e.stats.TimerFires++
 			fired = true
 			break
 		}
@@ -355,7 +415,7 @@ func (e *Env) shutdown() {
 		p.killed = true
 		e.dispatch(p, wakeKilled)
 	}
-	e.runq = nil
+	e.runq.clear()
 }
 
 // yield transfers control back to the scheduler and blocks until this
@@ -391,7 +451,7 @@ func (p *Proc) Sleep(d Time) {
 		p.Yield()
 		return
 	}
-	tok := &waitToken{p: p}
+	tok := p.env.newToken(p, 1)
 	p.env.addTimer(p.env.now+d, tok)
 	p.yield()
 }
@@ -402,7 +462,7 @@ func (p *Proc) Yield() {
 	if p.killed {
 		panic(killedSentinel{})
 	}
-	p.env.runq = append(p.env.runq, p)
+	p.env.runq.push(p)
 	p.yield()
 }
 
@@ -415,7 +475,7 @@ func (p *Proc) Wait(ev *Event) {
 	if ev.triggered {
 		return
 	}
-	tok := &waitToken{p: p}
+	tok := p.env.newToken(p, 1)
 	ev.waiters = append(ev.waiters, tok)
 	p.yield()
 }
@@ -432,7 +492,7 @@ func (p *Proc) WaitTimeout(ev *Event, d Time) bool {
 	if d <= 0 {
 		return false
 	}
-	tok := &waitToken{p: p}
+	tok := p.env.newToken(p, 2) // referenced by the waiter list and the timer heap
 	ev.waiters = append(ev.waiters, tok)
 	p.env.addTimer(p.env.now+d, tok)
 	cause := p.yield()
@@ -452,9 +512,11 @@ func (p *Proc) Kill() {
 		return
 	}
 	if p.state == stateBlocked || p.state == stateNew {
-		tok := &waitToken{p: p, fired: true, cause: wakeKilled}
+		tok := p.env.newToken(p, 1)
+		tok.fired = true
+		tok.cause = wakeKilled
 		p.token = tok
-		p.env.runq = append(p.env.runq, p)
+		p.env.runq.push(p)
 	}
 }
 
@@ -463,7 +525,7 @@ func (p *Proc) Killed() bool { return p.killed }
 
 func (e *Env) addTimer(deadline Time, tok *waitToken) {
 	e.seq++
-	heap.Push(&e.timers, &timer{deadline: deadline, seq: e.seq, token: tok})
+	e.timers.push(deadline, e.seq, tok)
 }
 
 // Trigger fires the event, waking all current waiters in registration order.
@@ -473,14 +535,23 @@ func (ev *Event) Trigger() {
 		return
 	}
 	ev.triggered = true
+	e := ev.env
+	e.stats.Triggers++
 	for _, tok := range ev.waiters {
 		if tok.fired {
+			e.releaseToken(tok)
 			continue
 		}
 		tok.fired = true
 		tok.cause = wakeEvent
-		tok.p.token = tok
-		ev.env.runq = append(ev.env.runq, tok.p)
+		if tok.heapIdx >= 0 {
+			// The token also has a timeout pending; remove the now-dead
+			// timer eagerly so the heap does not accumulate stale entries.
+			e.timers.remove(tok)
+			e.releaseToken(tok)
+		}
+		tok.p.token = tok // the waiter list's reference becomes the token slot's
+		e.runq.push(tok.p)
 	}
 	ev.waiters = nil
 }
