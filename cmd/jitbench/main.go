@@ -10,7 +10,8 @@
 //	jitbench                              # all tables
 //	jitbench -table 5                     # one table (9 = peer comparison,
 //	                                      #            10 = chaos suite,
-//	                                      #            11 = elastic sweep)
+//	                                      #            11 = elastic sweep,
+//	                                      #            12 = fleet sweep)
 //	jitbench -iters 20                    # longer measurement runs
 //	jitbench -quick                       # small model subset (fast smoke run)
 //	jitbench -table 9 -policies PeerShelter,UserJIT+Peer
@@ -259,6 +260,21 @@ func run(table int, opt experiments.Options, quick bool, policies []experiments.
 			return fmt.Errorf("elastic sweep: %w", err)
 		}
 		fmt.Println(experiments.RenderElasticSweep(rows).Render())
+	}
+	if want(12) {
+		fopt := experiments.DefaultFleetOptions()
+		fopt.Recorder = opt.Recorder
+		fopt.Workers = opt.Workers
+		if quick {
+			fopt.Seeds = fopt.Seeds[:1]
+			fopt.MTBFs = fopt.MTBFs[:1]
+			fopt.HeadlineJobs = 0
+		}
+		rows, err := experiments.RunFleetSweep(fopt)
+		if err != nil {
+			return fmt.Errorf("fleet sweep: %w", err)
+		}
+		fmt.Println(experiments.RenderFleetSweep(rows).Render())
 	}
 	if table == 0 {
 		fmt.Println(experiments.DollarCostTable().Render())

@@ -14,6 +14,15 @@
 //	jitsim -policy userjit -fail gpu-hard -trace-text timeline.txt
 //	jitsim -workload GPT2-8B -policy jit+elastic -spares 0 -fail node-down
 //	                                  # no spares: shrink + degraded finish
+//	jitsim -fleet "6xjit+elastic,3xpc_disk,1xpc_disk@5" -fail-rate 200
+//	                                  # fleet mode: many concurrent jobs
+//	                                  # leasing one arbitrated cluster
+//
+// In -fleet mode the value is a jobs spec of COUNTxPOLICY[@PRIORITY][:ITERS]
+// groups; every job runs the fleet-tiny workload on a shared node pool with
+// cluster-scoped failures (-fail-rate is per node-day, kinds drawn from the
+// node mix), and the report shows per-tenant outcomes plus the exact
+// cluster-wide accounting.
 package main
 
 import (
@@ -26,6 +35,7 @@ import (
 	"time"
 
 	"jitckpt/internal/checkpoint"
+	"jitckpt/internal/cluster"
 	"jitckpt/internal/core"
 	"jitckpt/internal/failure"
 	"jitckpt/internal/trace"
@@ -68,7 +78,25 @@ func main() {
 	traceText := flag.String("trace-text", "", "write the compact deterministic text timeline to a file (\"-\" = stdout)")
 	lossTail := flag.Int("loss", 5, "loss-trace entries to print")
 	stats := flag.Bool("stats", false, "print simulation-kernel event counters and wall-clock throughput")
+	fleetSpec := flag.String("fleet", "", "fleet mode: jobs spec of COUNTxPOLICY[@PRIORITY][:ITERS] groups, e.g. \"6xjit+elastic,3xpc_disk@5:20\"")
+	fleetNodes := flag.Int("fleet-nodes", 0, "cluster nodes in -fleet mode (0 = 2 per job + 2 spares)")
+	fleetRack := flag.Int("fleet-rack", 4, "failure-domain width in nodes for -fleet rack-down faults")
+	fleetHorizon := flag.Float64("fleet-horizon", 120, "-fleet simulation horizon in seconds (stragglers are force-finished)")
+	repairSec := flag.Float64("repair", 10, "mean node-repair turnaround in seconds for -fleet -fail-rate faults (0 = nodes stay down)")
 	flag.Parse()
+
+	if *fleetSpec != "" {
+		err := runFleet(fleetArgs{
+			spec: *fleetSpec, nodes: *fleetNodes, rack: *fleetRack,
+			horizonSec: *fleetHorizon, repairSec: *repairSec,
+			failRate: *failRate, mixSpec: *mixSpec, seed: *seed, iters: *iters,
+			debug: *debug, traceOut: *traceOut, traceText: *traceText, stats: *stats,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	wl, err := workload.ByName(*wlName)
 	if err != nil {
@@ -149,6 +177,131 @@ func main() {
 	}
 	if !res.Completed {
 		os.Exit(2)
+	}
+}
+
+// fleetArgs carries the flag values the fleet mode consumes.
+type fleetArgs struct {
+	spec                  string
+	nodes, rack           int
+	horizonSec, repairSec float64
+	failRate              float64
+	mixSpec               string
+	seed                  int64
+	iters                 int
+	debug                 bool
+	traceOut, traceText   string
+	stats                 bool
+}
+
+// runFleet runs many concurrent jobs leasing one arbitrated cluster in a
+// single shared simulation and reports per-tenant outcomes plus the
+// cluster-wide accounting, which must reconcile exactly.
+func runFleet(a fleetArgs) error {
+	jobs, err := cluster.ParseJobsSpec(a.spec, policies, a.iters)
+	if err != nil {
+		return err
+	}
+	nodes := a.nodes
+	if nodes == 0 {
+		nodes = len(jobs)*2 + 2
+	}
+	horizon := vclock.Time(a.horizonSec * float64(vclock.Second))
+	cfg := cluster.Config{
+		Nodes: nodes, PerNode: 2, RackSize: a.rack,
+		Seed: a.seed, Horizon: horizon, Jobs: jobs,
+	}
+	if a.debug {
+		cfg.Trace = func(at vclock.Time, format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, "[%v] %s\n", at, fmt.Sprintf(format, args...))
+		}
+	}
+	var rec *trace.Recorder
+	if a.traceOut != "" || a.traceText != "" {
+		rec = trace.New()
+		cfg.Recorder = rec
+	}
+	if a.failRate > 0 {
+		// Empty -mix must stay nil here: PoissonNodePlan substitutes the
+		// node-granular default, not the rank-level paper mix.
+		var mix map[failure.Kind]float64
+		if a.mixSpec != "" {
+			if mix, err = failure.ParseMix(a.mixSpec); err != nil {
+				return err
+			}
+		}
+		plan := failure.PoissonNodePlan(rand.New(rand.NewSource(a.seed)), nodes, a.failRate, horizon, mix)
+		if a.repairSec > 0 {
+			plan = plan.WithRepairs(rand.New(rand.NewSource(a.seed*31)),
+				vclock.Time(a.repairSec*float64(vclock.Second)), cfg.RackSize)
+		}
+		cfg.Failures = plan
+		fmt.Fprintf(os.Stderr, "jitsim: sampled %d cluster faults over %v\n", len(plan.Injections), horizon)
+	} else if a.mixSpec != "" {
+		return fmt.Errorf("-mix requires -fail-rate")
+	}
+
+	start := time.Now()
+	res, err := cluster.Run(cfg)
+	elapsed := time.Since(start)
+	if rec != nil {
+		if werr := writeTraces(rec, a.traceOut, a.traceText); werr != nil {
+			return werr
+		}
+	}
+	if err != nil {
+		return err
+	}
+	if err := res.Reconcile(); err != nil {
+		return err
+	}
+	reportFleet(res)
+	if a.stats {
+		s := res.Fleet.SimStats
+		sec := elapsed.Seconds()
+		fmt.Printf("kernel:       %d dispatches, %d timer fires, %d triggers, %d spawns\n",
+			s.Dispatches, s.TimerFires, s.Triggers, s.Spawns)
+		fmt.Printf("throughput:   %.0f events/s, %.0f sim-s per wall-s (%.1fms wall)\n",
+			float64(s.Events())/sec, res.Fleet.Wall.Sec()/sec, 1000*sec)
+	}
+	if res.Fleet.JobsCompleted != res.Fleet.JobsTotal {
+		os.Exit(2)
+	}
+	return nil
+}
+
+// reportFleet prints the fleet summary followed by one line per tenant.
+func reportFleet(res *cluster.Result) {
+	f := &res.Fleet
+	fmt.Printf("fleet:        %d jobs on %d nodes (%d GPUs), wall %v\n",
+		f.JobsTotal, f.Nodes, f.GPUs, f.Wall)
+	total := float64(vclock.Time(f.Nodes) * f.Wall)
+	if total > 0 {
+		fmt.Printf("node-time:    %.1f%% leased, %.1f%% idle-spare, %.1f%% down\n",
+			100*float64(f.UsedNodeTime)/total,
+			100*float64(f.IdleNodeTime)/total,
+			100*float64(f.DownNodeTime)/total)
+	}
+	fmt.Printf("goodput:      %.1f%% of cluster capacity\n", 100*f.Goodput)
+	fmt.Printf("completed:    %d/%d jobs, %d preemptions, %d recovery episodes\n",
+		f.JobsCompleted, f.JobsTotal, f.Preemptions, f.RecoveryEpisodes)
+	if d := f.RecoveryLatency; d.Count > 0 {
+		fmt.Printf("recovery:     mean=%v p50=%v p95=%v max=%v (%d episodes)\n",
+			d.Mean, d.P50, d.P95, d.Max, d.Count)
+	}
+	if f.AppliedInjections+f.SkippedInjections > 0 {
+		fmt.Printf("injections:   %d applied, %d skipped\n", f.AppliedInjections, f.SkippedInjections)
+	}
+	for i := range res.Jobs {
+		j := &res.Jobs[i]
+		if j.Err != nil {
+			fmt.Printf("  %-10s pri=%d FAILED: %v\n", j.Name, j.Priority, j.Err)
+			continue
+		}
+		r := j.Res
+		fmt.Printf("  %-10s pri=%d %-16v completed=%-5v wall=%-9v useful=%-9v recoveries=%d node-time=%v\n",
+			j.Name, j.Priority, r.Policy, r.Completed, r.WallTime,
+			r.Accounting.Useful, len(r.RecoveryLatencies), j.NodeTime)
 	}
 }
 

@@ -1,0 +1,170 @@
+package cluster
+
+import (
+	"jitckpt/internal/failure"
+	"jitckpt/internal/gpu"
+	"jitckpt/internal/trace"
+	"jitckpt/internal/vclock"
+)
+
+// injector applies a cluster-scoped failure.NodePlan to the shared
+// hardware. Unlike the per-job failure.Injector (which resolves ranks
+// through one job's placement), it targets node IDs directly: a single
+// RackDown fans out to every tenant with ranks in that rack, and failures
+// on unowned spares silently shrink the free pool.
+type injector struct {
+	a       *arbiter
+	applied int
+	skipped int
+	// failedFIFO orders injection-failed nodes for repair: NodeRepaired
+	// brings back the oldest still-down casualty first.
+	failedFIFO []int
+}
+
+// start spawns the process that applies the plan on schedule.
+func (in *injector) start(plan failure.NodePlan) {
+	plan.Sort()
+	injections := plan.Injections
+	in.a.env.Go("cluster-injector", func(p *vclock.Proc) {
+		for _, inj := range injections {
+			if d := inj.At - p.Now(); d > 0 {
+				p.Sleep(d)
+			}
+			in.apply(inj)
+		}
+	})
+}
+
+func (in *injector) apply(inj failure.NodeInjection) {
+	a := in.a
+	now := a.env.Now()
+	ok := false
+	switch inj.Kind {
+	case failure.GPUHard:
+		ok = in.failBoard(inj.Node)
+	case failure.NodeDown:
+		ok = in.failHost(inj.Node)
+	case failure.RackDown:
+		rack := inj.Node / a.rackSize
+		lo, hi := rack*a.rackSize, (rack+1)*a.rackSize
+		if hi > len(a.nodes) {
+			hi = len(a.nodes)
+		}
+		for id := lo; id < hi; id++ {
+			if in.failHost(id) {
+				ok = true
+			}
+		}
+	case failure.NodeRepaired:
+		ok = in.repairOne()
+	}
+	if ok {
+		in.applied++
+		trace.Of(a.env).Instant(now, "fail", trace.LaneSim, "cluster-inject",
+			"kind", inj.Kind, "node", inj.Node)
+		a.env.Tracef("cluster: injected %v at node %d", inj.Kind, inj.Node)
+	} else {
+		in.skipped++
+		trace.Of(a.env).Instant(now, "fail", trace.LaneSim, "cluster-inject-skip",
+			"kind", inj.Kind, "node", inj.Node)
+		a.env.Tracef("cluster: skipped %v at node %d (target already lost)", inj.Kind, inj.Node)
+	}
+}
+
+// failBoard hard-fails one GPU on the node (the first still-healthy one).
+// Host RAM survives, so peer-sheltered entries on the node do too; an
+// owning tenant discovers the dead device organically through its
+// workers. An unowned node leaves the allocatable pool immediately.
+func (in *injector) failBoard(id int) bool {
+	a := in.a
+	node := a.nodes[id]
+	if node.Failed {
+		return false
+	}
+	var dev *gpu.Device
+	for _, d := range node.Devices {
+		if d.Health() == gpu.Healthy {
+			dev = d
+			break
+		}
+	}
+	if dev == nil {
+		return false // every board already dead
+	}
+	dev.InjectHard()
+	in.failedFIFO = append(in.failedFIFO, id)
+	if a.owner[id] == nil {
+		now := a.env.Now()
+		a.advance(now)
+		a.pool.MarkFailed(id)
+		a.transition(id, stDown)
+		a.notePoint(now)
+		a.bump()
+	}
+	return true
+}
+
+// failHost takes a whole node down: every GPU dies and the host's CPU
+// memory — including peer-sheltered checkpoint entries — is gone. The
+// owning tenant (if any) is told immediately so its shelter bookkeeping
+// matches; its workers fail organically. The node stays accounted to its
+// owner until the owner marks it failed or releases it.
+func (in *injector) failHost(id int) bool {
+	a := in.a
+	node := a.nodes[id]
+	if node.Failed {
+		return false
+	}
+	node.Failed = true
+	for _, d := range node.Devices {
+		d.InjectHard()
+	}
+	in.failedFIFO = append(in.failedFIFO, id)
+	if own := a.owner[id]; own != nil {
+		if own.handle != nil {
+			own.handle.NoteNodesLost(id)
+		}
+	} else {
+		now := a.env.Now()
+		a.advance(now)
+		a.pool.MarkFailed(id)
+		a.transition(id, stDown)
+		a.notePoint(now)
+		a.bump()
+	}
+	return true
+}
+
+// repairOne replaces the hardware of one down node: the oldest
+// injection-failed node still broken, else any broken node in ID order.
+// Nothing broken means the repair has no target and is skipped.
+func (in *injector) repairOne() bool {
+	a := in.a
+	id := -1
+	for _, cand := range in.failedFIFO {
+		if nodeBad(a.nodes[cand]) {
+			id = cand
+			break
+		}
+	}
+	if id < 0 {
+		for _, n := range a.nodes {
+			if nodeBad(n) {
+				id = n.ID
+				break
+			}
+		}
+	}
+	if id < 0 {
+		return false
+	}
+	node := a.nodes[id]
+	node.Failed = false
+	for _, d := range node.Devices {
+		if d.Health() != gpu.Healthy {
+			d.Repair()
+		}
+	}
+	a.markRepaired(id)
+	return true
+}

@@ -85,6 +85,11 @@ type JobConfig struct {
 	// instrumented layer). One Recorder may be shared across sequential
 	// Run calls: each run is recorded under a fresh run ID.
 	Recorder *trace.Recorder
+	// Shared, when set, runs the job inside a cluster-owned simulation
+	// (StartJob) instead of a private one: the cluster owns the
+	// environment, nodes and allocator, and the job leases capacity
+	// through it. Run rejects configs with Shared set.
+	Shared *SharedSim
 }
 
 // RunResult reports what the job did.
@@ -121,8 +126,22 @@ type RunResult struct {
 	Disk *checkpoint.Store
 	// SimStats are the simulation kernel's event counters for the run
 	// (process dispatches, timer fires, event triggers, spawns) — the
-	// denominator-free raw material for events/sec benchmarking.
+	// denominator-free raw material for events/sec benchmarking. In a
+	// shared (fleet) simulation these are the cluster-wide counters at
+	// the time this job finished.
 	SimStats vclock.Stats
+	// RecoveryLatencies is one entry per recovery episode: the time from
+	// failure detection to the reference rank's first subsequent
+	// minibatch start (for the transparent policy, each episode's
+	// reported total). The fleet aggregation builds its per-tenant
+	// recovery-latency distribution from these.
+	RecoveryLatencies []vclock.Time
+	// SkippedInjections counts planned injections that never fired
+	// because their target was already lost when they came due.
+	SkippedInjections int
+	// Yields counts arbiter-requested preemption yields the job honored
+	// (elastic fleet jobs only).
+	Yields int
 }
 
 // OptimalInterval computes the periodic-checkpoint interval 1/c* for a
@@ -141,8 +160,40 @@ func OptimalInterval(wl workload.Workload, fPerGPUDay float64) vclock.Time {
 
 // Run executes the job and returns its result.
 func Run(cfg JobConfig) (*RunResult, error) {
+	if cfg.Shared != nil {
+		return nil, errors.New("core: Run with JobConfig.Shared set; use StartJob")
+	}
+	if err := prepare(&cfg); err != nil {
+		return nil, err
+	}
+	h := newHarness(cfg)
+	if err := h.setup(); err != nil {
+		return nil, err
+	}
+	if err := h.launch(); err != nil {
+		return h.res, err
+	}
+	if err := h.env.RunUntil(h.cfg.Horizon); err != nil {
+		return h.res, err
+	}
+	h.finish()
+	return h.res, nil
+}
+
+// prepare validates the config and applies defaults.
+func prepare(cfg *JobConfig) error {
 	if cfg.Iters <= 0 {
-		return nil, errors.New("core: Iters must be positive")
+		return errors.New("core: Iters must be positive")
+	}
+	world := cfg.WL.Topo.World()
+	if err := cfg.Failures.Validate(world); err != nil {
+		return err
+	}
+	for i, inj := range cfg.IterFailures {
+		if inj.Rank < 0 || inj.Rank >= world {
+			return fmt.Errorf("core: IterFailures[%d] (%v at iter %d) targets rank %d outside world [0,%d)",
+				i, inj.Kind, inj.Iter, inj.Rank, world)
+		}
 	}
 	if cfg.FailureRatePerGPUDay <= 0 {
 		cfg.FailureRatePerGPUDay = 2.0 / 992
@@ -154,8 +205,19 @@ func Run(cfg JobConfig) (*RunResult, error) {
 		cfg.Horizon = vclock.Time(cfg.Iters+20)*cfg.WL.Minibatch*4 +
 			vclock.Time(len(cfg.Failures.Injections)+1)*10*vclock.Minute + vclock.Hour
 	}
-	h := &harness{cfg: cfg}
-	return h.run()
+	return nil
+}
+
+func newHarness(cfg JobConfig) *harness {
+	h := &harness{cfg: cfg, shared: cfg.Shared, yieldAt: -1, label: "job"}
+	if h.shared != nil && h.shared.Label != "" {
+		h.label = h.shared.Label
+	}
+	h.rackSize = 2
+	if h.shared != nil && h.shared.RackSize > 0 {
+		h.rackSize = h.shared.RackSize
+	}
+	return h
 }
 
 // IterInjection is a failure anchored to training progress.
@@ -171,12 +233,23 @@ type harness struct {
 	cfg     JobConfig
 	env     *vclock.Env
 	cluster *gpu.Cluster
+	nodes   []*gpu.Node // the node set failure/shelter bookkeeping resolves against
 	engine  *nccl.Engine
-	pool    *scheduler.Pool
+	pool    Capacity
 	monitor *scheduler.Monitor
 	disk    *checkpoint.Store
 	tmpfs   *checkpoint.Store
 	kernels cuda.Registry
+
+	// Shared-simulation (fleet) state.
+	shared   *SharedSim
+	handle   *JobHandle
+	label    string
+	rackSize int
+	startAt  vclock.Time
+	finished bool
+	yieldAt  int // iteration to stop at for an arbiter-requested yield; -1 if none
+	yields   int
 
 	placement scheduler.Placement
 	shelter   *peerckpt.Shelter
@@ -203,6 +276,8 @@ type harness struct {
 	ckptStall  vclock.Time
 	ckptCount  int
 	execIters  int
+	recovering bool        // a detected failure has not yet been followed by progress
+	recoverAt  vclock.Time // when the current episode was detected
 
 	genReader      func() int
 	collectReports func()
@@ -212,22 +287,37 @@ type harness struct {
 	runSpan        trace.Span
 }
 
-func (h *harness) run() (*RunResult, error) {
+// setup builds the job's stacks: environment (private, unless a shared
+// one is supplied), cluster and pool (private, or leased), engine,
+// stores, elastic controller, and the failure injector. It performs no
+// simulated work; launch starts the job's processes.
+func (h *harness) setup() error {
 	cfg := h.cfg
 	wl := cfg.WL
-	h.env = vclock.NewEnv(cfg.Seed)
-	if cfg.Trace != nil {
-		h.env.SetTracer(cfg.Trace)
+	if h.shared != nil {
+		h.env = h.shared.Env
+		h.startAt = h.env.Now()
+		h.nodes = h.shared.Nodes
+		h.pool = h.shared.Capacity
+		h.runSpan = trace.Of(h.env).Begin(h.env.Now(), "core", trace.LaneSim, "run",
+			"job", h.label, "policy", cfg.Policy, "iters", cfg.Iters)
+		h.engine = nccl.NewEngine(h.env, wl.NCCLParams())
+	} else {
+		h.env = vclock.NewEnv(cfg.Seed)
+		if cfg.Trace != nil {
+			h.env.SetTracer(cfg.Trace)
+		}
+		if cfg.Recorder != nil {
+			cfg.Recorder.BeginRun(fmt.Sprintf("%v seed=%d", cfg.Policy, cfg.Seed))
+			trace.Attach(h.env, cfg.Recorder)
+			h.runSpan = cfg.Recorder.Begin(0, "core", trace.LaneSim, "run",
+				"policy", cfg.Policy, "iters", cfg.Iters, "seed", cfg.Seed)
+		}
+		h.engine = nccl.NewEngine(h.env, wl.NCCLParams())
+		h.cluster = gpu.NewCluster(h.env, wl.Nodes+cfg.SpareNodes, wl.PerNode, 1<<40)
+		h.nodes = h.cluster.Nodes
+		h.pool = scheduler.NewPool(h.env, h.cluster.Nodes)
 	}
-	if cfg.Recorder != nil {
-		cfg.Recorder.BeginRun(fmt.Sprintf("%v seed=%d", cfg.Policy, cfg.Seed))
-		trace.Attach(h.env, cfg.Recorder)
-		h.runSpan = cfg.Recorder.Begin(0, "core", trace.LaneSim, "run",
-			"policy", cfg.Policy, "iters", cfg.Iters, "seed", cfg.Seed)
-	}
-	h.engine = nccl.NewEngine(h.env, wl.NCCLParams())
-	h.cluster = gpu.NewCluster(h.env, wl.Nodes+cfg.SpareNodes, wl.PerNode, 1<<40)
-	h.pool = scheduler.NewPool(h.env, h.cluster.Nodes)
 	h.monitor = scheduler.NewMonitor(h.env)
 	if cfg.DiskStore != nil {
 		h.disk = cfg.DiskStore
@@ -249,7 +339,7 @@ func (h *harness) run() (*RunResult, error) {
 
 	if cfg.Policy.UsesPeerShelter() {
 		if wl.Nodes < 2 {
-			return nil, errors.New("core: peer-shelter policies need at least 2 nodes (no peer failure domain otherwise)")
+			return errors.New("core: peer-shelter policies need at least 2 nodes (no peer failure domain otherwise)")
 		}
 		h.shelter = peerckpt.NewShelter(h.env, "job", peerckpt.Params{
 			LinkBandwidth: wl.PeerLinkBandwidth(),
@@ -276,7 +366,7 @@ func (h *harness) run() (*RunResult, error) {
 		if dev == nil {
 			return nil
 		}
-		for _, n := range h.cluster.Nodes {
+		for _, n := range h.nodes {
 			if n.ID == dev.NodeID {
 				return n
 			}
@@ -310,18 +400,19 @@ func (h *harness) run() (*RunResult, error) {
 		},
 		NodeOf: nodeOf,
 	}
-	// Rack affinity: adjacent node pairs share a failure domain
-	// (rack = node.ID/2), matching the shelter's placement assumption
-	// that distinct nodes suffice; RackDown is precisely the adversary
-	// that breaks the weaker assumption.
+	// Rack affinity: consecutive node groups share a failure domain
+	// (rack = node.ID/rackSize, rackSize=2 unless the cluster says
+	// otherwise), matching the shelter's placement assumption that
+	// distinct nodes suffice; RackDown is precisely the adversary that
+	// breaks the weaker assumption.
 	injector.RackNodesOf = func(rank int) []*gpu.Node {
 		n := nodeOf(rank)
 		if n == nil {
 			return nil
 		}
 		var out []*gpu.Node
-		for _, cand := range h.cluster.Nodes {
-			if cand.ID/2 == n.ID/2 {
+		for _, cand := range h.nodes {
+			if cand.ID/h.rackSize == n.ID/h.rackSize {
 				out = append(out, cand)
 			}
 		}
@@ -346,23 +437,26 @@ func (h *harness) run() (*RunResult, error) {
 		return checkpoint.WriteOK
 	})
 	injector.OnStorageFault = func(failure.Injection) { storageFaultWindow += 2 }
-	if h.shelter != nil {
-		// A whole-host failure takes its sheltered entries with it the
-		// instant it happens — not at incarnation teardown. RackDown fails
-		// several nodes at once, so sweep rather than resolve one rank.
+	if h.shelter != nil || (h.shared != nil && h.shared.OnInject != nil) {
 		injector.OnInject = func(inj failure.Injection) {
-			if inj.Kind != failure.NodeDown && inj.Kind != failure.RackDown {
-				return
-			}
-			for _, n := range h.cluster.Nodes {
-				if n.Failed {
-					h.shelter.MarkNodeLost(n.ID)
+			if h.shelter != nil && (inj.Kind == failure.NodeDown || inj.Kind == failure.RackDown) {
+				// A whole-host failure takes its sheltered entries with it
+				// the instant it happens — not at incarnation teardown.
+				// RackDown fails several nodes at once, so sweep rather
+				// than resolve one rank.
+				for _, n := range h.nodes {
+					if n.Failed {
+						h.shelter.MarkNodeLost(n.ID)
+					}
 				}
 			}
+			if h.shared != nil && h.shared.OnInject != nil {
+				h.shared.OnInject(inj)
+			}
 		}
-		if cfg.Chaos != nil && cfg.Chaos.ShelterChaos != nil {
-			h.shelter.SetStoreChaos(cfg.Chaos.ShelterChaos)
-		}
+	}
+	if h.shelter != nil && cfg.Chaos != nil && cfg.Chaos.ShelterChaos != nil {
+		h.shelter.SetStoreChaos(cfg.Chaos.ShelterChaos)
 	}
 	if cfg.Chaos != nil {
 		injector.ArmPhase(cfg.Chaos.PhaseInjections...)
@@ -372,19 +466,10 @@ func (h *harness) run() (*RunResult, error) {
 	// schedule a mid-run expand: degraded workers stop (and checkpoint) a
 	// couple of iterations ahead, and the next incarnation restarts at
 	// full width.
-	injector.AllNodes = h.cluster.Nodes
+	injector.AllNodes = h.nodes
 	injector.OnRepair = func(node *gpu.Node) {
 		h.pool.MarkRepaired(node.ID)
-		if h.elastic == nil || !h.elastic.Degraded() {
-			return
-		}
-		if h.pool.FreeHealthy()+h.heldNodes >= h.elastic.Full().Nodes {
-			at := h.maxIter + 2
-			if at < cfg.Iters {
-				h.elastic.RequestExpand(at)
-				h.env.Tracef("harness: repairs restored full capacity; expand scheduled at iter %d", at)
-			}
-		}
+		h.noteRepairCapacity()
 	}
 	plannedRepairs := 0
 	for _, inj := range cfg.IterFailures {
@@ -405,21 +490,75 @@ func (h *harness) run() (*RunResult, error) {
 		}
 	})
 	h.pendingIter = append([]IterInjection(nil), cfg.IterFailures...)
+	return nil
+}
 
-	var runErr error
-	if cfg.Policy == PolicyTransparentJIT {
-		runErr = h.runTransparent()
-	} else {
-		runErr = h.runIncarnations()
+// launch starts the job's simulated processes; the caller (Run or the
+// cluster) drives the environment forward.
+func (h *harness) launch() error {
+	if h.cfg.Policy == PolicyTransparentJIT {
+		return h.runTransparent()
 	}
-	if runErr != nil {
-		return h.res, runErr
+	return h.runIncarnations()
+}
+
+// noteRepairCapacity reacts to restored capacity: a job running degraded
+// schedules a mid-run expand when the repaired (or arbiter-granted)
+// capacity again covers the full width — degraded workers stop (and
+// checkpoint) a couple of iterations ahead, and the next incarnation
+// restarts at full width. The single-job injector calls it after every
+// repair; the cluster calls it through the job handle.
+func (h *harness) noteRepairCapacity() {
+	if h.finished || h.elastic == nil || !h.elastic.Degraded() {
+		return
 	}
-	if err := h.env.RunUntil(cfg.Horizon); err != nil {
-		return h.res, err
+	if h.pool.FreeHealthy()+h.heldNodes >= h.elastic.Full().Nodes {
+		at := h.maxIter + 2
+		if at < h.cfg.Iters {
+			h.elastic.RequestExpand(at)
+			h.env.Tracef("harness: repairs restored full capacity; expand scheduled at iter %d", at)
+		}
 	}
-	h.finish()
-	return h.res, nil
+}
+
+// noteNodesLost drops peer-sheltered entries on cluster-destroyed nodes
+// the moment they die (the workers themselves fail organically through
+// their dead devices). Cluster-scoped injections bypass the job's own
+// injector, so its OnInject sweep never sees them.
+func (h *harness) noteNodesLost(nodeIDs []int) {
+	if h.finished || h.shelter == nil {
+		return
+	}
+	for _, id := range nodeIDs {
+		h.shelter.MarkNodeLost(id)
+	}
+}
+
+// requestYield asks the job to stop cleanly a couple of iterations ahead
+// so the arbiter can hand its nodes to a higher-priority tenant. Only
+// elastic jobs that can actually run narrower honor it; everyone else
+// (including jobs already yielding or nearly done) reports false and the
+// arbiter moves to the next victim.
+func (h *harness) requestYield() bool {
+	if h.finished || h.elastic == nil || h.yieldAt >= 0 {
+		return false
+	}
+	cur := h.elastic.Plan()
+	minNodes := 1
+	if h.shelter != nil {
+		minNodes = 2
+	}
+	if _, ok := elastic.Shrink(cur.Topo, h.cfg.WL.PerNode, cur.Nodes-1, minNodes); !ok {
+		return false
+	}
+	at := h.maxIter + 2
+	if at >= h.cfg.Iters {
+		return false // finishing frees the nodes sooner than yielding would
+	}
+	h.yieldAt = at
+	h.elastic.CancelExpand()
+	h.env.Tracef("harness: yield requested; stopping at iter %d", at)
+	return true
 }
 
 // workerConfig builds the common per-rank training configuration.
@@ -493,6 +632,10 @@ func (h *harness) noteIterStart(rank, iter int) {
 	if rank != h.refRank {
 		return
 	}
+	if h.recovering {
+		h.res.RecoveryLatencies = append(h.res.RecoveryLatencies, h.env.Now()-h.recoverAt)
+		h.recovering = false
+	}
 	if _, seen := h.iterStarts[iter]; !seen {
 		h.iterStarts[iter] = h.env.Now()
 		// Fire iteration-anchored failures.
@@ -543,22 +686,32 @@ func (h *harness) measuredMinibatch() vclock.Time {
 // finish computes the accounting from the run's observations.
 func (h *harness) finish() {
 	res := h.res
-	res.WallTime = h.env.Now()
+	res.WallTime = h.env.Now() - h.startAt
 	res.SimStats = h.env.Stats()
 	res.Minibatch = h.measuredMinibatch()
 	res.ItersExecuted = h.execIters
+	res.SkippedInjections = h.injector.SkippedCount()
+	res.Yields = h.yields
 	// The final incarnation's world size: an elastic run that finished in
 	// degraded mode completed with fewer ranks than the full workload.
 	res.Completed = len(h.doneRanks) == h.topo.World()
 	if h.elastic != nil && h.elastic.Degraded() {
 		// Trace invariant 6: a run that closes while degraded must say so
 		// explicitly — every shrink is followed by an expand or this.
-		trace.Of(h.env).Instant(res.WallTime, "elastic", trace.LaneSim, "end-degraded",
+		trace.Of(h.env).Instant(h.env.Now(), "elastic", trace.LaneSim, "end-degraded",
 			"world", h.topo.World(), "completed", res.Completed)
 	}
 
 	if h.collectReports != nil {
 		h.collectReports()
+	}
+	// Transparent recovery episodes report their own detection-to-resume
+	// totals; surface them in the same per-episode latency series the
+	// incarnation policies record through noteIterStart.
+	if len(res.Reports) > 0 && len(res.RecoveryLatencies) == 0 {
+		for _, rep := range res.Reports {
+			res.RecoveryLatencies = append(res.RecoveryLatencies, rep.Total())
+		}
 	}
 	if h.shelter != nil {
 		res.Peer = h.shelter.Stats()
@@ -592,14 +745,34 @@ func (h *harness) finish() {
 	}
 	acct.RecoveryFixed = fixed
 	res.Accounting = acct
-	h.runSpan.End(res.WallTime, "completed", res.Completed,
+	h.runSpan.End(h.env.Now(), "completed", res.Completed,
 		"incarnations", res.Incarnations, "recoveries", acct.Recoveries)
+}
+
+// jobDone finalizes a fleet job exactly once: accounting closes at the
+// current virtual time and the cluster's OnDone observer fires. Single-job
+// runs finalize through Run; fleet jobs through their supervisor exit,
+// transparent completion, or ForceFinish at the cluster horizon.
+func (h *harness) jobDone() {
+	if h.finished {
+		return
+	}
+	h.finished = true
+	h.finish()
+	if h.shared != nil && h.shared.OnDone != nil {
+		h.shared.OnDone(h.res)
+	}
 }
 
 // noteDetected emits the failure-detection instant trace invariants key
 // on: every JIT checkpoint and every recovery-then-resume must be
-// anchored to one of these.
+// anchored to one of these. It also opens a recovery-latency episode:
+// the episode closes at the reference rank's next minibatch start.
 func (h *harness) noteDetected(t vclock.Time, rank int, by string) {
+	if !h.recovering {
+		h.recovering = true
+		h.recoverAt = t
+	}
 	lane := trace.LaneSim
 	if rank >= 0 {
 		lane = trace.Rank(rank)
@@ -612,12 +785,44 @@ func (h *harness) noteDetected(t vclock.Time, rank int, by string) {
 // ---------------------------------------------------------------------
 
 func (h *harness) runTransparent() error {
-	cfg := h.cfg
-	wl := cfg.WL
+	wl := h.cfg.WL
+	if h.shared != nil {
+		// Fleet admission: wait (in simulated time) until the arbiter's
+		// lease grants the full width, then start. Transparent jobs are
+		// fixed-width, so admission is all-or-nothing.
+		h.env.Go(h.label+".admit", func(p *vclock.Proc) {
+			nodes, err := h.pool.Allocate(wl.Nodes, nil)
+			for err != nil {
+				timeout := h.cfg.Horizon - p.Now()
+				if timeout <= 0 {
+					h.jobDone()
+					return
+				}
+				wait0 := p.Now()
+				h.shared.AwaitCapacity(p, timeout)
+				h.waitCap += p.Now() - wait0
+				nodes, err = h.pool.Allocate(wl.Nodes, nil)
+			}
+			if serr := h.startTransparent(nodes); serr != nil {
+				h.env.Tracef("%s: transparent start failed: %v", h.label, serr)
+				h.pool.Release(nodes)
+				h.jobDone()
+			}
+		})
+		return nil
+	}
 	nodes, err := h.pool.Allocate(wl.Nodes, nil)
 	if err != nil {
 		return err
 	}
+	return h.startTransparent(nodes)
+}
+
+// startTransparent builds the coordinator and rank stacks on allocated
+// nodes and launches the workers.
+func (h *harness) startTransparent(nodes []*gpu.Node) error {
+	cfg := h.cfg
+	wl := cfg.WL
 	placement, err := scheduler.Place(nodes, wl.Topo.World())
 	if err != nil {
 		return err
@@ -687,6 +892,21 @@ func (h *harness) runTransparent() error {
 				for _, tr := range ranks {
 					tr.Layer.StopWatchdog()
 				}
+				if h.shared != nil {
+					// Return the leased nodes (post-migration placements
+					// included: resolve through the live rank stacks) and
+					// close the job's fleet accounting.
+					seen := make(map[int]bool)
+					var ids []int
+					for _, tr := range ranks {
+						if dev := tr.Server.Device(); dev != nil && !seen[dev.NodeID] {
+							seen[dev.NodeID] = true
+							ids = append(ids, dev.NodeID)
+						}
+					}
+					h.pool.ReleaseByID(ids...)
+					h.jobDone()
+				}
 			}
 		})
 	}
@@ -709,6 +929,10 @@ const (
 	// endExpand: degraded workers stopped and checkpointed so the next
 	// incarnation can restart at full width on repaired nodes.
 	endExpand
+	// endYield: workers stopped and checkpointed for an arbiter-requested
+	// preemption; the next incarnation re-allocates under the arbiter's
+	// reservations (and typically takes the elastic shrink path).
+	endYield
 )
 
 func (e incarnationEnd) String() string {
@@ -719,6 +943,8 @@ func (e incarnationEnd) String() string {
 		return "failed"
 	case endExpand:
 		return "expand"
+	case endYield:
+		return "yield"
 	default:
 		return "horizon"
 	}
@@ -727,7 +953,14 @@ func (e incarnationEnd) String() string {
 func (h *harness) runIncarnations() error {
 	// The whole incarnation loop runs inside a supervisor process.
 	h.doneRanks = make(map[int]bool)
-	h.env.Go("supervisor", func(p *vclock.Proc) {
+	name := "supervisor"
+	if h.shared != nil {
+		name = h.label + ".supervisor"
+	}
+	h.env.Go(name, func(p *vclock.Proc) {
+		if h.shared != nil {
+			defer h.jobDone()
+		}
 		for {
 			end := h.runOneIncarnation(p)
 			h.res.Incarnations++
@@ -771,32 +1004,47 @@ func (h *harness) runOneIncarnation(p *vclock.Proc) (end incarnationEnd) {
 	}
 	nodes, err := h.pool.Allocate(wantNodes, nil)
 	for err != nil {
-		if h.elastic == nil {
+		if h.elastic == nil && h.shared == nil {
 			h.env.Tracef("harness: allocation failed: %v", err)
 			return endHorizon
 		}
-		minNodes := 0
-		if h.shelter != nil {
-			minNodes = 2 // peer shelter needs a second failure domain
+		if h.elastic != nil {
+			minNodes := 0
+			if h.shelter != nil {
+				minNodes = 2 // peer shelter needs a second failure domain
+			}
+			if plan, ok := h.elastic.Shrink(wl.PerNode, h.pool.FreeHealthy(), minNodes); ok {
+				h.topo = plan.Topo
+				h.accum = plan.Accum * maxInt(cfg.Accum, 1)
+				wantNodes = plan.Nodes
+				trace.Of(h.env).Instant(p.Now(), "elastic", trace.LaneSim, "shrink",
+					"world", plan.Topo.World(), "accum", h.accum, "nodes", plan.Nodes)
+				h.env.Tracef("harness: elastic shrink to D=%d accum=%d on %d nodes",
+					plan.Topo.D, h.accum, plan.Nodes)
+				nodes, err = h.pool.Allocate(wantNodes, nil)
+				continue
+			}
+			if h.injector.RepairsPending() {
+				timeout := cfg.Horizon - p.Now()
+				if timeout <= 0 {
+					return endHorizon
+				}
+				wait0 := p.Now()
+				h.injector.AwaitRepair(p, timeout)
+				h.waitCap += p.Now() - wait0
+				nodes, err = h.pool.Allocate(wantNodes, nil)
+				continue
+			}
 		}
-		if plan, ok := h.elastic.Shrink(wl.PerNode, h.pool.FreeHealthy(), minNodes); ok {
-			h.topo = plan.Topo
-			h.accum = plan.Accum * maxInt(cfg.Accum, 1)
-			wantNodes = plan.Nodes
-			trace.Of(h.env).Instant(p.Now(), "elastic", trace.LaneSim, "shrink",
-				"world", plan.Topo.World(), "accum", h.accum, "nodes", plan.Nodes)
-			h.env.Tracef("harness: elastic shrink to D=%d accum=%d on %d nodes",
-				plan.Topo.D, h.accum, plan.Nodes)
-			nodes, err = h.pool.Allocate(wantNodes, nil)
-			continue
-		}
-		if h.injector.RepairsPending() {
+		if h.shared != nil {
+			// Fleet job: block until cluster capacity may have changed
+			// (a release, repair, or reservation shift), then retry.
 			timeout := cfg.Horizon - p.Now()
 			if timeout <= 0 {
 				return endHorizon
 			}
 			wait0 := p.Now()
-			h.injector.AwaitRepair(p, timeout)
+			h.shared.AwaitCapacity(p, timeout)
 			h.waitCap += p.Now() - wait0
 			nodes, err = h.pool.Allocate(wantNodes, nil)
 			continue
@@ -804,6 +1052,10 @@ func (h *harness) runOneIncarnation(p *vclock.Proc) (end incarnationEnd) {
 		h.env.Tracef("harness: allocation failed, no viable shrink, no repairs pending: %v", err)
 		return endHorizon
 	}
+	// A pending yield is consumed by re-allocation: the job now holds
+	// exactly what the arbiter's reservations allow; a still-unsatisfied
+	// arbiter will simply request another yield.
+	h.yieldAt = -1
 	h.heldNodes = wantNodes
 	defer func() { h.heldNodes = 0 }()
 	defer h.pool.Release(nodes)
@@ -863,6 +1115,11 @@ func (h *harness) runOneIncarnation(p *vclock.Proc) (end incarnationEnd) {
 	// iteration and checkpointed; the next incarnation restarts full-width.
 	expandCount := 0
 	expandStop := h.env.NewEvent(fmt.Sprintf("job.expand.g%d", h.gen))
+	// yieldStop fires when every worker has reached an arbiter-requested
+	// yield iteration and checkpointed; the next incarnation re-allocates
+	// under the arbiter's reservations.
+	yieldCount := 0
+	yieldStop := h.env.NewEvent(fmt.Sprintf("job.yield.g%d", h.gen))
 
 	for r := 0; r < world; r++ {
 		drv, err := cuda.NewDriver(placement[r], h.engine, h.kernels, wl.CUDAParams())
@@ -973,6 +1230,24 @@ func (h *harness) runOneIncarnation(p *vclock.Proc) (end incarnationEnd) {
 						}
 						return
 					}
+					// Arbiter-requested preemption yield: stop cleanly at
+					// the agreed iteration with state persisted, exactly
+					// like a mid-run expand stop but in the other
+					// direction — the next incarnation's allocation runs
+					// under reservations and shrinks.
+					if h.yieldAt >= 0 && st.worker.Iter() >= h.yieldAt {
+						if err := h.elasticSave(wp, st.worker, r); err != nil {
+							h.noteDetected(wp.Now(), r, "yield-save")
+							h.monitor.Notify(scheduler.Event{Kind: scheduler.EvRankExited, Rank: r, Err: err})
+							failed.Trigger()
+							return
+						}
+						yieldCount++
+						if yieldCount == world {
+							yieldStop.Trigger()
+						}
+						return
+					}
 				}
 				if _, err := st.worker.RunIter(wp); err != nil {
 					h.noteDetected(wp.Now(), r, "iter-error")
@@ -1033,7 +1308,7 @@ func (h *harness) runOneIncarnation(p *vclock.Proc) (end incarnationEnd) {
 			if hp.WaitTimeout(hbStop, 2*vclock.Second) {
 				return
 			}
-			if allDone.Triggered() || failed.Triggered() || expandStop.Triggered() {
+			if allDone.Triggered() || failed.Triggered() || expandStop.Triggered() || yieldStop.Triggered() {
 				return
 			}
 			stale := false
@@ -1067,11 +1342,12 @@ func (h *harness) runOneIncarnation(p *vclock.Proc) (end incarnationEnd) {
 	waitDone := h.env.NewEvent(fmt.Sprintf("sup.wait.g%d", h.gen))
 	h.env.Go(fmt.Sprintf("sup.select.g%d", h.gen), func(sp *vclock.Proc) {
 		defer waitDone.Trigger()
-		for !allDone.Triggered() && !failed.Triggered() && !expandStop.Triggered() {
+		for !allDone.Triggered() && !failed.Triggered() && !expandStop.Triggered() && !yieldStop.Triggered() {
 			ev := h.env.NewEvent("tick")
 			h.env.Go("sel.done", func(q *vclock.Proc) { q.Wait(allDone); ev.Trigger() })
 			h.env.Go("sel.fail", func(q *vclock.Proc) { q.Wait(failed); ev.Trigger() })
 			h.env.Go("sel.expand", func(q *vclock.Proc) { q.Wait(expandStop); ev.Trigger() })
+			h.env.Go("sel.yield", func(q *vclock.Proc) { q.Wait(yieldStop); ev.Trigger() })
 			sp.Wait(ev)
 		}
 	})
@@ -1100,6 +1376,22 @@ func (h *harness) runOneIncarnation(p *vclock.Proc) (end incarnationEnd) {
 		}
 		h.gen++
 		return endExpand
+	}
+	if yieldStop.Triggered() && !failed.Triggered() {
+		// Every worker stopped cleanly at the yield iteration with its
+		// state persisted; the next incarnation re-allocates under the
+		// arbiter's reservations (usually taking the elastic shrink path).
+		hbStop.Trigger()
+		for _, st := range stacks {
+			if st.layer != nil {
+				st.layer.StopWatchdog()
+			}
+		}
+		h.gen++
+		h.yields++
+		trace.Of(h.env).Instant(p.Now(), "elastic", trace.LaneSim, "yield",
+			"world", world, "iter", h.yieldAt)
+		return endYield
 	}
 	// Failure path: for user-level JIT, wait for the checkpoint quorum
 	// before killing the job (§3.3). A catastrophic failure that killed
@@ -1141,13 +1433,16 @@ func (h *harness) runOneIncarnation(p *vclock.Proc) (end incarnationEnd) {
 	// injector already marked injection-driven ones; this sweep catches
 	// any other path that failed a node).
 	if h.shelter != nil {
-		for _, n := range h.cluster.Nodes {
+		for _, n := range h.nodes {
 			if n.Failed {
 				h.shelter.MarkNodeLost(n.ID)
 			}
 		}
 	}
 	h.gen++
+	// A failure supersedes any pending yield: the incarnation boundary
+	// re-allocates from scratch under current reservations anyway.
+	h.yieldAt = -1
 	return endFailed
 }
 

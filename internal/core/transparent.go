@@ -52,7 +52,7 @@ type CoordinatorConfig struct {
 	Monitor *scheduler.Monitor
 	// Pool, CRIU, Kernels, CUDAParams, ProxyParams serve the hard-error
 	// migration path.
-	Pool        *scheduler.Pool
+	Pool        Capacity
 	CRIU        scheduler.CRIU
 	Kernels     cuda.Registry
 	CUDAParams  cuda.Params

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"jitckpt/internal/cluster"
+	"jitckpt/internal/trace"
+	"jitckpt/internal/vclock"
+)
+
+// quickFleetOptions returns a trimmed fleet sweep that still exercises
+// two mixes, both spare fractions, and two seeds.
+func quickFleetOptions() FleetOptions {
+	opt := DefaultFleetOptions()
+	opt.Seeds = []int64{3, 7}
+	opt.Jobs = 6
+	opt.Iters = 40
+	opt.HeadlineJobs = 0
+	opt.Mixes = opt.Mixes[1:] // jit + mixed
+	opt.MTBFs = []vclock.Time{10 * vclock.Second}
+	opt.Horizon = 12 * vclock.Second
+	return opt
+}
+
+func TestFleetSweepRows(t *testing.T) {
+	opt := quickFleetOptions()
+	rows, err := RunFleetSweep(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(opt.Mixes) * len(opt.MTBFs) * len(opt.SpareFracs)
+	if len(rows) != want {
+		t.Fatalf("got %d rows, want %d", len(rows), want)
+	}
+	for _, r := range rows {
+		if r.Runs != len(opt.Seeds) {
+			t.Errorf("row %s frac=%.2f aggregated %d runs, want %d", r.Mix, r.SpareFrac, r.Runs, len(opt.Seeds))
+		}
+		if r.Nodes < r.Jobs*2 {
+			t.Errorf("row %s sized %d nodes for %d two-node jobs", r.Mix, r.Nodes, r.Jobs)
+		}
+		if r.Goodput <= 0 {
+			t.Errorf("row %s frac=%.2f has zero goodput", r.Mix, r.SpareFrac)
+		}
+	}
+	rendered := RenderFleetSweep(rows).Render()
+	if !strings.Contains(rendered, "mixed") || !strings.Contains(rendered, "Goodput %") {
+		t.Errorf("rendered table missing expected content:\n%s", rendered)
+	}
+}
+
+// TestFleetParallelMatchesSerial extends the sweep runner's equivalence
+// contract to fleet cells: even though each cell is itself a concurrent
+// multi-tenant simulation, farming cells across workers changes nothing —
+// rows are deeply equal and the merged trace is byte-identical to the
+// serially recorded one.
+func TestFleetParallelMatchesSerial(t *testing.T) {
+	run := func(workers int) ([]FleetRow, []byte) {
+		opt := quickFleetOptions()
+		opt.Workers = workers
+		opt.Recorder = trace.New()
+		rows, err := RunFleetSweep(opt)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return rows, traceBytes(t, opt.Recorder)
+	}
+	serialRows, serialTrace := run(1)
+	parallelRows, parallelTrace := run(4)
+	if !reflect.DeepEqual(serialRows, parallelRows) {
+		t.Errorf("fleet rows differ between serial and parallel runs:\nserial:   %+v\nparallel: %+v",
+			serialRows, parallelRows)
+	}
+	if !bytes.Equal(serialTrace, parallelTrace) {
+		t.Errorf("fleet traces differ: serial %d bytes, parallel %d bytes",
+			len(serialTrace), len(parallelTrace))
+	}
+	if len(serialTrace) == 0 {
+		t.Error("fleet sweep recorded no trace events")
+	}
+}
+
+func TestFleetSpec(t *testing.T) {
+	mix := FleetMix{Name: "m", Groups: []FleetGroup{
+		{Policy: "jit+elastic", Weight: 0.5},
+		{Policy: "pc_disk", Weight: 0.3},
+		{Policy: "userjit", Weight: 0.2, Priority: 2},
+	}}
+	spec := fleetSpec(mix, 10, 30)
+	if spec != "5xjit+elastic@0:30,3xpc_disk@0:30,2xuserjit@2:30" {
+		t.Fatalf("unexpected spec %q", spec)
+	}
+	// Rounding remainders land in the first group so totals stay exact.
+	jobs, err := cluster.ParseJobsSpec(fleetSpec(mix, 7, 10), FleetPolicies(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 7 {
+		t.Fatalf("7-job mix expanded to %d jobs", len(jobs))
+	}
+}

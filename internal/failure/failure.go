@@ -130,6 +130,21 @@ func (pl *Plan) Sort() {
 	})
 }
 
+// Validate rejects plans referencing ranks outside [0, world). Before
+// this check an out-of-range rank resolved to no device and the injection
+// silently never fired — a misconfigured chaos plan looked like a lucky
+// run. Skips from *legitimate* races (target already destroyed by an
+// earlier fault) remain runtime skips, counted by Injector.SkippedCount.
+func (pl Plan) Validate(world int) error {
+	for i, inj := range pl.Injections {
+		if inj.Rank < 0 || inj.Rank >= world {
+			return fmt.Errorf("failure: injection %d (%v at %v) targets rank %d outside world [0,%d)",
+				i, inj.Kind, inj.At, inj.Rank, world)
+		}
+	}
+	return nil
+}
+
 // DefaultMix reflects the paper's observed failure mix (Table 1's
 // classes): mostly single-GPU or network faults, transient network issues
 // the most common, with a small tail of whole-node losses (ECC/host
@@ -270,6 +285,123 @@ func (pl Plan) WithRepairs(rng *rand.Rand, meanDelay vclock.Time) Plan {
 	return out
 }
 
+// NodeInjection is one cluster-scoped scheduled fault: it targets a node
+// ID directly rather than a job rank, so one plan can hit spares, nodes
+// leased by any tenant, or a whole failure domain shared across tenants.
+type NodeInjection struct {
+	At   vclock.Time
+	Node int
+	Kind Kind
+}
+
+// NodePlan is a time-ordered set of cluster-scoped injections. Only the
+// node-granular kinds are meaningful here: GPUHard (one board on the node
+// dies, taking the node out of the allocatable pool), NodeDown, RackDown
+// (the whole failure domain containing Node), and NodeRepaired.
+type NodePlan struct {
+	Injections []NodeInjection
+}
+
+// Sort orders injections by time (stable on equal times).
+func (pl *NodePlan) Sort() {
+	sort.SliceStable(pl.Injections, func(i, j int) bool {
+		return pl.Injections[i].At < pl.Injections[j].At
+	})
+}
+
+// Validate rejects plans referencing node IDs outside [0, nodes) or kinds
+// that are not node-granular (a rank-level kind like NetworkHang has no
+// meaning without a job to target).
+func (pl NodePlan) Validate(nodes int) error {
+	for i, inj := range pl.Injections {
+		switch inj.Kind {
+		case GPUHard, NodeDown, RackDown, NodeRepaired:
+		default:
+			return fmt.Errorf("failure: node injection %d (at %v) has rank-level kind %v",
+				i, inj.At, inj.Kind)
+		}
+		if inj.Node < 0 || inj.Node >= nodes {
+			return fmt.Errorf("failure: node injection %d (%v at %v) targets node %d outside cluster [0,%d)",
+				i, inj.Kind, inj.At, inj.Node, nodes)
+		}
+	}
+	return nil
+}
+
+// DefaultNodeMix is the cluster-scoped analogue of DefaultMix: mostly
+// single-board and single-host losses with a thin tail of rack-level
+// correlated failures.
+func DefaultNodeMix() map[Kind]float64 {
+	return map[Kind]float64{
+		GPUHard:  0.55,
+		NodeDown: 0.35,
+		RackDown: 0.10,
+	}
+}
+
+// PoissonNodePlan samples cluster-scoped failures over horizon for a
+// cluster of n nodes with per-node failure rate fPerNodePerDay, mixing
+// node-granular kinds by weight (nil mix = DefaultNodeMix). The cluster
+// failure rate is n×f — the fleet-level quantity an operator provisions
+// spares against.
+func PoissonNodePlan(rng *rand.Rand, n int, fPerNodePerDay float64, horizon vclock.Time, mix map[Kind]float64) NodePlan {
+	var plan NodePlan
+	rate := fPerNodePerDay * float64(n) / float64(vclock.Day) // events per ns
+	if rate <= 0 {
+		return plan
+	}
+	if mix == nil {
+		mix = DefaultNodeMix()
+	}
+	kinds, weights := flattenMix(mix)
+	t := vclock.Time(0)
+	for {
+		gap := vclock.Time(rng.ExpFloat64() / rate)
+		t += gap
+		if t >= horizon {
+			break
+		}
+		plan.Injections = append(plan.Injections, NodeInjection{
+			At:   t,
+			Node: rng.Intn(n),
+			Kind: pickKind(rng, kinds, weights),
+		})
+	}
+	return plan
+}
+
+// WithRepairs returns a copy of the node plan with a NodeRepaired event
+// appended after every node-destroying injection (one per node lost:
+// rackSize for RackDown), delayed by an exponentially distributed repair
+// time with the given mean — the hardware-replacement turnaround the
+// cluster arbiter re-expands degraded tenants against.
+func (pl NodePlan) WithRepairs(rng *rand.Rand, meanDelay vclock.Time, rackSize int) NodePlan {
+	out := NodePlan{Injections: append([]NodeInjection(nil), pl.Injections...)}
+	if meanDelay <= 0 {
+		return out
+	}
+	if rackSize <= 0 {
+		rackSize = 2
+	}
+	for _, inj := range pl.Injections {
+		repairs := 0
+		switch inj.Kind {
+		case GPUHard, NodeDown:
+			repairs = 1
+		case RackDown:
+			repairs = rackSize
+		}
+		for i := 0; i < repairs; i++ {
+			delay := vclock.Time(rng.ExpFloat64() * float64(meanDelay))
+			out.Injections = append(out.Injections, NodeInjection{
+				At: inj.At + delay, Node: inj.Node, Kind: NodeRepaired,
+			})
+		}
+	}
+	out.Sort()
+	return out
+}
+
 // MTBF returns the expected time between job failures for n GPUs at
 // per-GPU rate f/day (the quantity reported as 3–30 h in the failure
 // studies the paper cites).
@@ -398,6 +530,12 @@ func (in *Injector) Applied() []Injection { return in.applied }
 // Skipped returns injections that were dropped because their target was
 // already lost (device dead, node failed) when they came due.
 func (in *Injector) Skipped() []Injection { return in.skipped }
+
+// SkippedCount is the counted SkippedInjections stat: how many planned
+// injections never fired because their target was already gone. A
+// non-zero count on a supposedly failure-heavy run is the tell that the
+// plan and the simulated cluster disagree.
+func (in *Injector) SkippedCount() int { return len(in.skipped) }
 
 // targetLost reports whether the injection's target has already been
 // destroyed by an earlier fault, in which case re-injecting would

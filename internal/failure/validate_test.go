@@ -1,0 +1,104 @@
+package failure
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"jitckpt/internal/vclock"
+)
+
+func TestPlanValidate(t *testing.T) {
+	ok := Plan{Injections: []Injection{
+		{At: vclock.Second, Rank: 0, Kind: GPUHard},
+		{At: 2 * vclock.Second, Rank: 7, Kind: NetworkHang},
+	}}
+	if err := ok.Validate(8); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	for _, bad := range []Injection{
+		{At: vclock.Second, Rank: 8, Kind: GPUHard},
+		{At: vclock.Second, Rank: -1, Kind: NodeDown},
+	} {
+		pl := Plan{Injections: []Injection{bad}}
+		err := pl.Validate(8)
+		if err == nil {
+			t.Fatalf("plan with rank %d accepted for world 8", bad.Rank)
+		}
+		if !strings.Contains(err.Error(), "outside world") {
+			t.Fatalf("unhelpful error: %v", err)
+		}
+	}
+}
+
+func TestNodePlanValidate(t *testing.T) {
+	ok := NodePlan{Injections: []NodeInjection{
+		{At: vclock.Second, Node: 0, Kind: NodeDown},
+		{At: 2 * vclock.Second, Node: 15, Kind: RackDown},
+		{At: 3 * vclock.Second, Node: 3, Kind: NodeRepaired},
+		{At: 4 * vclock.Second, Node: 9, Kind: GPUHard},
+	}}
+	if err := ok.Validate(16); err != nil {
+		t.Fatalf("valid node plan rejected: %v", err)
+	}
+	if err := (NodePlan{Injections: []NodeInjection{{Node: 16, Kind: NodeDown}}}).Validate(16); err == nil {
+		t.Fatal("out-of-cluster node accepted")
+	}
+	if err := (NodePlan{Injections: []NodeInjection{{Node: -1, Kind: NodeDown}}}).Validate(16); err == nil {
+		t.Fatal("negative node accepted")
+	}
+	if err := (NodePlan{Injections: []NodeInjection{{Node: 2, Kind: NetworkHang}}}).Validate(16); err == nil {
+		t.Fatal("rank-level kind accepted in a node plan")
+	}
+}
+
+func TestPoissonNodePlanDeterministicAndValid(t *testing.T) {
+	gen := func() NodePlan {
+		rng := rand.New(rand.NewSource(11))
+		return PoissonNodePlan(rng, 32, 0.5, 10*vclock.Day, nil)
+	}
+	a, b := gen(), gen()
+	if len(a.Injections) == 0 {
+		t.Fatal("expected some injections at 16 node-failures/day over 10 days")
+	}
+	if len(a.Injections) != len(b.Injections) {
+		t.Fatalf("nondeterministic plan: %d vs %d injections", len(a.Injections), len(b.Injections))
+	}
+	for i := range a.Injections {
+		if a.Injections[i] != b.Injections[i] {
+			t.Fatalf("nondeterministic injection %d: %+v vs %+v", i, a.Injections[i], b.Injections[i])
+		}
+	}
+	if err := a.Validate(32); err != nil {
+		t.Fatalf("sampled plan invalid: %v", err)
+	}
+	repaired := a.WithRepairs(rand.New(rand.NewSource(12)), vclock.Hour, 2)
+	if err := repaired.Validate(32); err != nil {
+		t.Fatalf("repaired plan invalid: %v", err)
+	}
+	if len(repaired.Injections) <= len(a.Injections) {
+		t.Fatal("WithRepairs added no repair events")
+	}
+	for i := 1; i < len(repaired.Injections); i++ {
+		if repaired.Injections[i].At < repaired.Injections[i-1].At {
+			t.Fatal("WithRepairs result not sorted")
+		}
+	}
+}
+
+func TestInjectorSkippedCount(t *testing.T) {
+	env := vclock.NewEnv(1)
+	in := &Injector{Env: env}
+	// No storage hook armed: a StorageFault has no target and is skipped.
+	env.Go("inject", func(p *vclock.Proc) {
+		if in.Apply(Injection{At: p.Now(), Rank: 0, Kind: StorageFault}) {
+			t.Error("targetless injection reported applied")
+		}
+	})
+	if err := env.RunUntil(vclock.Second); err != nil {
+		t.Fatal(err)
+	}
+	if in.SkippedCount() != 1 || len(in.Applied()) != 0 {
+		t.Fatalf("skipped=%d applied=%d, want 1/0", in.SkippedCount(), len(in.Applied()))
+	}
+}

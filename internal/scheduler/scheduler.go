@@ -21,48 +21,116 @@ import (
 var ErrNoCapacity = errors.New("scheduler: not enough healthy free nodes")
 
 // Pool manages nodes, including spares and failed-node exclusion.
+//
+// The pool keeps a sorted free index (positions into nodes of every node
+// that is neither leased out nor excluded), so Allocate and FreeHealthy
+// scan only the free set instead of the whole cluster — on a fleet-scale
+// pool where most nodes are held by other jobs, the old full scan made
+// every allocation O(cluster) and thousand-job admission quadratic.
+// Nodes are still handed out in slice order (lowest position first),
+// preserving the historical allocation order exactly.
 type Pool struct {
 	env    *vclock.Env
 	nodes  []*gpu.Node
 	inUse  map[int]bool
 	failed map[int]bool
+	pos    map[int]int // node ID -> index into nodes
+	free   []int       // sorted indices of nodes neither inUse nor failed
+	inFree []bool      // by index: membership in free
 }
 
 // NewPool wraps a cluster's nodes.
 func NewPool(env *vclock.Env, nodes []*gpu.Node) *Pool {
-	return &Pool{env: env, nodes: nodes, inUse: make(map[int]bool), failed: make(map[int]bool)}
+	p := &Pool{
+		env:    env,
+		nodes:  nodes,
+		inUse:  make(map[int]bool),
+		failed: make(map[int]bool),
+		pos:    make(map[int]int, len(nodes)),
+		free:   make([]int, len(nodes)),
+		inFree: make([]bool, len(nodes)),
+	}
+	for i, n := range nodes {
+		p.pos[n.ID] = i
+		p.free[i] = i
+		p.inFree[i] = true
+	}
+	return p
+}
+
+// hasHardDevice reports whether any of the node's GPUs is hard-failed.
+func hasHardDevice(node *gpu.Node) bool {
+	for _, d := range node.Devices {
+		if d.Health() == gpu.Hard {
+			return true
+		}
+	}
+	return false
+}
+
+// compactFree drops entries whose inFree flag was cleared, keeping the
+// index sorted. O(free), allocation-free.
+func (p *Pool) compactFree() {
+	w := 0
+	for _, idx := range p.free {
+		if p.inFree[idx] {
+			p.free[w] = idx
+			w++
+		}
+	}
+	p.free = p.free[:w]
+}
+
+// insertFree re-admits a node to the free index (no-op if it is already
+// there, still leased, or still excluded).
+func (p *Pool) insertFree(nodeID int) {
+	idx, ok := p.pos[nodeID]
+	if !ok || p.inFree[idx] || p.inUse[nodeID] || p.failed[nodeID] {
+		return
+	}
+	p.inFree[idx] = true
+	i := sort.SearchInts(p.free, idx)
+	p.free = append(p.free, 0)
+	copy(p.free[i+1:], p.free[i:])
+	p.free[i] = idx
 }
 
 // Allocate reserves n healthy free nodes, skipping excluded IDs.
 func (p *Pool) Allocate(n int, exclude map[int]bool) ([]*gpu.Node, error) {
-	var got []*gpu.Node
-	for _, node := range p.nodes {
+	got := make([]*gpu.Node, 0, n)
+	removed := false
+	for _, idx := range p.free {
 		if len(got) == n {
 			break
 		}
-		if p.inUse[node.ID] || p.failed[node.ID] || exclude[node.ID] || node.Failed {
+		node := p.nodes[idx]
+		if exclude[node.ID] || node.Failed {
+			// node.Failed is set by failure injectors behind the pool's
+			// back and cleared again on repair: skip, but keep the node in
+			// the free index so a repair re-admits it for free.
 			continue
 		}
-		// A node with any hard-failed GPU is not schedulable.
-		healthy := true
-		for _, d := range node.Devices {
-			if d.Health() == gpu.Hard {
-				healthy = false
-				break
-			}
-		}
-		if !healthy {
+		// A node with any hard-failed GPU is not schedulable: lazy
+		// discovery excludes it permanently (until MarkRepaired).
+		if hasHardDevice(node) {
 			p.failed[node.ID] = true
+			p.inFree[idx] = false
+			removed = true
 			continue
 		}
 		got = append(got, node)
 	}
 	if len(got) < n {
+		if removed {
+			p.compactFree()
+		}
 		return nil, fmt.Errorf("%w: want %d, have %d", ErrNoCapacity, n, len(got))
 	}
 	for _, node := range got {
 		p.inUse[node.ID] = true
+		p.inFree[p.pos[node.ID]] = false
 	}
+	p.compactFree()
 	return got, nil
 }
 
@@ -70,6 +138,7 @@ func (p *Pool) Allocate(n int, exclude map[int]bool) ([]*gpu.Node, error) {
 func (p *Pool) Release(nodes []*gpu.Node) {
 	for _, n := range nodes {
 		delete(p.inUse, n.ID)
+		p.insertFree(n.ID)
 	}
 }
 
@@ -78,6 +147,7 @@ func (p *Pool) Release(nodes []*gpu.Node) {
 func (p *Pool) ReleaseByID(ids ...int) {
 	for _, id := range ids {
 		delete(p.inUse, id)
+		p.insertFree(id)
 	}
 }
 
@@ -85,6 +155,10 @@ func (p *Pool) ReleaseByID(ids ...int) {
 func (p *Pool) MarkFailed(nodeID int) {
 	p.failed[nodeID] = true
 	delete(p.inUse, nodeID)
+	if idx, ok := p.pos[nodeID]; ok && p.inFree[idx] {
+		p.inFree[idx] = false
+		p.compactFree()
+	}
 	p.env.Tracef("scheduler: node %d marked failed", nodeID)
 }
 
@@ -93,14 +167,15 @@ func (p *Pool) MarkFailed(nodeID int) {
 // Repair), or Allocate will immediately re-exclude it.
 func (p *Pool) MarkRepaired(nodeID int) {
 	delete(p.failed, nodeID)
+	p.insertFree(nodeID)
 	p.env.Tracef("scheduler: node %d repaired and re-admitted", nodeID)
 }
 
 // FreeHealthy returns how many nodes remain allocatable.
 func (p *Pool) FreeHealthy() int {
 	n := 0
-	for _, node := range p.nodes {
-		if !p.inUse[node.ID] && !p.failed[node.ID] && !node.Failed {
+	for _, idx := range p.free {
+		if !p.nodes[idx].Failed {
 			n++
 		}
 	}
