@@ -11,7 +11,8 @@
 //	jitbench -table 5                     # one table (9 = peer comparison,
 //	                                      #            10 = chaos suite,
 //	                                      #            11 = elastic sweep,
-//	                                      #            12 = fleet sweep)
+//	                                      #            12 = fleet sweep,
+//	                                      #            13 = erasure sweep)
 //	jitbench -iters 20                    # longer measurement runs
 //	jitbench -quick                       # small model subset (fast smoke run)
 //	jitbench -table 9 -policies PeerShelter,UserJIT+Peer
@@ -275,6 +276,17 @@ func run(table int, opt experiments.Options, quick bool, policies []experiments.
 			return fmt.Errorf("fleet sweep: %w", err)
 		}
 		fmt.Println(experiments.RenderFleetSweep(rows).Render())
+	}
+	if want(13) {
+		schemes := experiments.ErasureSchemes()
+		if quick {
+			schemes = schemes[:3]
+		}
+		rows, err := experiments.RunErasureSweep(schemes, opt)
+		if err != nil {
+			return fmt.Errorf("erasure sweep: %w", err)
+		}
+		fmt.Println(experiments.RenderErasureSweep(rows).Render())
 	}
 	if table == 0 {
 		fmt.Println(experiments.DollarCostTable().Render())

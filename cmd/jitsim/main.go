@@ -14,6 +14,10 @@
 //	jitsim -policy userjit -fail gpu-hard -trace-text timeline.txt
 //	jitsim -workload GPT2-8B -policy jit+elastic -spares 0 -fail node-down
 //	                                  # no spares: shrink + degraded finish
+//	jitsim -workload GPT2-18B -policy peer -rs 2,1 -rack 1 -fail node-down
+//	                                  # erasure-coded shelter: each rank's
+//	                                  # state striped into k=2 data + m=1
+//	                                  # parity fragments; restore decodes
 //	jitsim -fleet "6xjit+elastic,3xpc_disk,1xpc_disk@5" -fail-rate 200
 //	                                  # fleet mode: many concurrent jobs
 //	                                  # leasing one arbitrated cluster
@@ -38,6 +42,7 @@ import (
 	"jitckpt/internal/cluster"
 	"jitckpt/internal/core"
 	"jitckpt/internal/failure"
+	"jitckpt/internal/peerckpt"
 	"jitckpt/internal/trace"
 	"jitckpt/internal/vclock"
 	"jitckpt/internal/workload"
@@ -71,6 +76,8 @@ func main() {
 	failRank := flag.Int("fail-rank", -1, "rank to fail (-1 = last data-parallel replica)")
 	failRate := flag.Float64("fail-rate", 0, "Poisson failure rate in failures per GPU-day (0 = off); kinds drawn from -mix")
 	mixSpec := flag.String("mix", "", "failure-kind mix for -fail-rate, e.g. \"gpu-hard:0.2,network-hang:0.5\" (empty = paper default)")
+	rsSpec := flag.String("rs", "", "Reed-Solomon stripe geometry \"k,m\" for peer-shelter policies (empty = whole-entry replication)")
+	rackSize := flag.Int("rack", 0, "failure-domain width in nodes for single-job runs (0 = default 2)")
 	chaos := flag.Bool("chaos", false, "chaos mode: randomly fail/tear/bit-flip checkpoint-store writes (seeded by -seed)")
 	chaosP := flag.Float64("chaos-p", 0.12, "per-write fault probability in -chaos mode")
 	debug := flag.Bool("debug", false, "print the debug simulation log to stderr")
@@ -112,6 +119,19 @@ func main() {
 	}
 	if *spares >= 0 {
 		cfg.SpareNodes = *spares
+	}
+	if *rackSize > 0 {
+		cfg.RackSize = *rackSize
+	}
+	if *rsSpec != "" {
+		if !pol.UsesPeerShelter() {
+			fatal(fmt.Errorf("-rs needs a peer-shelter policy (peer, jit+peer or peer+elastic), got %q", *policy))
+		}
+		var k, m int
+		if n, err := fmt.Sscanf(*rsSpec, "%d,%d", &k, &m); err != nil || n != 2 {
+			fatal(fmt.Errorf("bad -rs %q (want \"k,m\", e.g. \"2,1\")", *rsSpec))
+		}
+		cfg.Peer = &peerckpt.Params{DataShards: k, ParityShards: m}
 	}
 	if *debug {
 		cfg.Trace = func(at vclock.Time, format string, args ...interface{}) {
@@ -348,6 +368,10 @@ func report(res *core.RunResult, lossTail int) {
 	fmt.Printf("accounting:   %s\n", res.Accounting.String())
 	if res.JITCheckpointTime > 0 {
 		fmt.Printf("jit ckpt:     %v, restore: %v\n", res.JITCheckpointTime, res.RestoreTime)
+	}
+	if p := res.Peer; p.Encodes > 0 || p.Decodes > 0 {
+		fmt.Printf("peer codec:   %d encodes (%v), %d decodes (%v), %d fragment erasures\n",
+			p.Encodes, p.EncodeTime, p.Decodes, p.DecodeTime, p.FragErasures)
 	}
 	for i, rep := range res.Reports {
 		fmt.Printf("recovery #%d:  kind=%s total=%v healthy=%v failed=%v\n",

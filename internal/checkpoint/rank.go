@@ -243,7 +243,51 @@ func AssembleSources(p *vclock.Proc, job string, srcs []Source, topo train.Topol
 // does not depend on D — so a rank-r checkpoint written at D=4 restores
 // any reader rank at the same position under D=2, and vice versa.
 func AssembleSourcesCross(p *vclock.Proc, job string, srcs []Source, topo train.Topology, writerWorld int) (*MultiAssembly, error) {
-	byIter := make(map[int][]Located)
+	plan, err := AssembleRestore(p, job, srcs, nil, topo, writerWorld)
+	if err != nil {
+		return nil, err
+	}
+	ma := &MultiAssembly{Iter: plan.Iter, From: make(map[int]Located, len(plan.For))}
+	for r, c := range plan.For {
+		if c.loc != nil {
+			ma.From[r] = *c.loc
+		}
+	}
+	return ma, nil
+}
+
+// Candidate is one restorable rank entry a checkpoint tier offers to the
+// assembler: a writer (iter, rank) pair, a cheap validity probe, and a
+// loader that charges its own I/O — including, for erasure-coded tiers,
+// any parity-decode cost. The assembler treats plain store entries and
+// reconstructable stripes uniformly through this surface.
+type Candidate struct {
+	Iter int
+	Rank int
+	// Probe validates the entry at metadata cost (checksums included);
+	// assembly consults it before committing a position to this entry.
+	Probe func(p *vclock.Proc) bool
+	// Load reads, verifies and decodes the entry, charging read
+	// bandwidth and any reconstruction latency to virtual time.
+	Load func(p *vclock.Proc) (*train.ModelState, error)
+	// Desc names the entry's source for traces and errors.
+	Desc string
+
+	// loc is set for plain store-backed candidates so the legacy Located
+	// surface (AssembleSourcesCross) keeps working.
+	loc *Located
+}
+
+// RestorePlan maps each reader rank to the candidate it should load.
+type RestorePlan struct {
+	Iter int
+	For  map[int]Candidate
+}
+
+// sourceCandidates enumerates the complete rank entries of plain store
+// sources as candidates, in source order (earlier sources win ties).
+func sourceCandidates(job string, srcs []Source) []Candidate {
+	var out []Candidate
 	for si, src := range srcs {
 		prefix := fmt.Sprintf("%s/ckpt/%s/", job, src.Policy)
 		seen := make(map[string]bool)
@@ -254,12 +298,39 @@ func AssembleSourcesCross(p *vclock.Proc, job string, srcs []Source, topo train.
 				continue
 			}
 			seen[key] = true
-			iter, _, ok := ParseRankDir(dir)
+			iter, rank, ok := ParseRankDir(dir)
 			if !ok {
 				continue
 			}
-			byIter[iter] = append(byIter[iter], Located{Store: src.Store, Dir: dir})
+			st, d := src.Store, dir
+			out = append(out, Candidate{
+				Iter:  iter,
+				Rank:  rank,
+				Probe: func(p *vclock.Proc) bool { return ValidDeep(p, st, d) },
+				Load:  func(p *vclock.Proc) (*train.ModelState, error) { return ReadRank(p, st, d) },
+				Desc:  st.Name() + ":" + d,
+				loc:   &Located{Store: st, Dir: d},
+			})
 		}
+	}
+	return out
+}
+
+// AssembleRestore builds a consistent restore plan from plain store
+// sources plus extra candidates (reconstructable erasure stripes, or any
+// other tier speaking the Candidate surface). Iterations are examined
+// newest-first; within one, the first probing-valid candidate per
+// position wins, source candidates before extras. The newest iteration
+// where every position of the target topology is covered becomes the
+// plan; writerWorld bounds admitted writer ranks as in
+// AssembleSourcesCross.
+func AssembleRestore(p *vclock.Proc, job string, srcs []Source, extra []Candidate, topo train.Topology, writerWorld int) (*RestorePlan, error) {
+	byIter := make(map[int][]Candidate)
+	for _, c := range sourceCandidates(job, srcs) {
+		byIter[c.Iter] = append(byIter[c.Iter], c)
+	}
+	for _, c := range extra {
+		byIter[c.Iter] = append(byIter[c.Iter], c)
 	}
 	iters := make([]int, 0, len(byIter))
 	for it := range byIter {
@@ -268,10 +339,10 @@ func AssembleSourcesCross(p *vclock.Proc, job string, srcs []Source, topo train.
 	sort.Sort(sort.Reverse(sort.IntSlice(iters)))
 
 	for _, it := range iters {
-		asm, ok := tryAssembleSources(p, byIter[it], it, topo, writerWorld)
+		plan, ok := tryAssembleCandidates(p, byIter[it], it, topo, writerWorld)
 		if ok {
 			trace.Of(p.Env()).Instant(p.Now(), "ckpt", trace.LaneSim, "assemble", "iter", it)
-			return asm, nil
+			return plan, nil
 		}
 		// A newer generation exists but is unusable (torn, corrupt, or
 		// partial): the fallback the commit protocol is there to make safe.
@@ -280,30 +351,29 @@ func AssembleSourcesCross(p *vclock.Proc, job string, srcs []Source, topo train.
 	return nil, ErrUnassembled
 }
 
-func tryAssembleSources(p *vclock.Proc, cands []Located, iter int, topo train.Topology, writerWorld int) (*MultiAssembly, bool) {
-	// First valid checkpoint per position, in source order.
-	havePos := make(map[string]Located)
+func tryAssembleCandidates(p *vclock.Proc, cands []Candidate, iter int, topo train.Topology, writerWorld int) (*RestorePlan, bool) {
+	// First probing-valid candidate per position, in candidate order.
+	havePos := make(map[string]Candidate)
 	for _, c := range cands {
-		_, rank, ok := ParseRankDir(c.Dir)
-		if !ok || rank >= writerWorld {
+		if c.Rank >= writerWorld {
 			continue
 		}
-		key := topo.PositionKey(rank)
+		key := topo.PositionKey(c.Rank)
 		if _, done := havePos[key]; done {
 			continue
 		}
-		if ValidDeep(p, c.Store, c.Dir) {
+		if c.Probe == nil || c.Probe(p) {
 			havePos[key] = c
 		}
 	}
 	// Every position must be covered.
-	asm := &MultiAssembly{Iter: iter, From: make(map[int]Located)}
+	plan := &RestorePlan{Iter: iter, For: make(map[int]Candidate)}
 	for r := 0; r < topo.World(); r++ {
-		loc, ok := havePos[topo.PositionKey(r)]
+		c, ok := havePos[topo.PositionKey(r)]
 		if !ok {
 			return nil, false
 		}
-		asm.From[r] = loc
+		plan.For[r] = c
 	}
-	return asm, true
+	return plan, true
 }

@@ -1,0 +1,324 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"jitckpt/internal/checkpoint"
+	"jitckpt/internal/failure"
+	"jitckpt/internal/peerckpt"
+	"jitckpt/internal/train"
+	"jitckpt/internal/vclock"
+	"jitckpt/internal/workload"
+)
+
+// rsParams returns the headline stripe geometry: RS(2,1) shelters each
+// rank at 1.5× overhead and survives any single fragment-host loss on
+// top of the owner's own domain.
+func rsParams() *peerckpt.Params {
+	return &peerckpt.Params{DataShards: 2, ParityShards: 1}
+}
+
+// rsWL is an 8-node, 1-GPU-per-node, 2D×4P workload. Stage 0's two
+// data-parallel replicas are ranks 0 and 4 (nodes 0 and 4): taking both
+// nodes destroys every live copy of stage 0, and the six remaining nodes
+// leave room for a stripe to lose fragment hosts while staying ≥ k.
+func rsWL() workload.Workload {
+	wl := testWL()
+	wl.Name = "tiny-rs"
+	wl.Nodes, wl.PerNode = 8, 1
+	wl.Topo = train.Topology{D: 2, P: 4, T: 1}
+	wl.Layers = 4
+	return wl
+}
+
+// TestFailureFreeStripedRun: striping must be pure overhead-accounting in
+// the happy path — bit-identical loss, no critical-path stall versus
+// plain user-level JIT, and sheltered bytes exactly (k+m)/k× the
+// protected bytes (the whole point versus replication's Copies×).
+func TestFailureFreeStripedRun(t *testing.T) {
+	wl := peerWL()
+	const iters = 12
+	ref := referenceLoss(t, wl, iters)
+	base := mustRun(t, JobConfig{WL: wl, Policy: PolicyUserJIT, Iters: iters, Seed: 1})
+	res := mustRun(t, JobConfig{
+		WL: wl, Policy: PolicyPeerShelter, Iters: iters, Seed: 1, CollectLoss: true,
+		Peer: rsParams(), RackSize: 1,
+	})
+	if !res.Completed || res.Incarnations != 1 {
+		t.Fatalf("completed=%v incarnations=%d", res.Completed, res.Incarnations)
+	}
+	if !lossTracesEqual(t, ref, res.Loss, iters) {
+		t.Fatal("loss diverged under striped sheltering")
+	}
+	if res.Peer.Encodes == 0 || res.Peer.EncodeTime == 0 {
+		t.Fatalf("no stripe encodes recorded: %+v", res.Peer)
+	}
+	if res.Peer.Decodes != 0 {
+		t.Fatalf("failure-free run decoded parity: %+v", res.Peer)
+	}
+	if res.Peer.BytesProtected == 0 {
+		t.Fatalf("nothing protected: %+v", res.Peer)
+	}
+	overhead := float64(res.Peer.BytesSheltered) / float64(res.Peer.BytesProtected)
+	if overhead > 1.6 {
+		t.Fatalf("stripe overhead %.2f× exceeds 1.6× (RS(2,1) should be ≤1.5×)", overhead)
+	}
+	if res.WallTime > base.WallTime+vclock.Millisecond {
+		t.Fatalf("striping stalled training: %v vs %v", res.WallTime, base.WallTime)
+	}
+}
+
+// TestStripedSurvivesExactlyMDomainLosses is the acceptance soak: nodes
+// 0 and 4 (both replicas of stage 0) and node 2 (a data-fragment host of
+// rank 0's stripe) die at once — three whole failure domains. Stage 0's
+// state survives only as stripe fragments, one of which must be decoded
+// from parity. The run is checked against the trace invariants and must
+// reconcile its accounting exactly.
+func TestStripedSurvivesExactlyMDomainLosses(t *testing.T) {
+	wl := rsWL()
+	const iters = 20
+	ref := referenceLoss(t, wl, iters)
+	res, q := reconciled(t, JobConfig{
+		WL: wl, Policy: PolicyPeerShelter, Iters: iters, Seed: 1, CollectLoss: true,
+		Peer: rsParams(), RackSize: 1,
+		HangTimeout: 2 * vclock.Second,
+		SpareNodes:  3,
+		IterFailures: []IterInjection{
+			{Iter: 14, Frac: 0.5, Rank: 0, Kind: failure.NodeDown},
+			{Iter: 14, Frac: 0.5, Rank: 4, Kind: failure.NodeDown},
+			{Iter: 14, Frac: 0.5, Rank: 2, Kind: failure.NodeDown},
+		},
+	})
+	if !res.Completed || res.Incarnations != 2 {
+		t.Fatalf("completed=%v incarnations=%d", res.Completed, res.Incarnations)
+	}
+	if res.ItersExecuted > iters+1 {
+		t.Fatalf("redid %d minibatches, want <= 1 (stripes hold iteration-fresh state)",
+			res.ItersExecuted-iters)
+	}
+	if !lossTracesEqual(t, ref, res.Loss, iters) {
+		t.Fatal("loss diverged after reconstruction")
+	}
+	if res.Peer.Decodes == 0 || res.Peer.DecodeTime == 0 {
+		t.Fatalf("recovery never decoded parity: %+v", res.Peer)
+	}
+	if len(q.Spans("peer", "reconstruct")) == 0 {
+		t.Fatal("no reconstruct span traced")
+	}
+}
+
+// TestStripedFragmentCorruptionDecodes: storage chaos bit-flips rank 0's
+// data fragment 0 at write time. The per-fragment checksum must feed the
+// erasure list — the probe still passes on the surviving k fragments,
+// and the load decodes the missing data shard from parity.
+func TestStripedFragmentCorruptionDecodes(t *testing.T) {
+	wl := rsWL()
+	const iters = 20
+	ref := referenceLoss(t, wl, iters)
+	res := mustRun(t, JobConfig{
+		WL: wl, Policy: PolicyPeerShelter, Iters: iters, Seed: 1, CollectLoss: true,
+		Peer: rsParams(), RackSize: 1,
+		HangTimeout: 2 * vclock.Second,
+		SpareNodes:  2,
+		IterFailures: []IterInjection{
+			{Iter: 14, Frac: 0.5, Rank: 0, Kind: failure.NodeDown},
+			{Iter: 14, Frac: 0.5, Rank: 4, Kind: failure.NodeDown},
+		},
+		Chaos: &ChaosConfig{
+			ShelterChaos: func(path string) checkpoint.WriteOutcome {
+				if strings.Contains(path, "rank0000") && strings.Contains(path, "frag000.bin") {
+					return checkpoint.WriteBitFlip
+				}
+				return checkpoint.WriteOK
+			},
+		},
+	})
+	if !res.Completed || res.Incarnations != 2 {
+		t.Fatalf("completed=%v incarnations=%d", res.Completed, res.Incarnations)
+	}
+	if res.ItersExecuted > iters+1 {
+		t.Fatalf("redid %d minibatches, want <= 1", res.ItersExecuted-iters)
+	}
+	if !lossTracesEqual(t, ref, res.Loss, iters) {
+		t.Fatal("loss diverged after corrupt-fragment decode")
+	}
+	if res.Peer.FragErasures == 0 {
+		t.Fatalf("corrupt fragment never hit the erasure list: %+v", res.Peer)
+	}
+	if res.Peer.Decodes == 0 {
+		t.Fatalf("no parity decode recorded: %+v", res.Peer)
+	}
+}
+
+// TestStripedRackDown drives whole-rack losses against a rack-aware
+// stripe layout (rackSize=2, four racks): a RackDown plus a NodeDown
+// that together destroy both stage-0 replicas cost each surviving stripe
+// at most m fragment domains, so recovery still comes from fragments;
+// adding a second RackDown exceeds every stripe's parity budget, the
+// entries classify peer-unrecoverable, and the run must fall back to the
+// newest valid disk generation (the JIT checkpoints from an earlier
+// failure) instead of wedging.
+func TestStripedRackDown(t *testing.T) {
+	wl := rsWL()
+	const iters = 20
+	ref := referenceLoss(t, wl, iters)
+
+	t.Run("exactly-m", func(t *testing.T) {
+		res := mustRun(t, JobConfig{
+			WL: wl, Policy: PolicyPeerShelter, Iters: iters, Seed: 1, CollectLoss: true,
+			Peer:        rsParams(), // default RackSize 2: racks {0,1}..{6,7}
+			HangTimeout: 2 * vclock.Second,
+			SpareNodes:  3,
+			IterFailures: []IterInjection{
+				{Iter: 14, Frac: 0.5, Rank: 0, Kind: failure.RackDown},
+				{Iter: 14, Frac: 0.5, Rank: 4, Kind: failure.NodeDown},
+			},
+		})
+		if !res.Completed || res.Incarnations != 2 {
+			t.Fatalf("completed=%v incarnations=%d", res.Completed, res.Incarnations)
+		}
+		if res.ItersExecuted > iters+1 {
+			t.Fatalf("redid %d minibatches, want <= 1", res.ItersExecuted-iters)
+		}
+		if !lossTracesEqual(t, ref, res.Loss, iters) {
+			t.Fatal("loss diverged after rack-loss recovery")
+		}
+	})
+
+	t.Run("beyond-m-disk-fallback", func(t *testing.T) {
+		// Rack-down ranks 0, 1, 3 and 5 together level four of the five
+		// racks the restarted placement spans: every stripe keeps at most
+		// one fragment (< k), beyond any parity budget.
+		inj := append(injectAt(wl, 8.5, 1, failure.GPUHard), // forces a full JIT generation to disk
+			IterInjection{Iter: 14, Frac: 0.5, Rank: 0, Kind: failure.RackDown},
+			IterInjection{Iter: 14, Frac: 0.5, Rank: 1, Kind: failure.RackDown},
+			IterInjection{Iter: 14, Frac: 0.5, Rank: 3, Kind: failure.RackDown},
+			IterInjection{Iter: 14, Frac: 0.5, Rank: 5, Kind: failure.RackDown},
+		)
+		res := mustRun(t, JobConfig{
+			WL: wl, Policy: PolicyJITWithPeer, Iters: iters, Seed: 1, CollectLoss: true,
+			Peer:         rsParams(),
+			HangTimeout:  2 * vclock.Second,
+			SpareNodes:   8,
+			IterFailures: inj,
+		})
+		if !res.Completed {
+			t.Fatalf("beyond-budget rack loss not survived (incarnations=%d)", res.Incarnations)
+		}
+		if !lossTracesEqual(t, ref, res.Loss, iters) {
+			t.Fatal("loss diverged after disk-generation fallback")
+		}
+		// Restoring from stripes would redo ≤ 1 minibatch; the disk
+		// generation from the iteration-8 failure is several older.
+		if redo := res.ItersExecuted - iters; redo < 4 {
+			t.Fatalf("redid only %d minibatches — where did stage 0's post-iter-8 state come from?", redo)
+		}
+	})
+}
+
+// TestStripedPhaseFaults lands hard faults inside the two new
+// fault-injection phases: mid-encode (the background stripe encode) and
+// mid-reconstruction (the restore-path parity decode). Both must cost at
+// most an incarnation, never state.
+func TestStripedPhaseFaults(t *testing.T) {
+	wl := rsWL()
+	const iters = 20
+	ref := referenceLoss(t, wl, iters)
+
+	t.Run("mid-encode", func(t *testing.T) {
+		res := mustRun(t, JobConfig{
+			WL: wl, Policy: PolicyPeerShelter, Iters: iters, Seed: 1, CollectLoss: true,
+			Peer: rsParams(), RackSize: 1,
+			HangTimeout: 2 * vclock.Second,
+			SpareNodes:  2,
+			Chaos: &ChaosConfig{
+				PhaseInjections: []failure.PhaseInjection{{
+					Phase:      failure.PhaseEncode,
+					Rank:       -1, // the first rank to start encoding
+					Occurrence: 8,  // well into steady state
+					Delay:      vclock.Millisecond,
+					Target:     -1,
+					Kind:       failure.GPUHard,
+				}},
+			},
+		})
+		if !res.Completed || res.Incarnations < 2 {
+			t.Fatalf("completed=%v incarnations=%d", res.Completed, res.Incarnations)
+		}
+		if !lossTracesEqual(t, ref, res.Loss, iters) {
+			t.Fatal("loss diverged after mid-encode fault")
+		}
+	})
+
+	t.Run("mid-reconstruction", func(t *testing.T) {
+		res := mustRun(t, JobConfig{
+			WL: wl, Policy: PolicyPeerShelter, Iters: iters, Seed: 1, CollectLoss: true,
+			Peer: rsParams(), RackSize: 1,
+			HangTimeout: 2 * vclock.Second,
+			SpareNodes:  4,
+			IterFailures: []IterInjection{
+				{Iter: 14, Frac: 0.5, Rank: 0, Kind: failure.NodeDown},
+				{Iter: 14, Frac: 0.5, Rank: 4, Kind: failure.NodeDown},
+				{Iter: 14, Frac: 0.5, Rank: 2, Kind: failure.NodeDown},
+			},
+			Chaos: &ChaosConfig{
+				PhaseInjections: []failure.PhaseInjection{{
+					Phase:      failure.PhaseReconstruct,
+					Rank:       -1, // whoever reconstructs first
+					Occurrence: 1,
+					Delay:      vclock.Millisecond, // mid-decode, before restore completes
+					Target:     -1,
+					Kind:       failure.GPUHard,
+				}},
+			},
+		})
+		if !res.Completed {
+			t.Fatalf("job did not complete; incarnations=%d", res.Incarnations)
+		}
+		if res.Incarnations < 3 {
+			t.Fatalf("incarnations = %d, want ≥3 (the mid-reconstruction fault must cost one)", res.Incarnations)
+		}
+		if !lossTracesEqual(t, ref, res.Loss, iters) {
+			t.Fatal("loss diverged after mid-reconstruction fault")
+		}
+	})
+}
+
+// TestElasticStripedShrinkRestripes: when spares run out the elastic
+// peer policy shrinks, and the next incarnation's StripePlan re-stripes
+// over the smaller placement — with too few nodes to keep fragments in
+// distinct domains, it degrades with a traced warning rather than
+// refusing to shelter.
+func TestElasticStripedShrinkRestripes(t *testing.T) {
+	wl := testWL()
+	wl.Name = "tiny-4n"
+	wl.Nodes, wl.PerNode = 4, 1
+	const iters = 18
+	res, q := reconciled(t, JobConfig{
+		WL: wl, Policy: PolicyElasticPeer, Iters: iters, Seed: 1, CollectLoss: true,
+		Peer: rsParams(), RackSize: 1,
+		HangTimeout:  2 * vclock.Second,
+		SpareNodes:   0,
+		IterFailures: injectAt(wl, 6.4, 3, failure.NodeDown),
+	})
+	if !res.Completed {
+		t.Fatalf("degraded run did not complete; incarnations=%d", res.Incarnations)
+	}
+	if len(q.Instants("elastic", "shrink")) == 0 {
+		t.Fatal("no elastic shrink recorded")
+	}
+	// The shrunken incarnation kept striping: encodes continued after the
+	// shrink, and the thinner placement produced a degradation warning.
+	if res.Peer.Encodes == 0 {
+		t.Fatalf("no encodes recorded: %+v", res.Peer)
+	}
+	if len(q.Instants("peer", "stripe-degraded")) == 0 {
+		t.Fatal("no stripe-degraded warning traced for the narrow placement")
+	}
+	for i := 0; i < iters; i++ {
+		if _, ok := res.Loss[i]; !ok {
+			t.Fatalf("iter %d: no loss recorded", i)
+		}
+	}
+}

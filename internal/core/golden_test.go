@@ -62,6 +62,18 @@ var goldenScenarios = []struct {
 			IterFailures: injectAt(wl, 5.5, 3, failure.NodeDown),
 		}
 	}},
+	{"peer_rs", func() JobConfig {
+		// Erasure-coded shelter: RS(2,1) striping, one node per failure
+		// domain; the node loss erases one fragment host, so recovery
+		// reconstructs from the surviving data+parity fragments.
+		wl := peerWL()
+		return JobConfig{
+			WL: wl, Policy: PolicyPeerShelter, Iters: 12, Seed: 1,
+			Peer: rsParams(), RackSize: 1,
+			HangTimeout: 2 * vclock.Second, SpareNodes: 2,
+			IterFailures: injectAt(wl, 5.5, 3, failure.NodeDown),
+		}
+	}},
 	{"transparent", func() JobConfig {
 		wl := testWL()
 		return JobConfig{

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"jitckpt/internal/analysis"
 	"jitckpt/internal/checkpoint"
@@ -85,6 +86,19 @@ type JobConfig struct {
 	// instrumented layer). One Recorder may be shared across sequential
 	// Run calls: each run is recorded under a fresh run ID.
 	Recorder *trace.Recorder
+	// Peer overrides the peer-shelter tier's parameters (UsesPeerShelter
+	// policies only; nil = defaults). Setting DataShards/ParityShards
+	// switches the shelter from whole-entry replication to Reed-Solomon
+	// striping: each rank's state splits into k data + m parity fragments
+	// spread across distinct failure domains, and restore reconstructs
+	// missing data from parity. A zero LinkBandwidth inherits the
+	// workload's peer-link bandwidth.
+	Peer *peerckpt.Params
+	// RackSize overrides the failure-domain width for single-job runs
+	// (nodes n and n' share a rack iff n/RackSize == n'/RackSize;
+	// 0 = the default of 2). Shared (fleet) runs take the cluster's
+	// value instead.
+	RackSize int
 	// Shared, when set, runs the job inside a cluster-owned simulation
 	// (StartJob) instead of a private one: the cluster owns the
 	// environment, nodes and allocator, and the job leases capacity
@@ -214,6 +228,9 @@ func newHarness(cfg JobConfig) *harness {
 		h.label = h.shared.Label
 	}
 	h.rackSize = 2
+	if cfg.RackSize > 0 {
+		h.rackSize = cfg.RackSize
+	}
 	if h.shared != nil && h.shared.RackSize > 0 {
 		h.rackSize = h.shared.RackSize
 	}
@@ -341,9 +358,21 @@ func (h *harness) setup() error {
 		if wl.Nodes < 2 {
 			return errors.New("core: peer-shelter policies need at least 2 nodes (no peer failure domain otherwise)")
 		}
-		h.shelter = peerckpt.NewShelter(h.env, "job", peerckpt.Params{
-			LinkBandwidth: wl.PeerLinkBandwidth(),
+		params := peerckpt.Params{LinkBandwidth: wl.PeerLinkBandwidth()}
+		if cfg.Peer != nil {
+			params = *cfg.Peer
+			if params.LinkBandwidth == 0 {
+				params.LinkBandwidth = wl.PeerLinkBandwidth()
+			}
+		}
+		shelter, err := peerckpt.NewShelter(h.env, "job", params, peerckpt.Availability{
+			Nodes:          len(h.nodes),
+			FailureDomains: h.failureDomains(),
 		})
+		if err != nil {
+			return err
+		}
+		h.shelter = shelter
 		// Peer replication rides along with the gradient all-reduce traffic
 		// (Checkmate-style piggybacking): record each all-reduce window so
 		// the shelter can report its relative bandwidth cost.
@@ -482,6 +511,14 @@ func (h *harness) setup() error {
 	}
 	injector.Start(cfg.Failures)
 	h.injector = injector
+	if h.shelter != nil {
+		// Stripe encode and parity reconstruction are fault-injection
+		// phases of their own: chaos plans can land failures mid-encode or
+		// mid-reconstruction.
+		h.shelter.NotePhase = func(rank int, ph failure.Phase) {
+			h.injector.NotePhase(rank, ph)
+		}
+	}
 	// Communicator (re-)initialization under a fresh generation is a
 	// recovery phase; generation 0 is initial job setup and is not.
 	h.engine.SetOnCommInit(func(key string, gen, rank int) {
@@ -491,6 +528,17 @@ func (h *harness) setup() error {
 	})
 	h.pendingIter = append([]IterInjection(nil), cfg.IterFailures...)
 	return nil
+}
+
+// failureDomains counts the distinct racks the run's nodes span
+// (rack = node.ID / rackSize); the shelter validates stripe geometry
+// against it at construction.
+func (h *harness) failureDomains() int {
+	racks := make(map[int]bool)
+	for _, n := range h.nodes {
+		racks[n.ID/h.rackSize] = true
+	}
+	return len(racks)
 }
 
 // launch starts the job's simulated processes; the caller (Run or the
@@ -1076,8 +1124,22 @@ func (h *harness) runOneIncarnation(p *vclock.Proc) (end incarnationEnd) {
 	if h.shelter != nil {
 		// Failure-domain-aware shelter placement: each rank's state goes to
 		// host nodes outside its own (and, when possible, outside every
-		// data-parallel replica's) failure domain.
-		plan, err := scheduler.PeerPlan(placement, h.topo, h.shelter.Params().Copies)
+		// data-parallel replica's) failure domain. Striped shelters spread
+		// the k+m fragments across distinct racks instead; re-running the
+		// plan every incarnation means elastic shrinks re-stripe for free.
+		pp := h.shelter.Params()
+		var plan map[int][]int
+		if pp.Striped() {
+			plan, err = scheduler.StripePlan(placement, h.topo, pp.DataShards, pp.ParityShards,
+				func(node int) int { return node / h.rackSize },
+				func(format string, args ...interface{}) {
+					trace.Of(h.env).Instant(p.Now(), "peer", trace.LaneSim, "stripe-degraded",
+						"msg", fmt.Sprintf(format, args...))
+					h.env.Tracef(format, args...)
+				})
+		} else {
+			plan, err = scheduler.PeerPlan(placement, h.topo, pp.Copies)
+		}
 		if err != nil {
 			h.env.Tracef("harness: peer plan failed: %v", err)
 			return endHorizon
@@ -1534,13 +1596,21 @@ func (h *harness) restoreRank(p *vclock.Proc, w *train.Worker, rank int) (bool, 
 	if h.cfg.RestoreWriterWorld > 0 {
 		writerWorld = h.cfg.RestoreWriterWorld
 	}
-	asm, err := checkpoint.AssembleSourcesCross(p, "job", h.restoreSources(), h.topo, writerWorld)
+	// Striped shelters add reconstructable stripes as extra candidates:
+	// the assembler prefers complete replica entries at the same
+	// iteration, but an entry whose only survivors are ≥k fragments is
+	// still restorable — Load decodes parity on the fly.
+	var extras []checkpoint.Candidate
+	if h.shelter != nil {
+		extras = h.shelter.RestoreCandidates()
+	}
+	plan, err := checkpoint.AssembleRestore(p, "job", h.restoreSources(), extras, h.topo, writerWorld)
 	if err != nil {
 		sp.End(p.Now(), "err", err)
 		return false, nil
 	}
-	loc := asm.From[rank]
-	ms, err := checkpoint.ReadRank(p, loc.Store, loc.Dir)
+	cand := plan.For[rank]
+	ms, err := cand.Load(p)
 	if err != nil {
 		sp.End(p.Now(), "err", err)
 		return false, fmt.Errorf("core: rank %d restore read: %w", rank, err)
@@ -1550,13 +1620,19 @@ func (h *harness) restoreRank(p *vclock.Proc, w *train.Worker, rank int) (bool, 
 		sp.End(p.Now(), "err", err)
 		return false, fmt.Errorf("core: rank %d restore load: %w", rank, err)
 	}
-	w.SetIter(asm.Iter)
+	w.SetIter(plan.Iter)
 	if rank == h.refRank && h.res.RestoreTime == 0 {
 		h.res.RestoreTime = p.Now() - t0
 	}
+	// Desc is "<tier>:<dir>"; the trace pins just the tier so the label
+	// stays stable across iteration renumbering.
+	src := cand.Desc
+	if i := strings.IndexByte(src, ':'); i >= 0 {
+		src = src[:i]
+	}
 	trace.Of(h.env).Instant(p.Now(), "ckpt", trace.Rank(rank), "restore-done",
-		"valid", true, "iter", asm.Iter, "src", loc.Store.Name())
-	sp.End(p.Now(), "iter", asm.Iter)
+		"valid", true, "iter", plan.Iter, "src", src)
+	sp.End(p.Now(), "iter", plan.Iter)
 	return true, nil
 }
 

@@ -1,0 +1,68 @@
+package erasure
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// FuzzReedSolomon drives random (k, m, payload, erasure-set) round trips:
+// any ≤m erasures must decode to exactly the original bytes, and >m
+// erasures must return an error — never silently wrong data.
+func FuzzReedSolomon(f *testing.F) {
+	f.Add(int64(1), uint8(2), uint8(1), []byte("hello stripe"))
+	f.Add(int64(2), uint8(4), uint8(2), []byte{0})
+	f.Add(int64(3), uint8(1), uint8(3), []byte{})
+	f.Add(int64(4), uint8(7), uint8(0), bytes.Repeat([]byte{0xa5}, 300))
+	f.Fuzz(func(t *testing.T, seed int64, kRaw, mRaw uint8, data []byte) {
+		k := 1 + int(kRaw)%12
+		m := int(mRaw) % 6
+		c, err := New(k, m)
+		if err != nil {
+			t.Fatalf("New(%d,%d): %v", k, m, err)
+		}
+		frags, err := c.Encode(c.Split(data))
+		if err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+
+		// ≤ m erasures: exact recovery.
+		nerase := rng.Intn(m + 1)
+		work := make([][]byte, len(frags))
+		for i, fr := range frags {
+			work[i] = append([]byte(nil), fr...)
+		}
+		for _, e := range rng.Perm(k + m)[:nerase] {
+			work[e] = nil
+		}
+		if err := c.Reconstruct(work); err != nil {
+			t.Fatalf("k=%d m=%d erase=%d: %v", k, m, nerase, err)
+		}
+		for i := range frags {
+			if !bytes.Equal(work[i], frags[i]) {
+				t.Fatalf("k=%d m=%d: fragment %d reconstructed wrong", k, m, i)
+			}
+		}
+		got, err := c.Join(work[:k], len(data))
+		if err != nil {
+			t.Fatalf("Join: %v", err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("k=%d m=%d: payload mismatch after decode", k, m)
+		}
+
+		// > m erasures: must error, never fabricate bytes.
+		over := make([][]byte, len(frags))
+		for i, fr := range frags {
+			over[i] = append([]byte(nil), fr...)
+		}
+		for _, e := range rng.Perm(k + m)[:m+1] {
+			over[e] = nil
+		}
+		if err := c.Reconstruct(over); !errors.Is(err, ErrTooManyErasures) {
+			t.Fatalf("k=%d m=%d with %d erasures: got %v, want ErrTooManyErasures", k, m, m+1, err)
+		}
+	})
+}

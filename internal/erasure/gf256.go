@@ -1,0 +1,89 @@
+// Package erasure implements systematic Reed-Solomon erasure coding over
+// GF(2^8), stdlib-only. A stripe of k data shards is extended with m
+// parity shards such that the original data is recoverable from *any* k
+// of the k+m fragments — the MDS property the peer shelter leans on to
+// turn "replica present" into "reconstructable".
+//
+// The generator is the k×k identity stacked over an m×k Cauchy block
+// (rows 1/(x_i ⊕ y_j) with x and y drawn from disjoint field subsets):
+// every square submatrix of a Cauchy matrix is invertible, and combined
+// with the identity rows this makes every k-row subset of the full
+// (k+m)×k matrix invertible — decode is a single k×k inversion over
+// GF(2^8) applied to any k surviving fragments.
+package erasure
+
+// gf256 carries the log/exp tables for the field GF(2^8) with the
+// conventional AES-adjacent primitive polynomial x^8+x^4+x^3+x^2+1
+// (0x11d) and generator 2.
+var (
+	gfExp [512]byte // exp table doubled so mul needs no mod
+	gfLog [256]int
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		gfExp[i] = byte(x)
+		gfLog[x] = i
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= 0x11d
+		}
+	}
+	for i := 255; i < 512; i++ {
+		gfExp[i] = gfExp[i-255]
+	}
+}
+
+// gfMul multiplies two field elements.
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[gfLog[a]+gfLog[b]]
+}
+
+// gfDiv divides a by b (b must be non-zero).
+func gfDiv(a, b byte) byte {
+	if a == 0 {
+		return 0
+	}
+	if b == 0 {
+		panic("erasure: division by zero in GF(2^8)")
+	}
+	return gfExp[gfLog[a]+255-gfLog[b]]
+}
+
+// gfInv returns the multiplicative inverse of a non-zero element.
+func gfInv(a byte) byte {
+	if a == 0 {
+		panic("erasure: zero has no inverse in GF(2^8)")
+	}
+	return gfExp[255-gfLog[a]]
+}
+
+// mulRowTable returns the 256-entry product table for a constant c, so
+// shard-sized multiply-accumulate loops do one lookup per byte instead of
+// two log lookups and an add.
+func mulRowTable(c byte) *[256]byte {
+	var t [256]byte
+	if c == 0 {
+		return &t
+	}
+	lc := gfLog[c]
+	for b := 1; b < 256; b++ {
+		t[b] = gfExp[lc+gfLog[b]]
+	}
+	return &t
+}
+
+// mulAdd accumulates dst[i] ^= c*src[i] over a shard.
+func mulAdd(dst, src []byte, c byte) {
+	if c == 0 {
+		return
+	}
+	t := mulRowTable(c)
+	for i, s := range src {
+		dst[i] ^= t[s]
+	}
+}

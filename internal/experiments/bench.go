@@ -167,6 +167,23 @@ func RunBench(workers int) (*BenchReport, error) {
 		r.add(t.name+"_wall_ms", time.Since(start).Seconds()*1000, "ms", "lower")
 	}
 
+	// The table 13 erasure grid: its wall time tracks the Reed-Solomon
+	// codec's real cost, and the aggregate encode/decode counters prove
+	// the striped path (including parity reconstruction) is exercised.
+	start = time.Now()
+	erows, err := RunErasureSweep(nil, opt)
+	if err != nil {
+		return nil, fmt.Errorf("bench: erasure sweep: %w", err)
+	}
+	var encodes, decodes int
+	for _, row := range erows {
+		encodes += row.Encodes
+		decodes += row.Decodes
+	}
+	r.add("table13_wall_ms", time.Since(start).Seconds()*1000, "ms", "lower")
+	r.add("erasure_encodes", float64(encodes), "ops", "higher")
+	r.add("erasure_decodes", float64(decodes), "ops", "higher")
+
 	// Fleet point: 500 concurrent tenants leasing one arbitrated cluster
 	// inside a single environment — the cluster subsystem's scale
 	// throughput (one run, inherently serial; workers does not apply).

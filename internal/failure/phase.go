@@ -24,6 +24,13 @@ const (
 	// PhaseCommInit is entered when a rank begins NCCL communicator
 	// (re-)initialization.
 	PhaseCommInit
+	// PhaseEncode is entered when a rank starts Reed-Solomon encoding its
+	// state into shelter fragments (the stripe is mid-flight: some hosts
+	// may hold fragments of the new generation, others not yet).
+	PhaseEncode
+	// PhaseReconstruct is entered when a restoring rank starts rebuilding
+	// a sheltered stripe from surviving fragments (parity decode).
+	PhaseReconstruct
 )
 
 // String renders the phase.
@@ -35,6 +42,10 @@ func (ph Phase) String() string {
 		return "restore"
 	case PhaseCommInit:
 		return "comm-init"
+	case PhaseEncode:
+		return "rs-encode"
+	case PhaseReconstruct:
+		return "rs-reconstruct"
 	default:
 		return fmt.Sprintf("Phase(%d)", int(ph))
 	}

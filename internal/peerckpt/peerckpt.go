@@ -42,6 +42,8 @@ import (
 	"sort"
 
 	"jitckpt/internal/checkpoint"
+	"jitckpt/internal/erasure"
+	"jitckpt/internal/failure"
 	"jitckpt/internal/gpu"
 	"jitckpt/internal/trace"
 	"jitckpt/internal/train"
@@ -58,17 +60,38 @@ type Params struct {
 	LinkBandwidth float64
 	// Latency is the fixed per-transfer cost.
 	Latency vclock.Time
-	// Copies is how many peer hosts shelter each rank's state.
+	// Copies is how many peer hosts shelter each rank's state in
+	// replication mode (ignored when striping is enabled).
 	Copies int
 	// Retain is how many iterations of entries each host keeps per rank
 	// (≥ 2, so a torn in-flight write never leaves a rank uncovered).
 	Retain int
+	// DataShards (k) and ParityShards (m) switch the shelter from full
+	// replication to Reed-Solomon striping: each rank's state is split
+	// into k data shards extended with m parity fragments, spread over
+	// k+m distinct peer hosts. Any k surviving fragments reconstruct the
+	// state, so the entry survives any m fragment-host losses at
+	// (k+m)/k× overhead instead of replication's Copies×. Zero
+	// DataShards (the default) keeps replication mode.
+	DataShards   int
+	ParityShards int
+	// CodecBandwidth is the Reed-Solomon encode/decode throughput in
+	// payload bytes/second; encode is charged in the background
+	// replication process, decode on the restore path.
+	CodecBandwidth float64
 }
 
 // DefaultParams returns the standard shelter configuration: one copy per
-// rank over a 100 Gb/s-class link, retaining two iterations.
+// rank over a 100 Gb/s-class link, retaining two iterations, with a
+// table-driven GF(2^8) codec worth ~10 GB/s when striping is enabled.
 func DefaultParams() Params {
-	return Params{LinkBandwidth: 12.5e9, Latency: 200 * vclock.Microsecond, Copies: 1, Retain: 2}
+	return Params{
+		LinkBandwidth:  12.5e9,
+		Latency:        200 * vclock.Microsecond,
+		Copies:         1,
+		Retain:         2,
+		CodecBandwidth: 10e9,
+	}
 }
 
 func (p Params) withDefaults() Params {
@@ -85,7 +108,86 @@ func (p Params) withDefaults() Params {
 	if p.Retain < 2 {
 		p.Retain = d.Retain
 	}
+	if p.CodecBandwidth <= 0 {
+		p.CodecBandwidth = d.CodecBandwidth
+	}
 	return p
+}
+
+// Striped reports whether the shelter runs in Reed-Solomon mode.
+func (p Params) Striped() bool { return p.DataShards != 0 || p.ParityShards != 0 }
+
+// Fragments returns the stripe width k+m (0 in replication mode).
+func (p Params) Fragments() int {
+	if !p.Striped() {
+		return 0
+	}
+	return p.DataShards + p.ParityShards
+}
+
+// SurvivableDomains returns how many simultaneous failure-domain losses
+// an entry survives while remaining restorable, counting the owner's own
+// domain (placement keeps shelter hosts out of it): replication with c
+// copies survives c, RS(k,m) survives m+1.
+func (p Params) SurvivableDomains() int {
+	if p.Striped() {
+		return p.ParityShards + 1
+	}
+	return p.Copies
+}
+
+// Overhead returns the sheltered-byte cost factor per protected byte:
+// Copies× for replication, (k+m)/k× for striping.
+func (p Params) Overhead() float64 {
+	if p.Striped() {
+		return float64(p.DataShards+p.ParityShards) / float64(p.DataShards)
+	}
+	return float64(p.Copies)
+}
+
+// Availability describes the cluster a shelter places into, for
+// construction-time validation. Zero fields skip the corresponding check
+// (unit tests and callers that cannot know the cluster shape).
+type Availability struct {
+	// Nodes is how many nodes could host fragments — including each
+	// rank's own node, which placement excludes.
+	Nodes int
+	// FailureDomains is the number of distinct racks across those nodes.
+	FailureDomains int
+}
+
+// Validate rejects shelter configurations that could not place safely:
+// k<1 or m<0 stripes, stripes wider than the available peer hosts, and
+// stripes whose parity budget exceeds the cluster's failure domains —
+// descriptive errors at construction instead of silent misplacement at
+// commit time.
+func (p Params) Validate(avail Availability) error {
+	if p.Striped() {
+		k, m := p.DataShards, p.ParityShards
+		if k < 1 {
+			return fmt.Errorf("peerckpt: DataShards k=%d: a stripe needs at least one data shard", k)
+		}
+		if m < 0 {
+			return fmt.Errorf("peerckpt: ParityShards m=%d cannot be negative", m)
+		}
+		if k+m > 255 {
+			return fmt.Errorf("peerckpt: k+m=%d fragments exceed the 255 GF(2^8) supports", k+m)
+		}
+		if avail.Nodes > 0 && k+m > avail.Nodes-1 {
+			return fmt.Errorf("peerckpt: stripe needs k+m=%d peer hosts but only %d of %d nodes are eligible (a rank's own node never shelters its stripe)",
+				k+m, avail.Nodes-1, avail.Nodes)
+		}
+		if avail.FailureDomains > 0 && avail.FailureDomains < m+1 {
+			return fmt.Errorf("peerckpt: RS(%d,%d) wants ≥%d failure domains to keep any single-domain loss ≤m fragments, cluster has %d",
+				k, m, m+1, avail.FailureDomains)
+		}
+		return nil
+	}
+	if avail.Nodes > 0 && p.Copies > avail.Nodes-1 {
+		return fmt.Errorf("peerckpt: Copies=%d needs that many peer hosts but only %d of %d nodes are eligible",
+			p.Copies, avail.Nodes-1, avail.Nodes)
+	}
+	return nil
 }
 
 // Shelter is the job-wide peer checkpoint tier: one CPU-memory store per
@@ -96,32 +198,58 @@ type Shelter struct {
 	env    *vclock.Env
 	job    string
 	params Params
+	codec  *erasure.Codec // non-nil iff params.Striped()
 
 	hosts map[int]*checkpoint.Store // node ID -> shelter store
 	lost  map[int]bool
 	chaos func(path string) checkpoint.WriteOutcome
 	retry checkpoint.RetryPolicy
 
+	// NotePhase, when set, is called as ranks enter codec phases
+	// (failure.PhaseEncode / failure.PhaseReconstruct) so phase-armed
+	// fault injection can land mid-encode or mid-reconstruction.
+	NotePhase func(rank int, ph failure.Phase)
+
 	// Stats.
 	offers          int
 	skips           int
 	commits         int
 	bytesSheltered  int64
+	bytesProtected  int64
 	piggybackBytes  int64
 	piggybackWaves  int
 	abortedCaptures int
+	encodes         int
+	decodes         int
+	fragErasures    int
+	encodeTime      vclock.Time
+	decodeTime      vclock.Time
 }
 
-// NewShelter creates an empty shelter for a job.
-func NewShelter(env *vclock.Env, job string, params Params) *Shelter {
-	return &Shelter{
+// NewShelter creates an empty shelter for a job, validating params
+// against the cluster's availability (see Params.Validate) and building
+// the Reed-Solomon codec when striping is configured.
+func NewShelter(env *vclock.Env, job string, params Params, avail Availability) (*Shelter, error) {
+	params = params.withDefaults()
+	if err := params.Validate(avail); err != nil {
+		return nil, err
+	}
+	s := &Shelter{
 		env:    env,
 		job:    job,
-		params: params.withDefaults(),
+		params: params,
 		hosts:  make(map[int]*checkpoint.Store),
 		lost:   make(map[int]bool),
 		retry:  checkpoint.DefaultRetry(),
 	}
+	if params.Striped() {
+		c, err := erasure.New(params.DataShards, params.ParityShards)
+		if err != nil {
+			return nil, err
+		}
+		s.codec = c
+	}
+	return s, nil
 }
 
 // Params returns the shelter's effective configuration.
@@ -216,81 +344,77 @@ func (s *Shelter) commit(p *vclock.Proc, node int, ms *train.ModelState, stateBy
 }
 
 // pruneRank deletes a rank's entries older than the retention window in
-// one host store (a metadata operation; no time charged).
+// one host store (a metadata operation; no time charged). Entry
+// enumeration goes through the typed key helper, so replica objects and
+// erasure fragments under the same entry directory prune together.
 func (s *Shelter) pruneRank(st *checkpoint.Store, rank, newest int) {
-	prefix := fmt.Sprintf("%s/ckpt/%s/", s.job, PolicyName)
-	seen := make(map[string]bool)
-	for _, path := range st.List(prefix) {
-		dir := path[:lastSlash(path)]
-		if seen[dir] {
+	for _, ref := range entriesIn(st, s.job) {
+		if ref.Rank != rank {
 			continue
 		}
-		seen[dir] = true
-		iter, r, ok := checkpoint.ParseRankDir(dir)
-		if !ok || r != rank {
-			continue
-		}
-		if iter <= newest-s.params.Retain {
-			for _, obj := range st.List(dir + "/") {
+		if ref.Iter <= newest-s.params.Retain {
+			for _, obj := range st.List(ref.Dir() + "/") {
 				st.Delete(obj)
 			}
 		}
 	}
 }
 
-func lastSlash(path string) int {
-	for i := len(path) - 1; i >= 0; i-- {
-		if path[i] == '/' {
-			return i
-		}
-	}
-	return 0
-}
-
-// CoveredPositions returns the positions for which a surviving host holds
-// a complete sheltered entry (any iteration), keyed by
-// train.Topology.PositionKey. The scheduler's restart quorum counts these
-// as pre-covered: a position whose every live replica died needs no fresh
-// JIT checkpoint if its state is sheltered. Zero-time metadata scan.
+// CoveredPositions returns the positions whose state the shelter can
+// restore, keyed by train.Topology.PositionKey. The scheduler's restart
+// quorum counts these as pre-covered: a position whose every live replica
+// died needs no fresh JIT checkpoint if its state is sheltered. In
+// replication mode an entry counts when a surviving host holds it
+// complete; in striped mode it counts when it is *reconstructable* — at
+// least k distinct fragments survive across hosts, whether or not any
+// single host holds usable state. Zero-time metadata scan.
 func (s *Shelter) CoveredPositions(topo train.Topology) map[string]bool {
 	out := make(map[string]bool)
-	prefix := fmt.Sprintf("%s/ckpt/%s/", s.job, PolicyName)
+	// Complete replica entries: replication commits and failure-time JIT
+	// flushes (which write whole entries even in striped mode).
 	for _, n := range s.survivingNodes() {
 		st := s.hosts[n]
-		seen := make(map[string]bool)
-		for _, path := range st.List(prefix) {
-			dir := path[:lastSlash(path)]
-			if seen[dir] {
+		for _, ref := range entriesIn(st, s.job) {
+			if ref.Rank >= topo.World() {
 				continue
 			}
-			seen[dir] = true
-			_, rank, ok := checkpoint.ParseRankDir(dir)
-			if !ok || rank >= topo.World() {
-				continue
+			if checkpoint.HasComplete(st, ref.Dir()) {
+				out[topo.PositionKey(ref.Rank)] = true
 			}
-			if checkpoint.HasComplete(st, dir) {
-				out[topo.PositionKey(rank)] = true
-			}
+		}
+	}
+	if !s.params.Striped() {
+		return out
+	}
+	for ref, frags := range s.fragSets() {
+		if ref.Rank >= topo.World() {
+			continue
+		}
+		if len(frags) >= s.params.DataShards {
+			out[topo.PositionKey(ref.Rank)] = true
 		}
 	}
 	return out
 }
 
-// Any reports whether any surviving host holds any complete entry.
+// Any reports whether the shelter holds any restorable entry: a complete
+// replica on a surviving host, or (striped mode) a reconstructable
+// fragment quorum.
 func (s *Shelter) Any() bool {
-	prefix := fmt.Sprintf("%s/ckpt/%s/", s.job, PolicyName)
 	for _, n := range s.survivingNodes() {
 		st := s.hosts[n]
-		seen := make(map[string]bool)
-		for _, path := range st.List(prefix) {
-			dir := path[:lastSlash(path)]
-			if seen[dir] {
-				continue
-			}
-			seen[dir] = true
-			if checkpoint.HasComplete(st, dir) {
+		for _, ref := range entriesIn(st, s.job) {
+			if checkpoint.HasComplete(st, ref.Dir()) {
 				return true
 			}
+		}
+	}
+	if !s.params.Striped() {
+		return false
+	}
+	for _, frags := range s.fragSets() {
+		if len(frags) >= s.params.DataShards {
+			return true
 		}
 	}
 	return false
@@ -327,18 +451,30 @@ func (s *Shelter) NotePiggyback(bytes int64) {
 // Stats is a snapshot of the shelter's replication counters.
 type Stats struct {
 	// Offers counts replication attempts; Skips those dropped because the
-	// previous transfer was still in flight; Commits completed entry
-	// writes (Offers − Skips fan out ×Copies into Commits, minus aborts).
+	// previous transfer was still in flight; Commits completed entry (or
+	// fragment) writes.
 	Offers, Skips, Commits int
 	// AbortedCaptures counts transfers abandoned because the owner device
 	// died before staging completed.
 	AbortedCaptures int
-	// BytesSheltered is the total volume written into peer CPU memory.
+	// BytesSheltered is the total volume written into peer CPU memory;
+	// BytesProtected is the state volume those writes covered. Their
+	// ratio is the tier's measured overhead factor (Copies× for
+	// replication, (k+m)/k× for striping).
 	BytesSheltered int64
+	BytesProtected int64
 	// PiggybackWaves/PiggybackBytes describe the observed all-reduce
 	// windows replication overlaps with.
 	PiggybackWaves int
 	PiggybackBytes int64
+	// Encodes/Decodes count Reed-Solomon codec runs; EncodeTime and
+	// DecodeTime the virtual time charged for them. FragErasures counts
+	// fragments dropped from a reconstruction because they were corrupt
+	// or unreadable (the per-fragment-checksum erasure list at work).
+	Encodes, Decodes int
+	FragErasures     int
+	EncodeTime       vclock.Time
+	DecodeTime       vclock.Time
 }
 
 // Stats returns the current counters.
@@ -347,8 +483,14 @@ func (s *Shelter) Stats() Stats {
 		Offers: s.offers, Skips: s.skips, Commits: s.commits,
 		AbortedCaptures: s.abortedCaptures,
 		BytesSheltered:  s.bytesSheltered,
+		BytesProtected:  s.bytesProtected,
 		PiggybackWaves:  s.piggybackWaves,
 		PiggybackBytes:  s.piggybackBytes,
+		Encodes:         s.encodes,
+		Decodes:         s.decodes,
+		FragErasures:    s.fragErasures,
+		EncodeTime:      s.encodeTime,
+		DecodeTime:      s.decodeTime,
 	}
 }
 
@@ -442,6 +584,12 @@ func (r *Replicator) Offer(w StatePeeker) {
 			trace.Of(s.env).Instant(p.Now(), "peer", trace.Rank(r.rank), "capture-abort", "iter", iter)
 			return
 		}
+		if s.params.Striped() {
+			r.shipStripe(p, ms)
+			r.lastIter = iter
+			return
+		}
+		s.bytesProtected += r.bytes
 		for _, n := range r.hosts {
 			if s.lost[n] {
 				continue

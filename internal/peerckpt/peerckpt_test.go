@@ -34,9 +34,20 @@ func testParams() Params {
 	return Params{LinkBandwidth: 1e9, Latency: vclock.Millisecond, Copies: 1, Retain: 2}
 }
 
+// mustShelter builds a shelter without availability checks, failing the
+// test on a validation error.
+func mustShelter(t *testing.T, env *vclock.Env, p Params) *Shelter {
+	t.Helper()
+	s, err := NewShelter(env, "job", p, Availability{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 func TestCommitValidityAndRetention(t *testing.T) {
 	env := vclock.NewEnv(1)
-	s := NewShelter(env, "job", testParams())
+	s := mustShelter(t, env, testParams())
 	pk := &fakePeeker{rank: 3}
 	rep := s.NewReplicator(3, nil, []int{1}, 1e6, 2e9)
 	env.Go("drive", func(p *vclock.Proc) {
@@ -90,7 +101,7 @@ func TestCommitValidityAndRetention(t *testing.T) {
 
 func TestOfferIsAsyncAndBusySkips(t *testing.T) {
 	env := vclock.NewEnv(1)
-	s := NewShelter(env, "job", testParams())
+	s := mustShelter(t, env, testParams())
 	pk := &fakePeeker{rank: 0, iter: 1}
 	// 1 GB over a 1 GB/s link with 2 GB/s D2H staging: ~1.5 s in flight.
 	rep := s.NewReplicator(0, nil, []int{2}, 1e9, 2e9)
@@ -131,7 +142,7 @@ func TestOfferIsAsyncAndBusySkips(t *testing.T) {
 
 func TestMarkNodeLostRemovesCoverage(t *testing.T) {
 	env := vclock.NewEnv(1)
-	s := NewShelter(env, "job", testParams())
+	s := mustShelter(t, env, testParams())
 	topo := train.Topology{D: 2, P: 2, T: 1}
 	env.Go("w", func(p *vclock.Proc) {
 		// Shelter ranks 0..3 split across nodes 5 and 6.
@@ -183,7 +194,7 @@ func TestMarkNodeLostRemovesCoverage(t *testing.T) {
 
 func TestFlushStoreNeverOwnNode(t *testing.T) {
 	env := vclock.NewEnv(1)
-	s := NewShelter(env, "job", testParams())
+	s := mustShelter(t, env, testParams())
 	// Materialize hosts 0..3.
 	for n := 0; n < 4; n++ {
 		s.Host(n)
@@ -220,7 +231,7 @@ func TestCopiesFanOut(t *testing.T) {
 	env := vclock.NewEnv(1)
 	p := testParams()
 	p.Copies = 2
-	s := NewShelter(env, "job", p)
+	s := mustShelter(t, env, p)
 	pk := &fakePeeker{rank: 1, iter: 4}
 	rep := s.NewReplicator(1, nil, []int{7, 9}, 1e6, 2e9)
 	env.Go("drive", func(p *vclock.Proc) {
@@ -243,7 +254,7 @@ func TestCopiesFanOut(t *testing.T) {
 
 func TestPiggybackAccounting(t *testing.T) {
 	env := vclock.NewEnv(1)
-	s := NewShelter(env, "job", testParams())
+	s := mustShelter(t, env, testParams())
 	for i := 0; i < 3; i++ {
 		s.NotePiggyback(1 << 20)
 	}
@@ -254,7 +265,7 @@ func TestPiggybackAccounting(t *testing.T) {
 }
 
 func TestParamsDefaults(t *testing.T) {
-	s := NewShelter(vclock.NewEnv(1), "job", Params{})
+	s := mustShelter(t, vclock.NewEnv(1), Params{})
 	if s.Params() != DefaultParams() {
 		t.Fatalf("zero params resolved to %+v", s.Params())
 	}

@@ -1,0 +1,284 @@
+package peerckpt
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"jitckpt/internal/checkpoint"
+	"jitckpt/internal/failure"
+	"jitckpt/internal/gpu"
+	"jitckpt/internal/trace"
+	"jitckpt/internal/train"
+	"jitckpt/internal/vclock"
+)
+
+// fnvSum is the same FNV-1a digest the checkpoint tier uses for entry
+// checksums; stripes carry it end-to-end so a decode that produced wrong
+// bytes (it cannot, but trust nothing) would still be rejected.
+func fnvSum(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
+}
+
+// shipStripe encodes one rank's state into k+m fragments and commits
+// fragment i to r.hosts[i]. Called from the replicator's background
+// process after D2H staging; the encode cost is charged here, overlapped
+// with the next minibatch like the transfers themselves.
+func (r *Replicator) shipStripe(p *vclock.Proc, ms *train.ModelState) {
+	s := r.shelter
+	k, m := s.params.DataShards, s.params.ParityShards
+	if s.NotePhase != nil {
+		s.NotePhase(r.rank, failure.PhaseEncode)
+	}
+	sp := trace.Of(s.env).Begin(p.Now(), "peer", trace.Rank(r.rank), "rs-encode",
+		"iter", ms.Iter, "k", k, "m", m)
+	data, err := ms.Encode()
+	if err != nil {
+		sp.End(p.Now(), "err", err)
+		s.env.Tracef("peerckpt: rank %d stripe encode: %v", r.rank, err)
+		return
+	}
+	t0 := p.Now()
+	// Charge the GF(2^8) table-multiply cost over the modelled payload.
+	p.Sleep(gpu.TransferTime(r.bytes, s.params.CodecBandwidth))
+	frags, err := s.codec.Encode(s.codec.Split(data))
+	if err != nil {
+		sp.End(p.Now(), "err", err)
+		s.env.Tracef("peerckpt: rank %d stripe encode: %v", r.rank, err)
+		return
+	}
+	s.encodes++
+	s.encodeTime += p.Now() - t0
+	s.bytesProtected += r.bytes
+	sp.End(p.Now())
+
+	fragBytes := (r.bytes + int64(k) - 1) / int64(k)
+	dataSum := fnvSum(data)
+	for i, n := range r.hosts {
+		if i >= len(frags) {
+			break
+		}
+		if s.lost[n] {
+			continue
+		}
+		fm := checkpoint.FragMeta{
+			Iter: ms.Iter, Rank: ms.Rank, Frag: i, K: k, M: m,
+			DataLen: len(data), DataSum: dataSum,
+		}
+		if err := s.commitFrag(p, n, fm, frags[i], fragBytes); err != nil {
+			s.env.Tracef("peerckpt: rank %d frag %d -> node %d: %v", r.rank, i, n, err)
+		}
+	}
+}
+
+// commitFrag writes one fragment into a host node's store with the
+// FMETA-last protocol, retrying transient faults, then prunes the rank's
+// old iterations there.
+func (s *Shelter) commitFrag(p *vclock.Proc, node int, fm checkpoint.FragMeta, frag []byte, fragBytes int64) error {
+	st := s.Host(node)
+	if st == nil {
+		return fmt.Errorf("peerckpt: host node %d is lost", node)
+	}
+	ref := EntryRef{Job: s.job, Iter: fm.Iter, Rank: fm.Rank}
+	sp := trace.Of(s.env).Begin(p.Now(), "peer", trace.Rank(fm.Rank), "shelter-frag",
+		"node", node, "iter", fm.Iter, "frag", fm.Frag)
+	if err := s.retry.Do(p, func() error {
+		return checkpoint.WriteFrag(p, st, ref.Dir(), fm, frag, fragBytes)
+	}); err != nil {
+		sp.End(p.Now(), "err", err)
+		return err
+	}
+	sp.End(p.Now())
+	s.commits++
+	s.bytesSheltered += fragBytes
+	s.pruneRank(st, fm.Rank, fm.Iter)
+	return nil
+}
+
+// fragSets scans surviving hosts for committed fragments — zero-time
+// metadata lookups — and returns, per entry, which fragment indices
+// survive and on which node (first surviving host in node order wins a
+// duplicate index).
+func (s *Shelter) fragSets() map[EntryRef]map[int]int {
+	out := make(map[EntryRef]map[int]int)
+	total := s.params.Fragments()
+	for _, n := range s.survivingNodes() {
+		st := s.hosts[n]
+		for _, ref := range entriesIn(st, s.job) {
+			for idx := 0; idx < total; idx++ {
+				if !checkpoint.HasFrag(st, ref.Dir(), idx) {
+					continue
+				}
+				frags, ok := out[ref]
+				if !ok {
+					frags = make(map[int]int)
+					out[ref] = frags
+				}
+				if _, dup := frags[idx]; !dup {
+					frags[idx] = n
+				}
+			}
+		}
+	}
+	return out
+}
+
+// RestoreCandidates offers every reconstructable stripe to the restore
+// assembler: entries with ≥k surviving fragments, as candidates whose
+// Probe deep-validates the fragment set (per-fragment checksums feed the
+// erasure list) and whose Load gathers k fragments, decodes parity on
+// the fly when data shards are missing — charging the decode to virtual
+// time — and verifies the reassembled payload end-to-end. Replication
+// mode has no stripes and returns nil (complete replica entries already
+// reach the assembler through Sources).
+func (s *Shelter) RestoreCandidates() []checkpoint.Candidate {
+	if !s.params.Striped() {
+		return nil
+	}
+	sets := s.fragSets()
+	refs := make([]EntryRef, 0, len(sets))
+	for ref := range sets {
+		refs = append(refs, ref)
+	}
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].Iter != refs[j].Iter {
+			return refs[i].Iter > refs[j].Iter
+		}
+		return refs[i].Rank < refs[j].Rank
+	})
+	var out []checkpoint.Candidate
+	for _, ref := range refs {
+		frags := sets[ref]
+		if len(frags) < s.params.DataShards {
+			continue
+		}
+		ref, frags := ref, frags
+		out = append(out, checkpoint.Candidate{
+			Iter: ref.Iter,
+			Rank: ref.Rank,
+			Probe: func(p *vclock.Proc) bool {
+				return s.probeStripe(p, ref, frags)
+			},
+			Load: func(p *vclock.Proc) (*train.ModelState, error) {
+				return s.loadStripe(p, ref, frags)
+			},
+			Desc: fmt.Sprintf("peer-stripe:%s", ref.Dir()),
+		})
+	}
+	return out
+}
+
+// probeStripe deep-validates a stripe at metadata cost: it counts
+// fragments whose per-fragment checksum still matches and reports
+// whether at least k survive. A fragment corrupted in place since the
+// zero-time scan fails its checksum here and drops out of the count.
+func (s *Shelter) probeStripe(p *vclock.Proc, ref EntryRef, frags map[int]int) bool {
+	valid := 0
+	total := s.params.Fragments()
+	for idx := 0; idx < total; idx++ {
+		node, ok := frags[idx]
+		if !ok || s.lost[node] {
+			continue
+		}
+		st := s.hosts[node]
+		if st == nil {
+			continue
+		}
+		if checkpoint.ValidFragDeep(p, st, ref.Dir(), idx) {
+			valid++
+		}
+	}
+	return valid >= s.params.DataShards
+}
+
+// loadStripe reads k fragments of a stripe — data shards first, so an
+// intact stripe skips the decode entirely — reconstructs missing data
+// shards from parity when needed (decode latency charged via the codec
+// bandwidth), reassembles the payload, and verifies it end-to-end
+// against the stripe's recorded checksum.
+func (s *Shelter) loadStripe(p *vclock.Proc, ref EntryRef, frags map[int]int) (*train.ModelState, error) {
+	if s.NotePhase != nil {
+		s.NotePhase(ref.Rank, failure.PhaseReconstruct)
+	}
+	k := s.params.DataShards
+	total := s.params.Fragments()
+	sp := trace.Of(s.env).Begin(p.Now(), "peer", trace.Rank(ref.Rank), "reconstruct",
+		"iter", ref.Iter)
+	shards := make([][]byte, total)
+	var meta *checkpoint.FragMeta
+	var modelBytes int64
+	have := 0
+	for idx := 0; idx < total && have < k; idx++ {
+		node, ok := frags[idx]
+		if !ok || s.lost[node] {
+			continue
+		}
+		st := s.hosts[node]
+		if st == nil {
+			continue
+		}
+		fm, data, err := checkpoint.ReadFrag(p, st, ref.Dir(), idx)
+		if err != nil {
+			// Corrupt or vanished since the probe: erase it and let
+			// parity make up the difference.
+			s.fragErasures++
+			trace.Of(s.env).Instant(p.Now(), "peer", trace.Rank(ref.Rank), "frag-erased",
+				"iter", ref.Iter, "frag", idx, "err", err)
+			continue
+		}
+		if meta == nil {
+			meta = &fm
+		} else if fm.K != meta.K || fm.M != meta.M || fm.ShardLen != meta.ShardLen ||
+			fm.DataLen != meta.DataLen || fm.DataSum != meta.DataSum {
+			// A fragment from a different stripe generation: unusable.
+			s.fragErasures++
+			continue
+		}
+		shards[idx] = data
+		modelBytes += st.ModelBytes(checkpoint.FragPath(ref.Dir(), idx))
+		have++
+	}
+	if have < k || meta == nil {
+		err := fmt.Errorf("%w: stripe %s: %d of %d fragments readable, need %d",
+			checkpoint.ErrCorrupt, ref, have, total, k)
+		sp.End(p.Now(), "err", err)
+		return nil, err
+	}
+	decoded := false
+	for i := 0; i < k; i++ {
+		if shards[i] == nil {
+			decoded = true
+			break
+		}
+	}
+	if decoded {
+		t0 := p.Now()
+		p.Sleep(gpu.TransferTime(modelBytes, s.params.CodecBandwidth))
+		if err := s.codec.Reconstruct(shards); err != nil {
+			sp.End(p.Now(), "err", err)
+			return nil, fmt.Errorf("stripe %s: %w", ref, err)
+		}
+		s.decodes++
+		s.decodeTime += p.Now() - t0
+	}
+	data, err := s.codec.Join(shards[:k], meta.DataLen)
+	if err != nil {
+		sp.End(p.Now(), "err", err)
+		return nil, err
+	}
+	if fnvSum(data) != meta.DataSum {
+		err := fmt.Errorf("%w: stripe %s fails end-to-end checksum after decode",
+			checkpoint.ErrCorrupt, ref)
+		sp.End(p.Now(), "err", err)
+		return nil, err
+	}
+	ms, err := train.DecodeModelState(data)
+	if err != nil {
+		sp.End(p.Now(), "err", err)
+		return nil, err
+	}
+	sp.End(p.Now(), "decoded", decoded)
+	return ms, nil
+}

@@ -270,6 +270,105 @@ func PeerPlan(pl Placement, topo train.Topology, copies int) (map[int][]int, err
 	return plan, nil
 }
 
+// StripePlan assigns each rank the k+m nodes that will host its
+// erasure-coded shelter fragments (fragment i of rank r's stripe lands
+// on plan[r][i]). Placement walks the job's nodes ring-wise from the
+// rank's own node and is failure-domain aware in tiers:
+//
+//   - A fragment host is never the rank's own node (pass 3 is the only
+//     relaxation that reuses nodes, and it too excludes the own node).
+//   - Pass 0 prefers nodes in unused racks that hold neither the rank
+//     nor any data-parallel replica of its position.
+//   - Pass 1 drops the replica-avoidance, still one fragment per rack.
+//   - Pass 2 allows rack reuse (two fragments of one stripe co-located
+//     in a rack) when the cluster has fewer racks than fragments.
+//   - Pass 3 allows node reuse on very small clusters.
+//
+// Whenever a stripe ends up spread over fewer than m+1 distinct racks —
+// a single RackDown could then erase more than m fragments — the
+// degradation is reported through warn (traced by the caller) instead
+// of failing: a thinner guarantee beats no shelter. rackOf maps node ID
+// to failure domain. It fails with ErrNoPeerHost only when no eligible
+// host exists at all.
+func StripePlan(pl Placement, topo train.Topology, k, m int, rackOf func(node int) int, warn func(format string, args ...any)) (map[int][]int, error) {
+	frags := k + m
+	if frags < 1 {
+		return nil, fmt.Errorf("scheduler: stripe of %d fragments", frags)
+	}
+	if warn == nil {
+		warn = func(string, ...any) {}
+	}
+	nodeSet := make(map[int]bool)
+	for r := 0; r < topo.World(); r++ {
+		nodeSet[pl.NodeOf(r)] = true
+	}
+	nodes := make([]int, 0, len(nodeSet))
+	for n := range nodeSet {
+		nodes = append(nodes, n)
+	}
+	sort.Ints(nodes)
+	idx := make(map[int]int, len(nodes))
+	for i, n := range nodes {
+		idx[n] = i
+	}
+
+	plan := make(map[int][]int, topo.World())
+	for r := 0; r < topo.World(); r++ {
+		own := pl.NodeOf(r)
+		ownRack := rackOf(own)
+		avoid := map[int]bool{own: true}
+		for _, rr := range topo.ReplicaRanks(r) {
+			avoid[pl.NodeOf(rr)] = true
+		}
+		hosts := make([]int, 0, frags)
+		taken := make(map[int]bool)
+		rackUsed := map[int]bool{ownRack: true}
+		for pass := 0; pass < 4 && len(hosts) < frags; pass++ {
+			// Pass 3 may need several laps of the ring on very small
+			// clusters (fewer non-own nodes than fragments).
+			for {
+				added := false
+				for i := 1; i <= len(nodes) && len(hosts) < frags; i++ {
+					n := nodes[(idx[own]+i)%len(nodes)]
+					if n == own {
+						continue
+					}
+					if pass < 3 && taken[n] {
+						continue
+					}
+					if pass < 2 && rackUsed[rackOf(n)] {
+						continue
+					}
+					if pass == 0 && avoid[n] {
+						continue
+					}
+					taken[n] = true
+					rackUsed[rackOf(n)] = true
+					hosts = append(hosts, n)
+					added = true
+				}
+				if pass < 3 || !added || len(hosts) >= frags {
+					break
+				}
+			}
+		}
+		if len(hosts) < frags {
+			return nil, fmt.Errorf("%w: rank %d on node %d needs %d fragment hosts, %d nodes total",
+				ErrNoPeerHost, r, own, frags, len(nodes))
+		}
+		racks := make(map[int]bool)
+		for _, n := range hosts {
+			racks[rackOf(n)] = true
+		}
+		if len(racks) < m+1 {
+			warn("scheduler: rank %d stripe spans %d racks < m+1=%d: a rack loss may erase >m fragments",
+				r, len(racks), m+1)
+		}
+		plan[r] = hosts
+	}
+	return plan, nil
+}
+
 // EventKind classifies monitor notifications.
 type EventKind int
 

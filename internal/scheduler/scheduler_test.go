@@ -2,6 +2,7 @@ package scheduler
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 
 	"jitckpt/internal/gpu"
@@ -272,5 +273,131 @@ func TestPeerPlanDegradesGracefully(t *testing.T) {
 				t.Errorf("rank %d sheltered on own node %d", r, n)
 			}
 		}
+	}
+}
+
+func TestStripePlanSpreadsAcrossRacks(t *testing.T) {
+	// 8 nodes, 1 rank each, rack = node/2 → 4 racks. RS(2,1): 3 fragments
+	// must land on 3 distinct nodes in 3 distinct racks ≠ the own rack
+	// only when capacity allows; here m+1 = 2 racks is the floor and 3
+	// distinct racks are available outside the owner's.
+	topo := train.Topology{D: 4, P: 2, T: 1}
+	pl := peerPlanPlacement(t, 8, 1, topo.World())
+	rackOf := func(n int) int { return n / 2 }
+	var warns []string
+	plan, err := StripePlan(pl, topo, 2, 1, rackOf, func(f string, a ...any) {
+		warns = append(warns, fmt.Sprintf(f, a...))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warns) != 0 {
+		t.Fatalf("unexpected degradation warnings: %v", warns)
+	}
+	for r := 0; r < topo.World(); r++ {
+		hosts := plan[r]
+		if len(hosts) != 3 {
+			t.Fatalf("rank %d: %d hosts, want 3", r, len(hosts))
+		}
+		racks := map[int]bool{}
+		for _, n := range hosts {
+			if n == pl.NodeOf(r) {
+				t.Errorf("rank %d fragment on own node", r)
+			}
+			if rackOf(n) == rackOf(pl.NodeOf(r)) {
+				t.Errorf("rank %d fragment in own rack", r)
+			}
+			if racks[rackOf(n)] {
+				t.Errorf("rank %d co-located two fragments in rack %d", r, rackOf(n))
+			}
+			racks[rackOf(n)] = true
+		}
+	}
+}
+
+func TestStripePlanDegradesWithWarning(t *testing.T) {
+	// 4 nodes in 2 racks, RS(2,2): 4 fragments but only 3 eligible nodes
+	// in ≤2 racks → rack (and node) reuse with a warning, never the own
+	// node.
+	topo := train.Topology{D: 2, P: 2, T: 1}
+	pl := peerPlanPlacement(t, 4, 1, topo.World())
+	rackOf := func(n int) int { return n / 2 }
+	var warns int
+	plan, err := StripePlan(pl, topo, 2, 2, rackOf, func(string, ...any) { warns++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warns == 0 {
+		t.Fatal("no degradation warning for a stripe wider than the rack count")
+	}
+	for r := 0; r < topo.World(); r++ {
+		if len(plan[r]) != 4 {
+			t.Fatalf("rank %d: %d hosts, want 4", r, len(plan[r]))
+		}
+		for _, n := range plan[r] {
+			if n == pl.NodeOf(r) {
+				t.Errorf("rank %d fragment on own node even under degradation", r)
+			}
+		}
+	}
+}
+
+func TestStripePlanSingleNodeFails(t *testing.T) {
+	topo := train.Topology{D: 4, P: 1, T: 1}
+	pl := peerPlanPlacement(t, 1, 4, topo.World())
+	if _, err := StripePlan(pl, topo, 2, 1, func(n int) int { return n }, nil); !errors.Is(err, ErrNoPeerHost) {
+		t.Fatalf("err = %v, want ErrNoPeerHost", err)
+	}
+}
+
+func TestStripePlanDeterministic(t *testing.T) {
+	topo := train.Topology{D: 4, P: 2, T: 1}
+	pl := peerPlanPlacement(t, 8, 1, topo.World())
+	rackOf := func(n int) int { return n / 2 }
+	a, err := StripePlan(pl, topo, 4, 2, rackOf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		b, err := StripePlan(pl, topo, 4, 2, rackOf, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(a) != fmt.Sprint(b) {
+			t.Fatalf("plan not deterministic: %v vs %v", a, b)
+		}
+	}
+}
+
+// TestStripePlanTwoNodesLapsRing: a 2-node placement (an elastic shrink
+// floor) must still produce a full stripe by lapping the single peer,
+// never the own node — with the co-location warning, not an error.
+func TestStripePlanTwoNodesLapsRing(t *testing.T) {
+	env := vclock.NewEnv(1)
+	cl := gpu.NewCluster(env, 2, 1, 1<<30)
+	topo := train.Topology{D: 2, P: 1, T: 1}
+	pl, err := Place(cl.Nodes, topo.World())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var warns int
+	plan, err := StripePlan(pl, topo, 2, 1, func(n int) int { return n }, func(string, ...any) { warns++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < topo.World(); r++ {
+		hosts := plan[r]
+		if len(hosts) != 3 {
+			t.Fatalf("rank %d: %d hosts, want 3", r, len(hosts))
+		}
+		own := pl.NodeOf(r)
+		for _, n := range hosts {
+			if n == own {
+				t.Fatalf("rank %d: fragment on own node %d", r, own)
+			}
+		}
+	}
+	if warns == 0 {
+		t.Fatal("no degradation warning despite full co-location")
 	}
 }
