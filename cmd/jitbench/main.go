@@ -26,6 +26,8 @@
 //	                                      # printing tables
 //	jitbench -bench new.json -baseline BENCH_sim.json
 //	                                      # ...and warn on >10% regressions
+//	jitbench -serve-check                 # prove live streaming observability
+//	                                      # leaves tables 12/13 byte-identical
 //
 // The checked-in reference output lives at docs/jitbench_output.txt;
 // regenerate it after changing the simulation with:
@@ -54,11 +56,20 @@ func main() {
 	parallel := flag.Int("parallel", 1, "worker count for sweep grids (0 = GOMAXPROCS, 1 = serial); results are identical either way")
 	benchOut := flag.String("bench", "", "measure the simulator's performance point and write it as JSON (skips table output)")
 	baseline := flag.String("baseline", "", "prior BENCH_sim.json to compare against (with -bench); warns on >10% regressions")
+	serveCheck := flag.Bool("serve-check", false, "differentially verify the live streaming layer: run a table-12 and table-13 sweep cell post-hoc and streamed; rows must be byte-identical")
 	flag.Parse()
 
 	workers := *parallel
 	if workers == 0 {
 		workers = experiments.DefaultWorkers()
+	}
+
+	if *serveCheck {
+		if err := runServeCheck(); err != nil {
+			fmt.Fprintf(os.Stderr, "jitbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *benchOut != "" {
@@ -96,6 +107,27 @@ func main() {
 		fmt.Fprintf(os.Stderr, "jitbench: %v\n", runErr)
 		os.Exit(1)
 	}
+}
+
+// runServeCheck proves the streaming observability layer cannot perturb
+// the evaluation: one fleet-sweep cell (table 12) and the erasure sweep
+// (table 13) each run twice, post-hoc and observed live by a
+// tracestream sink, and the rendered rows must be byte-identical.
+func runServeCheck() error {
+	for _, check := range []func() (experiments.ServeCheckReport, error){
+		experiments.FleetServeCheck,
+		experiments.ErasureServeCheck,
+	} {
+		rep, err := check()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("serve-check %s\n", rep)
+		if !rep.Identical() {
+			return fmt.Errorf("streaming perturbed the %s rows", rep.Table)
+		}
+	}
+	return nil
 }
 
 // runBench measures the performance point, writes it to out, and — when a

@@ -21,6 +21,10 @@
 //	jitsim -fleet "6xjit+elastic,3xpc_disk,1xpc_disk@5" -fail-rate 200
 //	                                  # fleet mode: many concurrent jobs
 //	                                  # leasing one arbitrated cluster
+//	jitsim -fleet "4xjit+elastic,4xpc_disk" -fail-rate 300 -serve :8080
+//	                                  # live observability: GET /metrics,
+//	                                  # /fleet, /jobs/{id}/timeline while
+//	                                  # the fleet runs (and after)
 //
 // In -fleet mode the value is a jobs spec of COUNTxPOLICY[@PRIORITY][:ITERS]
 // groups; every job runs the fleet-tiny workload on a shared node pool with
@@ -33,9 +37,13 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"jitckpt/internal/checkpoint"
@@ -44,6 +52,7 @@ import (
 	"jitckpt/internal/failure"
 	"jitckpt/internal/peerckpt"
 	"jitckpt/internal/trace"
+	"jitckpt/internal/tracestream"
 	"jitckpt/internal/vclock"
 	"jitckpt/internal/workload"
 )
@@ -90,6 +99,7 @@ func main() {
 	fleetRack := flag.Int("fleet-rack", 4, "failure-domain width in nodes for -fleet rack-down faults")
 	fleetHorizon := flag.Float64("fleet-horizon", 120, "-fleet simulation horizon in seconds (stragglers are force-finished)")
 	repairSec := flag.Float64("repair", 10, "mean node-repair turnaround in seconds for -fleet -fail-rate faults (0 = nodes stay down)")
+	serveAddr := flag.String("serve", "", "serve live streaming observability (/metrics, /fleet, /jobs/{id}/timeline) on this address, e.g. \":8080\"; keeps serving after the run until interrupted")
 	flag.Parse()
 
 	if *fleetSpec != "" {
@@ -98,6 +108,7 @@ func main() {
 			horizonSec: *fleetHorizon, repairSec: *repairSec,
 			failRate: *failRate, mixSpec: *mixSpec, seed: *seed, iters: *iters,
 			debug: *debug, traceOut: *traceOut, traceText: *traceText, stats: *stats,
+			serve: *serveAddr,
 		})
 		if err != nil {
 			fatal(err)
@@ -142,6 +153,10 @@ func main() {
 	if *traceOut != "" || *traceText != "" {
 		rec = trace.New()
 		cfg.Recorder = rec
+	}
+	var linger func()
+	if *serveAddr != "" {
+		cfg.Stream, linger = startServe(*serveAddr)
 	}
 	if *failKind != "" {
 		kind, ok := failure.KindByName(*failKind)
@@ -195,8 +210,30 @@ func main() {
 		fmt.Printf("throughput:   %.0f events/s, %.0f sim-s per wall-s (%.1fms wall)\n",
 			float64(s.Events())/sec, res.WallTime.Sec()/sec, 1000*sec)
 	}
+	if linger != nil {
+		linger()
+	}
 	if !res.Completed {
 		os.Exit(2)
+	}
+}
+
+// startServe attaches a live stream and serves its HTTP endpoints in the
+// background; the returned function blocks until interrupted, so the
+// snapshots stay inspectable after the simulation finishes.
+func startServe(addr string) (*tracestream.Stream, func()) {
+	st := tracestream.New(tracestream.Options{})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal(err)
+	}
+	go http.Serve(ln, tracestream.NewServer(st))
+	fmt.Fprintf(os.Stderr, "jitsim: serving live metrics on http://%s (endpoints: /metrics /fleet /jobs/{id}/timeline)\n", ln.Addr())
+	return st, func() {
+		fmt.Fprintln(os.Stderr, "jitsim: run finished; still serving final snapshots — interrupt to exit")
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
 	}
 }
 
@@ -212,6 +249,7 @@ type fleetArgs struct {
 	debug                 bool
 	traceOut, traceText   string
 	stats                 bool
+	serve                 string
 }
 
 // runFleet runs many concurrent jobs leasing one arbitrated cluster in a
@@ -240,6 +278,10 @@ func runFleet(a fleetArgs) error {
 	if a.traceOut != "" || a.traceText != "" {
 		rec = trace.New()
 		cfg.Recorder = rec
+	}
+	var linger func()
+	if a.serve != "" {
+		cfg.Stream, linger = startServe(a.serve)
 	}
 	if a.failRate > 0 {
 		// Empty -mix must stay nil here: PoissonNodePlan substitutes the
@@ -283,6 +325,9 @@ func runFleet(a fleetArgs) error {
 			s.Dispatches, s.TimerFires, s.Triggers, s.Spawns)
 		fmt.Printf("throughput:   %.0f events/s, %.0f sim-s per wall-s (%.1fms wall)\n",
 			float64(s.Events())/sec, res.Fleet.Wall.Sec()/sec, 1000*sec)
+	}
+	if linger != nil {
+		linger()
 	}
 	if res.Fleet.JobsCompleted != res.Fleet.JobsTotal {
 		os.Exit(2)

@@ -7,6 +7,7 @@ import (
 	"jitckpt/internal/core"
 	"jitckpt/internal/gpu"
 	"jitckpt/internal/scheduler"
+	"jitckpt/internal/trace"
 	"jitckpt/internal/vclock"
 )
 
@@ -146,9 +147,16 @@ func (a *arbiter) transition(id int, to uint8) {
 }
 
 // notePoint appends (or overwrites, at equal times) a utilization
-// timeline step with the current counts.
+// timeline step with the current counts. When the fleet is traced it
+// also emits the cluster/pool instant the streaming aggregator's
+// spare-pool level reads from; repeated same-time emissions are fine —
+// the stream keeps the last, mirroring the overwrite here.
 func (a *arbiter) notePoint(now vclock.Time) {
 	pt := UtilPoint{At: now, Used: a.usedNow, Idle: a.idleNow, Down: a.downNow}
+	if rec := trace.Of(a.env); rec != nil {
+		rec.Instant(now, "cluster", trace.LaneSim, "pool",
+			"used", a.usedNow, "idle", a.idleNow, "down", a.downNow)
+	}
 	if n := len(a.timeline); n > 0 && a.timeline[n-1].At == now {
 		a.timeline[n-1] = pt
 		return

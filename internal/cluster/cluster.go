@@ -22,6 +22,7 @@ import (
 	"jitckpt/internal/gpu"
 	"jitckpt/internal/scheduler"
 	"jitckpt/internal/trace"
+	"jitckpt/internal/tracestream"
 	"jitckpt/internal/vclock"
 )
 
@@ -66,6 +67,11 @@ type Config struct {
 	// Recorder, when set, receives the structured event trace of the
 	// whole fleet under a single run ID.
 	Recorder *trace.Recorder
+	// Stream, when set, serves the fleet live: the recorder streams every
+	// event into it (creating a retention-free recorder when Recorder is
+	// nil, so a long-serving fleet pays bounded memory) and each tenant's
+	// SharedSim carries it. This is the `jitsim -fleet -serve` path.
+	Stream *tracestream.Stream
 }
 
 // JobResult is one tenant's outcome plus its fleet-side accounting.
@@ -201,11 +207,20 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Trace != nil {
 		env.SetTracer(cfg.Trace)
 	}
+	rec := cfg.Recorder
+	if cfg.Stream != nil && rec == nil {
+		// Live streaming without a post-hoc log: bounded memory.
+		rec = trace.New()
+		rec.SetRetain(false)
+	}
+	if cfg.Stream != nil {
+		rec.SetSink(cfg.Stream)
+	}
 	var fleetSpan trace.Span
-	if cfg.Recorder != nil {
-		cfg.Recorder.BeginRun(fmt.Sprintf("fleet jobs=%d nodes=%d seed=%d", len(cfg.Jobs), cfg.Nodes, cfg.Seed))
-		trace.Attach(env, cfg.Recorder)
-		fleetSpan = cfg.Recorder.Begin(0, "cluster", trace.LaneSim, "fleet",
+	if rec != nil {
+		rec.BeginRun(fmt.Sprintf("fleet jobs=%d nodes=%d seed=%d", len(cfg.Jobs), cfg.Nodes, cfg.Seed))
+		trace.Attach(env, rec)
+		fleetSpan = rec.Begin(0, "cluster", trace.LaneSim, "fleet",
 			"jobs", len(cfg.Jobs), "nodes", cfg.Nodes, "seed", cfg.Seed)
 	}
 	cl := gpu.NewCluster(env, cfg.Nodes, cfg.PerNode, 1<<40)
@@ -234,6 +249,7 @@ func Run(cfg Config) (*Result, error) {
 			AwaitCapacity: arb.await,
 			RackSize:      rackSize,
 			Label:         name,
+			Stream:        cfg.Stream,
 			OnDone: func(res *core.RunResult) {
 				results[idx].Res = res
 				e.finish()
@@ -305,6 +321,23 @@ func Run(cfg Config) (*Result, error) {
 		f.Goodput = usefulGPU / (float64(f.GPUs) * float64(f.Wall))
 	}
 	f.RecoveryLatency = latencyDist(lats)
+	// The authoritative fleet rollup instant, mirroring FleetStats from
+	// the same variables: the streaming aggregator's fleet-level finals
+	// are parsed from these args, so live and post-hoc numbers agree
+	// exactly. Durations are integer nanoseconds; goodput's %v formatting
+	// is the shortest representation that round-trips the float64.
+	trace.Of(env).Instant(env.Now(), "cluster", trace.LaneSim, "fleet-acct",
+		"nodes", f.Nodes, "gpus", f.GPUs, "wall", int64(f.Wall),
+		"used", int64(f.UsedNodeTime), "idle", int64(f.IdleNodeTime),
+		"down", int64(f.DownNodeTime), "goodput", f.Goodput,
+		"completed", f.JobsCompleted, "total", f.JobsTotal,
+		"preemptions", f.Preemptions, "episodes", f.RecoveryEpisodes,
+		"applied", f.AppliedInjections, "skipped", f.SkippedInjections,
+		"lat_count", f.RecoveryLatency.Count,
+		"lat_mean", int64(f.RecoveryLatency.Mean),
+		"lat_p50", int64(f.RecoveryLatency.P50),
+		"lat_p95", int64(f.RecoveryLatency.P95),
+		"lat_max", int64(f.RecoveryLatency.Max))
 	fleetSpan.End(env.Now(), "completed", f.JobsCompleted, "of", f.JobsTotal)
 	return res, nil
 }

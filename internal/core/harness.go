@@ -18,6 +18,7 @@ import (
 	"jitckpt/internal/proxy"
 	"jitckpt/internal/scheduler"
 	"jitckpt/internal/trace"
+	"jitckpt/internal/tracestream"
 	"jitckpt/internal/train"
 	"jitckpt/internal/vclock"
 	"jitckpt/internal/workload"
@@ -86,6 +87,14 @@ type JobConfig struct {
 	// instrumented layer). One Recorder may be shared across sequential
 	// Run calls: each run is recorded under a fresh run ID.
 	Recorder *trace.Recorder
+	// Stream, when set, receives the event trace live (the tracestream
+	// aggregator behind `jitsim -serve`): the run's recorder streams into
+	// it via trace.Recorder.SetSink. With no Recorder configured, a
+	// retention-free recorder is created internally, so long-running
+	// serving pays only the stream's bounded memory, not an unbounded
+	// post-hoc log. Streaming never perturbs the run (the differential
+	// suite pins byte-identical trajectories).
+	Stream *tracestream.Stream
 	// Peer overrides the peer-shelter tier's parameters (UsesPeerShelter
 	// policies only; nil = defaults). Setting DataShards/ParityShards
 	// switches the shelter from whole-entry replication to Reed-Solomon
@@ -317,18 +326,28 @@ func (h *harness) setup() error {
 		h.nodes = h.shared.Nodes
 		h.pool = h.shared.Capacity
 		h.runSpan = trace.Of(h.env).Begin(h.env.Now(), "core", trace.LaneSim, "run",
-			"job", h.label, "policy", cfg.Policy, "iters", cfg.Iters)
+			"job", h.label, "policy", cfg.Policy, "gpus", wl.GPUs(), "iters", cfg.Iters)
 		h.engine = nccl.NewEngine(h.env, wl.NCCLParams())
 	} else {
 		h.env = vclock.NewEnv(cfg.Seed)
 		if cfg.Trace != nil {
 			h.env.SetTracer(cfg.Trace)
 		}
-		if cfg.Recorder != nil {
-			cfg.Recorder.BeginRun(fmt.Sprintf("%v seed=%d", cfg.Policy, cfg.Seed))
-			trace.Attach(h.env, cfg.Recorder)
-			h.runSpan = cfg.Recorder.Begin(0, "core", trace.LaneSim, "run",
-				"policy", cfg.Policy, "iters", cfg.Iters, "seed", cfg.Seed)
+		rec := cfg.Recorder
+		if cfg.Stream != nil && rec == nil {
+			// Live streaming without a post-hoc log: bounded memory.
+			rec = trace.New()
+			rec.SetRetain(false)
+		}
+		if cfg.Stream != nil {
+			rec.SetSink(cfg.Stream)
+		}
+		if rec != nil {
+			rec.BeginRun(fmt.Sprintf("%v seed=%d", cfg.Policy, cfg.Seed))
+			trace.Attach(h.env, rec)
+			h.runSpan = rec.Begin(0, "core", trace.LaneSim, "run",
+				"job", h.label, "policy", cfg.Policy, "gpus", wl.GPUs(),
+				"iters", cfg.Iters, "seed", cfg.Seed)
 		}
 		h.engine = nccl.NewEngine(h.env, wl.NCCLParams())
 		h.cluster = gpu.NewCluster(h.env, wl.Nodes+cfg.SpareNodes, wl.PerNode, 1<<40)
@@ -793,6 +812,27 @@ func (h *harness) finish() {
 	}
 	acct.RecoveryFixed = fixed
 	res.Accounting = acct
+	// The authoritative accounting instant: the streaming aggregator's
+	// final per-job rollup is parsed from these args, emitted from the
+	// very struct RunResult carries, so live and post-hoc numbers cannot
+	// diverge (streaming is a view, never a second source of truth).
+	// Durations are integer nanoseconds: %v's "1.500s" formatting would
+	// lose the exactness the differential suite asserts.
+	trace.Of(h.env).Instant(h.env.Now(), "core", trace.LaneSim, "acct",
+		"job", h.label, "n", acct.N,
+		"useful", int64(acct.Useful),
+		"ckpt_stall", int64(acct.CkptStall),
+		"recovery_fixed", int64(acct.RecoveryFixed),
+		"redo", int64(acct.RedoWork),
+		"wait_capacity", int64(acct.WaitingForCapacity),
+		"recoveries", acct.Recoveries,
+		"checkpoints", acct.Checkpoints,
+		"degraded_iters", acct.DegradedIters,
+		"degraded_useful", int64(acct.DegradedUseful),
+		"wall", int64(res.WallTime),
+		"completed", res.Completed,
+		"incarnations", res.Incarnations,
+		"episodes", len(res.RecoveryLatencies))
 	h.runSpan.End(h.env.Now(), "completed", res.Completed,
 		"incarnations", res.Incarnations, "recoveries", acct.Recoveries)
 }

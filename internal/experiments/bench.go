@@ -10,6 +10,8 @@ import (
 
 	"jitckpt/internal/cluster"
 	"jitckpt/internal/core"
+	"jitckpt/internal/trace"
+	"jitckpt/internal/tracestream"
 	"jitckpt/internal/vclock"
 )
 
@@ -126,6 +128,49 @@ func RunBench(workers int) (*BenchReport, error) {
 	r.add("chaos_grid_wall_ms", wall*1000, "ms", "lower")
 	r.add("chaos_grid_events_per_sec", float64(events)/wall, "events/s", "higher")
 	r.add("chaos_grid_sim_per_wall", simSec/wall, "sim-s/wall-s", "higher")
+
+	// Streaming observability overhead: the same chaos grid traced through
+	// a retention-free recorder with the live tracestream sink detached vs
+	// attached, interleaved min-of-N with alternating order (the same
+	// estimator TestStreamingOverheadGuard enforces its ≤5% budget with).
+	// Here the point is recorded warn-only — the trajectory file tracks
+	// drift, the guard gates.
+	traced := func(stream bool) (time.Duration, error) {
+		topt := DefaultChaosOptions()
+		topt.Workers = 1
+		rec := trace.New()
+		rec.SetRetain(false)
+		if stream {
+			rec.SetSink(tracestream.New(tracestream.Options{}))
+		}
+		topt.Recorder = rec
+		begin := time.Now()
+		_, err := RunChaos(topt)
+		return time.Since(begin), err
+	}
+	var minOff, minOn time.Duration = 1 << 62, 1 << 62
+	for i := 0; i < 3; i++ {
+		order := []bool{false, true}
+		if i%2 == 1 {
+			order = []bool{true, false}
+		}
+		for _, stream := range order {
+			runtime.GC()
+			d, err := traced(stream)
+			if err != nil {
+				return nil, fmt.Errorf("bench: traced chaos grid: %w", err)
+			}
+			if stream && d < minOn {
+				minOn = d
+			}
+			if !stream && d < minOff {
+				minOff = d
+			}
+		}
+	}
+	r.add("chaos_grid_traced_wall_ms", minOff.Seconds()*1000, "ms", "lower")
+	r.add("chaos_grid_streamed_wall_ms", minOn.Seconds()*1000, "ms", "lower")
+	r.add("stream_overhead_pct", 100*(float64(minOn)-float64(minOff))/float64(minOff), "%", "lower")
 
 	// Per-table wall times over the quick subsets jitbench -quick uses.
 	opt := DefaultOptions()

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+
+	"jitckpt/internal/trace"
+	"jitckpt/internal/tracestream"
+	"jitckpt/internal/vclock"
+)
+
+// ServeCheckReport compares one evaluation table generated post-hoc with
+// the same table generated while a live tracestream sink observed every
+// run through a retention-free recorder. Byte-identical output proves
+// the streaming observability layer cannot perturb the tables the
+// paper's evaluation rests on — the sweep-level counterpart of the
+// per-run differential suites in core and cluster.
+type ServeCheckReport struct {
+	Table    string
+	Plain    string // rendered table, post-hoc arm
+	Streamed string // rendered table, live-streamed arm
+	// What the live sink saw while the streamed arm ran.
+	StreamEvents uint64
+	StreamJobs   int
+	StreamDone   int
+}
+
+// Identical reports byte-equality of the two arms' rendered tables.
+func (r ServeCheckReport) Identical() bool { return r.Plain == r.Streamed }
+
+func (r ServeCheckReport) String() string {
+	verdict := "IDENTICAL"
+	if !r.Identical() {
+		verdict = "DIVERGED"
+	}
+	return fmt.Sprintf("%s: %s (stream saw %d events, %d jobs, %d done)",
+		r.Table, verdict, r.StreamEvents, r.StreamJobs, r.StreamDone)
+}
+
+// serveCheck runs one table twice through runTable — first with a nil
+// recorder (post-hoc), then with a retention-free recorder streaming
+// into a live sink — and packages the comparison.
+func serveCheck(table string, runTable func(rec *trace.Recorder) (string, error)) (ServeCheckReport, error) {
+	plain, err := runTable(nil)
+	if err != nil {
+		return ServeCheckReport{}, fmt.Errorf("%s post-hoc arm: %w", table, err)
+	}
+	st := tracestream.New(tracestream.Options{})
+	rec := trace.New()
+	rec.SetRetain(false)
+	rec.SetSink(st)
+	streamed, err := runTable(rec)
+	if err != nil {
+		return ServeCheckReport{}, fmt.Errorf("%s streamed arm: %w", table, err)
+	}
+	m := st.Metrics()
+	return ServeCheckReport{
+		Table: table, Plain: plain, Streamed: streamed,
+		StreamEvents: m.Events, StreamJobs: m.Jobs, StreamDone: m.JobsDone,
+	}, nil
+}
+
+// fleetServeCheckOptions is the single table-12 cell the check streams:
+// the realistic mixed fleet on the short-MTBF, no-spare corner — the
+// cell with the most concurrent recovery activity per simulated second.
+func fleetServeCheckOptions() FleetOptions {
+	opt := DefaultFleetOptions()
+	opt.Seeds = opt.Seeds[:1]
+	opt.Jobs = 6
+	opt.Iters = 40
+	opt.HeadlineJobs = 0
+	opt.Mixes = opt.Mixes[len(opt.Mixes)-1:] // mixed
+	opt.MTBFs = []vclock.Time{10 * vclock.Second}
+	opt.SpareFracs = opt.SpareFracs[:1]
+	opt.Horizon = 12 * vclock.Second
+	return opt
+}
+
+// FleetServeCheck differentially verifies streaming against one fleet
+// sweep cell (table 12): rows rendered from the streamed arm must be
+// byte-identical to the post-hoc arm's.
+func FleetServeCheck() (ServeCheckReport, error) {
+	return serveCheck("fleet sweep (table 12)", func(rec *trace.Recorder) (string, error) {
+		opt := fleetServeCheckOptions()
+		opt.Recorder = rec
+		rows, err := RunFleetSweep(opt)
+		if err != nil {
+			return "", err
+		}
+		return RenderFleetSweep(rows).Render(), nil
+	})
+}
+
+// ErasureServeCheck differentially verifies streaming against the
+// erasure sweep (table 13), whose peer-shelter runs exercise the
+// categories the fleet cell does not.
+func ErasureServeCheck() (ServeCheckReport, error) {
+	return serveCheck("erasure sweep (table 13)", func(rec *trace.Recorder) (string, error) {
+		opt := DefaultOptions()
+		opt.Recorder = rec
+		rows, err := RunErasureSweep(nil, opt)
+		if err != nil {
+			return "", err
+		}
+		return RenderErasureSweep(rows).Render(), nil
+	})
+}

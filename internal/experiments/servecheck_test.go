@@ -1,0 +1,46 @@
+package experiments
+
+import "testing"
+
+// TestFleetSweepServeCheck pins the sweep-level differential contract
+// behind jitbench -serve-check: a table-12 cell rendered from a run
+// observed live by the streaming sink is byte-identical to the post-hoc
+// rendering, and the sink actually saw the cell's tenants finish.
+func TestFleetSweepServeCheck(t *testing.T) {
+	rep, err := FleetServeCheck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Identical() {
+		t.Errorf("streaming perturbed the fleet sweep:\n--- post-hoc\n%s\n--- streamed\n%s",
+			rep.Plain, rep.Streamed)
+	}
+	if rep.StreamEvents == 0 {
+		t.Fatal("streamed arm ingested no events")
+	}
+	if want := fleetServeCheckOptions().Jobs; rep.StreamJobs != want {
+		t.Errorf("stream saw %d jobs, cell admits %d tenants", rep.StreamJobs, want)
+	}
+	if rep.StreamDone != rep.StreamJobs {
+		t.Errorf("stream saw %d/%d jobs finish", rep.StreamDone, rep.StreamJobs)
+	}
+}
+
+// TestErasureSweepServeCheck extends the contract to table 13, whose
+// peer-shelter runs stream categories the fleet cell never emits.
+func TestErasureSweepServeCheck(t *testing.T) {
+	rep, err := ErasureServeCheck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Identical() {
+		t.Errorf("streaming perturbed the erasure sweep:\n--- post-hoc\n%s\n--- streamed\n%s",
+			rep.Plain, rep.Streamed)
+	}
+	if rep.StreamEvents == 0 {
+		t.Fatal("streamed arm ingested no events")
+	}
+	if rep.StreamDone == 0 || rep.StreamDone != rep.StreamJobs {
+		t.Errorf("stream saw %d/%d jobs finish", rep.StreamDone, rep.StreamJobs)
+	}
+}

@@ -7,10 +7,11 @@ import (
 	"sort"
 )
 
-// chromeEvent is one entry of the Chrome trace-event JSON array
+// ChromeEvent is one entry of the Chrome trace-event JSON array
 // (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU);
-// Perfetto and chrome://tracing both load it.
-type chromeEvent struct {
+// Perfetto and chrome://tracing both load it. It is exported so the
+// streaming timeline endpoint can serve the same schema.
+type ChromeEvent struct {
 	Name string            `json:"name"`
 	Cat  string            `json:"cat,omitempty"`
 	Ph   string            `json:"ph"`
@@ -23,7 +24,7 @@ type chromeEvent struct {
 }
 
 type chromeFile struct {
-	TraceEvents     []chromeEvent `json:"traceEvents"`
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
 	DisplayTimeUnit string        `json:"displayTimeUnit"`
 }
 
@@ -40,7 +41,7 @@ func WriteChrome(w io.Writer, r *Recorder) error {
 		lane string
 	}
 	tids := make(map[laneKey]int)
-	var out []chromeEvent
+	var out []ChromeEvent
 	runSeen := make(map[int]bool)
 	tid := func(run int, lane string) int {
 		k := laneKey{run, lane}
@@ -51,12 +52,12 @@ func WriteChrome(w io.Writer, r *Recorder) error {
 		tids[k] = id
 		if !runSeen[run] {
 			runSeen[run] = true
-			out = append(out, chromeEvent{
+			out = append(out, ChromeEvent{
 				Name: "process_name", Ph: "M", PID: run, TID: 0,
 				Args: map[string]string{"name": fmt.Sprintf("run %d", run)},
 			})
 		}
-		out = append(out, chromeEvent{
+		out = append(out, ChromeEvent{
 			Name: "thread_name", Ph: "M", PID: run, TID: id,
 			Args: map[string]string{"name": lane},
 		})
@@ -77,7 +78,7 @@ func WriteChrome(w io.Writer, r *Recorder) error {
 	us := func(t int64) float64 { return float64(t) / 1e3 }
 	for i := range evs {
 		ev := &evs[i]
-		ce := chromeEvent{
+		ce := ChromeEvent{
 			Name: ev.Name, Cat: ev.Cat, PID: ev.Run, TID: tid(ev.Run, ev.Lane),
 			TS: us(int64(ev.T)), Args: argMap(ev.Args),
 		}

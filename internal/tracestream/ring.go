@@ -1,0 +1,97 @@
+package tracestream
+
+import "jitckpt/internal/trace"
+
+// Ring is a bounded drop-oldest event buffer: the live pipeline's
+// backpressure valve. Pushing into a full ring overwrites the oldest
+// event and counts it in Dropped — ingestion never blocks and never
+// grows, so a slow (or absent) HTTP consumer costs the simulation
+// nothing but the ring's fixed memory. The exact dropped count lets a
+// consumer distinguish "quiet lane" from "truncated history".
+//
+// Ring is not synchronized; Stream guards its rings with its own mutex.
+type Ring struct {
+	buf     []trace.Ev
+	cap     int
+	start   int // index of the oldest event when full
+	dropped uint64
+}
+
+// NewRing creates a ring holding at most capacity events (minimum 1).
+// The buffer grows lazily up to capacity, so short-lived lanes never pay
+// for their bound.
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{cap: capacity}
+}
+
+// Push appends ev, evicting the oldest event when full.
+func (r *Ring) Push(ev trace.Ev) {
+	*r.slot() = ev
+}
+
+// PushStripped stores *ev with its Args cleared, writing the slot in
+// place — the ingest hot path's variant of Push, one copy instead of
+// two, and no retained per-event arg allocations.
+func (r *Ring) PushStripped(ev *trace.Ev) {
+	slot := r.slot()
+	*slot = *ev
+	slot.Args = nil
+}
+
+// slot returns the buffer slot the next event lands in, evicting the
+// oldest event when full.
+func (r *Ring) slot() *trace.Ev {
+	if len(r.buf) < r.cap {
+		r.buf = append(r.buf, trace.Ev{})
+		return &r.buf[len(r.buf)-1]
+	}
+	slot := &r.buf[r.start]
+	r.start++
+	if r.start == r.cap {
+		r.start = 0
+	}
+	r.dropped++
+	return slot
+}
+
+// Len returns the number of buffered events.
+func (r *Ring) Len() int { return len(r.buf) }
+
+// Cap returns the ring's capacity bound.
+func (r *Ring) Cap() int { return r.cap }
+
+// Dropped returns the exact number of events evicted so far.
+func (r *Ring) Dropped() uint64 { return r.dropped }
+
+// adopt points the ring at recycled backing storage (contents
+// discarded); the ring still grows lazily past the recycled capacity up
+// to its own bound.
+func (r *Ring) adopt(buf []trace.Ev) {
+	r.buf = buf[:0]
+	r.start = 0
+}
+
+// recycle detaches and returns the ring's backing storage (nil if it
+// never buffered anything), leaving the ring empty.
+func (r *Ring) recycle() []trace.Ev {
+	buf := r.buf
+	r.buf = nil
+	r.start = 0
+	if cap(buf) == 0 {
+		return nil
+	}
+	return buf[:0]
+}
+
+// Snapshot appends the buffered events, oldest first, to dst and returns
+// the extended slice (pass nil for a fresh copy).
+func (r *Ring) Snapshot(dst []trace.Ev) []trace.Ev {
+	if len(r.buf) < r.cap {
+		return append(dst, r.buf...)
+	}
+	dst = append(dst, r.buf[r.start:]...)
+	return append(dst, r.buf[:r.start]...)
+}

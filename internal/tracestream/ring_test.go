@@ -1,0 +1,142 @@
+package tracestream
+
+import (
+	"reflect"
+	"testing"
+
+	"jitckpt/internal/trace"
+	"jitckpt/internal/vclock"
+)
+
+// refModel is the plain-slice reference a Ring must behave like: keep
+// everything, then report the last cap entries and the exact overflow.
+type refModel struct {
+	all []trace.Ev
+	cap int
+}
+
+func (m *refModel) push(ev trace.Ev) { m.all = append(m.all, ev) }
+
+func (m *refModel) dropped() uint64 {
+	if len(m.all) <= m.cap {
+		return 0
+	}
+	return uint64(len(m.all) - m.cap)
+}
+
+func (m *refModel) snapshot() []trace.Ev {
+	if len(m.all) <= m.cap {
+		return m.all
+	}
+	return m.all[len(m.all)-m.cap:]
+}
+
+func mkEv(i int) trace.Ev {
+	return trace.Ev{T: vclock.Time(i), Seq: uint64(i), Run: 1, Ph: 'i', Cat: "t", Lane: "l", Name: "e"}
+}
+
+func checkAgainstModel(t *testing.T, r *Ring, m *refModel) {
+	t.Helper()
+	if r.Dropped() != m.dropped() {
+		t.Fatalf("after %d pushes (cap %d): Dropped=%d, want %d", len(m.all), m.cap, r.Dropped(), m.dropped())
+	}
+	want := m.snapshot()
+	if r.Len() != len(want) {
+		t.Fatalf("after %d pushes (cap %d): Len=%d, want %d", len(m.all), m.cap, r.Len(), len(want))
+	}
+	got := r.Snapshot(nil)
+	if len(want) == 0 {
+		if len(got) != 0 {
+			t.Fatalf("empty model but snapshot has %d events", len(got))
+		}
+		return
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("snapshot diverged from reference (cap %d, %d pushed):\ngot:  %v\nwant: %v",
+			m.cap, len(m.all), got, want)
+	}
+}
+
+func TestRingBasics(t *testing.T) {
+	r := NewRing(3)
+	m := &refModel{cap: 3}
+	checkAgainstModel(t, r, m) // empty
+	for i := 0; i < 10; i++ {
+		ev := mkEv(i)
+		r.Push(ev)
+		m.push(ev)
+		checkAgainstModel(t, r, m)
+	}
+	if r.Cap() != 3 {
+		t.Fatalf("Cap=%d, want 3", r.Cap())
+	}
+}
+
+func TestRingMinimumCapacity(t *testing.T) {
+	for _, c := range []int{-5, 0, 1} {
+		r := NewRing(c)
+		if r.Cap() != 1 {
+			t.Fatalf("NewRing(%d).Cap()=%d, want 1", c, r.Cap())
+		}
+		r.Push(mkEv(1))
+		r.Push(mkEv(2))
+		got := r.Snapshot(nil)
+		if len(got) != 1 || got[0].Seq != 2 {
+			t.Fatalf("cap-1 ring holds %v, want just the newest event", got)
+		}
+		if r.Dropped() != 1 {
+			t.Fatalf("cap-1 ring Dropped=%d, want 1", r.Dropped())
+		}
+	}
+}
+
+func TestRingSnapshotAppends(t *testing.T) {
+	r := NewRing(2)
+	r.Push(mkEv(1))
+	r.Push(mkEv(2))
+	r.Push(mkEv(3))
+	prefix := []trace.Ev{mkEv(99)}
+	got := r.Snapshot(prefix)
+	if len(got) != 3 || got[0].Seq != 99 || got[1].Seq != 2 || got[2].Seq != 3 {
+		t.Fatalf("Snapshot(dst) = %v, want prefix preserved then oldest-first", got)
+	}
+}
+
+// FuzzRing drives a Ring with an arbitrary program of pushes and
+// snapshots across fuzzed capacities, checking ordering, the capacity
+// bound, and the exact dropped count against the plain-slice reference
+// after every operation. Run the stored corpus in normal test runs, or
+// explore with:
+//
+//	go test ./internal/tracestream -fuzz FuzzRing -fuzztime 30s
+func FuzzRing(f *testing.F) {
+	f.Add(3, []byte{5, 0, 2, 0, 9})
+	f.Add(1, []byte{1, 1, 1, 0})
+	f.Add(64, []byte{255, 255, 0})
+	f.Add(0, []byte{7})
+	f.Fuzz(func(t *testing.T, capacity int, program []byte) {
+		if capacity < -8 || capacity > 4096 {
+			t.Skip()
+		}
+		r := NewRing(capacity)
+		m := &refModel{cap: r.Cap()}
+		n := 0
+		for _, op := range program {
+			if op == 0 {
+				// Snapshot mid-stream: must not disturb subsequent pushes.
+				checkAgainstModel(t, r, m)
+				continue
+			}
+			for i := 0; i < int(op); i++ {
+				ev := mkEv(n)
+				n++
+				r.Push(ev)
+				m.push(ev)
+			}
+			if r.Len() > r.Cap() {
+				t.Fatalf("Len %d exceeds Cap %d", r.Len(), r.Cap())
+			}
+		}
+		checkAgainstModel(t, r, m)
+	})
+}
