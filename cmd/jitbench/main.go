@@ -12,7 +12,8 @@
 //	                                      #            10 = chaos suite,
 //	                                      #            11 = elastic sweep,
 //	                                      #            12 = fleet sweep,
-//	                                      #            13 = erasure sweep)
+//	                                      #            13 = erasure sweep,
+//	                                      #            14 = recovery families)
 //	jitbench -iters 20                    # longer measurement runs
 //	jitbench -quick                       # small model subset (fast smoke run)
 //	jitbench -table 9 -policies PeerShelter,UserJIT+Peer
@@ -319,6 +320,22 @@ func run(table int, opt experiments.Options, quick bool, policies []experiments.
 			return fmt.Errorf("erasure sweep: %w", err)
 		}
 		fmt.Println(experiments.RenderErasureSweep(rows).Render())
+	}
+	if want(14) {
+		ropt := experiments.DefaultRecoveryFamiliesOptions()
+		ropt.Recorder = opt.Recorder
+		ropt.Workers = opt.Workers
+		if quick {
+			ropt.Seeds = ropt.Seeds[:1]
+			ropt.MTBFs = ropt.MTBFs[:1]
+			ropt.Intervals = ropt.Intervals[:1]
+			ropt.Sizes = ropt.Sizes[:1]
+		}
+		rows, err := experiments.RunRecoveryFamilies(ropt)
+		if err != nil {
+			return fmt.Errorf("recovery-family sweep: %w", err)
+		}
+		fmt.Println(experiments.RenderRecoveryFamilies(rows).Render())
 	}
 	if table == 0 {
 		fmt.Println(experiments.DollarCostTable().Render())

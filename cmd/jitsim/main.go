@@ -57,25 +57,23 @@ import (
 	"jitckpt/internal/workload"
 )
 
-var policies = map[string]core.Policy{
-	"none":         core.PolicyNone,
-	"pc_disk":      core.PolicyPCDisk,
-	"pc_mem":       core.PolicyPCMem,
-	"checkfreq":    core.PolicyCheckFreq,
-	"pc_daily":     core.PolicyPCDaily,
-	"userjit":      core.PolicyUserJIT,
-	"transparent":  core.PolicyTransparentJIT,
-	"jit":          core.PolicyTransparentJIT, // alias: the paper's headline mode
-	"jit+daily":    core.PolicyJITWithDaily,
-	"peer":         core.PolicyPeerShelter,
-	"jit+peer":     core.PolicyJITWithPeer,
-	"jit+elastic":  core.PolicyElasticJIT,
-	"peer+elastic": core.PolicyElasticPeer,
+// policies is the shared registry's key/alias map: any policy added to
+// core.Policies is immediately runnable here and in -fleet job specs.
+var policies = core.PolicyKeys()
+
+// policyHelp renders the canonical keys in registry order for -policy's
+// usage string.
+func policyHelp() string {
+	keys := make([]string, 0, len(policies))
+	for _, pi := range core.Policies() {
+		keys = append(keys, pi.Key)
+	}
+	return strings.Join(keys, "|")
 }
 
 func main() {
 	wlName := flag.String("workload", "BERT-B-FT", "workload name (see jitbench -table 2)")
-	policy := flag.String("policy", "transparent", "none|pc_disk|pc_mem|checkfreq|pc_daily|userjit|transparent|jit+daily|peer|jit+peer|jit+elastic|peer+elastic")
+	policy := flag.String("policy", "transparent", policyHelp())
 	iters := flag.Int("iters", 12, "useful minibatches to complete")
 	spares := flag.Int("spares", -1, "spare nodes in the pool (-1 = nodes+1; 0 with an elastic policy exercises shrink)")
 	seed := flag.Int64("seed", 1, "simulation seed")

@@ -144,6 +144,82 @@ func PeerReplicationOverhead(bytes int64, linkBW, m float64) float64 {
 	return (repl - m) / m
 }
 
+// MultiStepParams extend the §5.2 model to gradient-reconciled multi-step
+// overlapped disk checkpointing: one logical generation is split into
+// per-iteration shard slices whose serialization largely overlaps compute,
+// and restore replays retained gradient deltas to advance stale slices to
+// the generation target.
+type MultiStepParams struct {
+	// Slices is the number of per-iteration shard slices one generation
+	// is split into (≥1; 1 degenerates to plain periodic checkpointing).
+	Slices int
+	// Hide is the fraction of each slice's serialization hidden behind
+	// the next minibatch's compute, in [0,1). The simulator's writer
+	// defaults to 0.5.
+	Hide float64
+	// RReconcile is the extra per-failure recovery cost of replaying the
+	// retained gradient ring over the generation's stale slices, seconds
+	// per GPU.
+	RReconcile float64
+}
+
+// WastedMultiStepAt returns wasted time per GPU per unit useful time for
+// multi-step overlapped checkpointing at generation frequency c:
+//
+//	w(c) = c·o·(1−hide) + N·f·(r + r_rec) + N·f/(2c)
+//
+// The rollback term is unchanged from eq. 1 — reconciliation restores the
+// generation to its target iteration, so a multi-step generation loses no
+// freshness to its slicing. Relative to WastedPeriodicAt at the same c,
+// the overhead term shrinks by c·o·hide at the price of N·f·r_rec; the
+// former dominates whenever c·o·hide > N·f·r_rec, which holds for any
+// realistic failure rate (failures are rare, checkpoints are not).
+func WastedMultiStepAt(p Params, ms MultiStepParams, c float64) float64 {
+	if c <= 0 {
+		return math.Inf(1)
+	}
+	hide := ms.Hide
+	if ms.Slices <= 1 {
+		hide = 0 // a single slice has no next-slice compute to hide behind
+	}
+	nf := float64(p.N) * p.F
+	return c*p.O*(1-hide) + nf*(p.R+ms.RReconcile) + nf/(2*c)
+}
+
+// PipeFreeParams model checkpoint-free pipeline-stage recovery: each
+// stage's state is retained in a neighbor stage's host memory every
+// iteration, and a lost stage is rebuilt from that bundle with zero
+// checkpoint reads.
+type PipeFreeParams struct {
+	// ORetain is the steady-state critical-path overhead of retention per
+	// GPU per unit useful time (dimensionless; zero while the bundle
+	// transfer fits inside a minibatch, like PeerReplicationOverhead).
+	ORetain float64
+	// RRebuild is the per-failure cost of rebuilding the lost stage from
+	// a neighbor's bundle (link transfer + rebuild compute), seconds.
+	RRebuild float64
+	// FUncovered is the rate of double faults that kill a stage together
+	// with every neighbor hosting its bundle, per second — the only case
+	// that touches the disk fallback.
+	FUncovered float64
+	// FallbackRollback is the expected work redone per uncovered double
+	// fault, seconds (half the fallback tier's checkpoint interval).
+	FallbackRollback float64
+}
+
+// WastedPipeFree returns wasted time per GPU per unit useful time for
+// checkpoint-free pipeline recovery:
+//
+//	w = o_retain + N·f·(r + r_rebuild + m/2) + f_unc·(rollback + r)
+//
+// There is no checkpoint-write term at all — nothing is ever written to
+// storage in the common path — and rollback for a covered failure is at
+// most one minibatch, because bundles are refreshed every iteration.
+func WastedPipeFree(p Params, pf PipeFreeParams) float64 {
+	nf := float64(p.N) * p.F
+	return pf.ORetain + nf*(p.R+pf.RRebuild+p.M/2) + pf.FUncovered*(pf.FallbackRollback+p.R)
+}
+
 // DollarCost estimates the monthly cost of failure-wasted GPU time under
 // periodic checkpointing (§5.1): N GPUs, errorsPerDay failures/day for the
 // whole job, each wasting lostHours across all N GPUs, at $/GPU-hour.

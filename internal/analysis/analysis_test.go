@@ -223,3 +223,73 @@ func TestPeerReplicationOverheadHiddenByOverlap(t *testing.T) {
 		t.Fatal("zero bandwidth should be infinite overhead")
 	}
 }
+
+// TestMultiStepStrictlyCheaperThanPeriodic pins the tentpole inequality:
+// at equal checkpoint frequency, overlapped multi-step checkpointing is
+// strictly cheaper than plain periodic checkpointing whenever the hidden
+// overhead outweighs the reconciliation surcharge — which it does across
+// the whole realistic parameter range.
+func TestMultiStepStrictlyCheaperThanPeriodic(t *testing.T) {
+	f := func(oRaw, fRaw, rRaw uint16, nRaw uint8, sRaw uint8) bool {
+		p := Params{
+			O: float64(oRaw%1000)/10 + 0.5,
+			F: PerDay(float64(fRaw%100)/1000 + 1e-5),
+			R: float64(rRaw % 300),
+			N: int(nRaw)%4096 + 1,
+		}
+		ms := MultiStepParams{
+			Slices: int(sRaw)%7 + 2, // ≥2: slicing is the point
+			Hide:   0.5,
+			// Gradient replay is host-side vector math: far below o.
+			RReconcile: p.O / 100,
+		}
+		c := OptimalFrequency(p)
+		return WastedMultiStepAt(p, ms, c) < WastedPeriodicAt(p, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMultiStepDegeneratesToPeriodic: one slice hides nothing, and with a
+// free reconcile the model collapses to eq. 1 exactly.
+func TestMultiStepDegeneratesToPeriodic(t *testing.T) {
+	p := Params{O: 5, F: PerDay(0.002), R: 9.9, N: 1024}
+	c := OptimalFrequency(p)
+	got := WastedMultiStepAt(p, MultiStepParams{Slices: 1, Hide: 0.9}, c)
+	if want := WastedPeriodicAt(p, c); got != want {
+		t.Fatalf("single-slice model = %g, want periodic %g", got, want)
+	}
+	if !math.IsInf(WastedMultiStepAt(p, MultiStepParams{Slices: 2, Hide: 0.5}, 0), 1) {
+		t.Fatal("zero frequency should be infinite waste")
+	}
+}
+
+// TestPipeFreeHasNoCheckpointWriteTerm: pipe-free waste is independent of
+// the checkpoint overhead o (nothing is ever written), so inflating o by
+// 1000x moves periodic waste but not pipe-free waste — and at realistic
+// constants pipe-free beats optimal periodic checkpointing.
+func TestPipeFreeHasNoCheckpointWriteTerm(t *testing.T) {
+	p := Params{O: 5, F: PerDay(0.002), R: 9.9, N: 1024, M: 0.418}
+	pf := PipeFreeParams{
+		RRebuild:         2.5,
+		FUncovered:       0.01 * float64(p.N) * p.F,
+		FallbackRollback: 600,
+	}
+	w := WastedPipeFree(p, pf)
+	big := p
+	big.O *= 1000
+	if got := WastedPipeFree(big, pf); got != w {
+		t.Fatalf("pipe-free waste depends on o: %g vs %g", got, w)
+	}
+	if w >= WastedPeriodicOptimal(p) {
+		t.Fatalf("pipe-free (%g) not cheaper than optimal periodic (%g)",
+			w, WastedPeriodicOptimal(p))
+	}
+	// The double-fault term is additive and vanishes at rate zero.
+	noDF := pf
+	noDF.FUncovered = 0
+	if WastedPipeFree(p, noDF) >= w {
+		t.Fatal("double-fault term not additive")
+	}
+}

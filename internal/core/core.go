@@ -93,6 +93,24 @@ const (
 	// job runs degraded, so even a catastrophic loss at reduced width
 	// rolls back at most one iteration.
 	PolicyElasticPeer
+	// PolicyMultiStepDisk is gradient-reconciled multi-step overlapped disk
+	// checkpointing (GoCkpt-style): one logical snapshot is split into
+	// per-iteration shard slices written concurrently with compute, each
+	// stamped with its capture iteration; restore replays retained gradient
+	// deltas to advance stale slices to the generation's target iteration.
+	PolicyMultiStepDisk
+	// PolicyJITWithMultiStep combines user-level JIT checkpointing (the
+	// common-case, one-minibatch-loss path) with the multi-step overlapped
+	// disk writer as the catastrophic fallback — fresher than PC_1/day at a
+	// fraction of PC_disk's critical-path stall.
+	PolicyJITWithMultiStep
+	// PolicyPipeFree is checkpoint-free pipeline-stage recovery
+	// (internal/pipefree): each stage's optimizer redundancy is retained in
+	// neighbor stages' host RAM every iteration, and a lost stage is rebuilt
+	// from a surviving neighbor with zero checkpoint reads. A double fault
+	// that also kills the redundancy neighbor falls back to the multi-step
+	// disk tier's newest valid generation.
+	PolicyPipeFree
 )
 
 // String renders the policy as the paper names it.
@@ -122,6 +140,12 @@ func (p Policy) String() string {
 		return "UserJIT+Elastic"
 	case PolicyElasticPeer:
 		return "UserJIT+Peer+Elastic"
+	case PolicyMultiStepDisk:
+		return "MultiStepDisk"
+	case PolicyJITWithMultiStep:
+		return "UserJIT+MultiStep"
+	case PolicyPipeFree:
+		return "PipeFree"
 	default:
 		return fmt.Sprintf("Policy(%d)", int(p))
 	}
@@ -148,20 +172,35 @@ func (p Policy) PeriodicKind() (checkpoint.PeriodicKind, bool) {
 func (p Policy) UserLevelJIT() bool {
 	return p == PolicyUserJIT || p == PolicyJITWithDaily ||
 		p == PolicyPeerShelter || p == PolicyJITWithPeer ||
-		p == PolicyElasticJIT || p == PolicyElasticPeer
+		p == PolicyElasticJIT || p == PolicyElasticPeer ||
+		p == PolicyJITWithMultiStep
 }
 
 // DiskJIT reports whether the policy's failure-time JIT flush targets
 // persistent storage (versus the peer shelter).
 func (p Policy) DiskJIT() bool {
 	return p == PolicyUserJIT || p == PolicyJITWithDaily || p == PolicyJITWithPeer ||
-		p == PolicyElasticJIT || p == PolicyElasticPeer
+		p == PolicyElasticJIT || p == PolicyElasticPeer ||
+		p == PolicyJITWithMultiStep
 }
 
 // UsesPeerShelter reports whether the policy runs the peer-to-peer
 // in-memory checkpoint tier (internal/peerckpt).
 func (p Policy) UsesPeerShelter() bool {
 	return p == PolicyPeerShelter || p == PolicyJITWithPeer || p == PolicyElasticPeer
+}
+
+// UsesMultiStep reports whether the policy runs the gradient-reconciled
+// multi-step overlapped disk writer (internal/checkpoint.MultiStep) —
+// either as its primary tier or as the pipe-free family's disk fallback.
+func (p Policy) UsesMultiStep() bool {
+	return p == PolicyMultiStepDisk || p == PolicyJITWithMultiStep || p == PolicyPipeFree
+}
+
+// UsesPipeFree reports whether the policy runs the checkpoint-free
+// pipeline-stage redundancy tier (internal/pipefree).
+func (p Policy) UsesPipeFree() bool {
+	return p == PolicyPipeFree
 }
 
 // Elastic reports whether the policy may shrink the job to a degraded
@@ -174,7 +213,75 @@ func (p Policy) Elastic() bool {
 func (p Policy) IsJIT() bool {
 	return p == PolicyUserJIT || p == PolicyTransparentJIT || p == PolicyJITWithDaily ||
 		p == PolicyPeerShelter || p == PolicyJITWithPeer ||
-		p == PolicyElasticJIT || p == PolicyElasticPeer
+		p == PolicyElasticJIT || p == PolicyElasticPeer ||
+		p == PolicyJITWithMultiStep
+}
+
+// PolicyInfo is one row of the shared policy registry: the policy, its
+// presentation name (Policy.String), its canonical CLI key, and any extra
+// accepted spellings. Every front end — jitsim -policy, jitbench
+// -policies, the fleet simulator's job specs, and the golden-trace and
+// stream-diff suites — resolves names through this one table, so a new
+// recovery family added here is immediately runnable everywhere.
+type PolicyInfo struct {
+	Policy  Policy
+	Name    string
+	Key     string
+	Aliases []string
+}
+
+// Policies returns the registry, one entry per runnable policy, in
+// presentation order.
+func Policies() []PolicyInfo {
+	return []PolicyInfo{
+		{PolicyNone, PolicyNone.String(), "none", nil},
+		{PolicyPCDisk, PolicyPCDisk.String(), "pc_disk", nil},
+		{PolicyPCMem, PolicyPCMem.String(), "pc_mem", nil},
+		{PolicyCheckFreq, PolicyCheckFreq.String(), "checkfreq", nil},
+		{PolicyPCDaily, PolicyPCDaily.String(), "pc_daily", nil},
+		{PolicyUserJIT, PolicyUserJIT.String(), "userjit", nil},
+		// "jit" is the historical alias for the paper's headline mode.
+		{PolicyTransparentJIT, PolicyTransparentJIT.String(), "transparent", []string{"jit"}},
+		{PolicyJITWithDaily, PolicyJITWithDaily.String(), "jit+daily", nil},
+		{PolicyPeerShelter, PolicyPeerShelter.String(), "peer", nil},
+		{PolicyJITWithPeer, PolicyJITWithPeer.String(), "jit+peer", nil},
+		{PolicyElasticJIT, PolicyElasticJIT.String(), "jit+elastic", nil},
+		{PolicyElasticPeer, PolicyElasticPeer.String(), "peer+elastic", nil},
+		{PolicyMultiStepDisk, PolicyMultiStepDisk.String(), "multistep", nil},
+		{PolicyJITWithMultiStep, PolicyJITWithMultiStep.String(), "jit+multistep", nil},
+		{PolicyPipeFree, PolicyPipeFree.String(), "pipefree", nil},
+	}
+}
+
+// ParsePolicy resolves a policy by presentation name, CLI key, or alias,
+// case-insensitively.
+func ParsePolicy(name string) (Policy, bool) {
+	want := strings.ToLower(strings.TrimSpace(name))
+	for _, pi := range Policies() {
+		if strings.ToLower(pi.Name) == want || pi.Key == want {
+			return pi.Policy, true
+		}
+		for _, a := range pi.Aliases {
+			if a == want {
+				return pi.Policy, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// PolicyKeys returns every accepted spelling (key and aliases) mapped to
+// its policy — the map front ends hand to spec parsers like
+// cluster.ParseJobsSpec.
+func PolicyKeys() map[string]Policy {
+	out := make(map[string]Policy)
+	for _, pi := range Policies() {
+		out[pi.Key] = pi.Policy
+		for _, a := range pi.Aliases {
+			out[a] = pi.Policy
+		}
+	}
+	return out
 }
 
 // Solution is a row of the paper's Table 1.
@@ -200,6 +307,10 @@ const JITPolicyName = "jit"
 // ElasticPolicyName is the checkpoint-store namespace for the planned
 // saves an elastic job takes at shrink/expand boundaries.
 const ElasticPolicyName = "elastic"
+
+// MultiStepPolicyName is the checkpoint-store namespace for multi-step
+// overlapped generations (checkpoint.MultiStepNamespace's policy alias).
+const MultiStepPolicyName = "multistep"
 
 // RecoveryReport records one failure-recovery episode for the evaluation
 // tables.

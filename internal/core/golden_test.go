@@ -20,7 +20,7 @@ var updateGolden = flag.Bool("update", false, "rewrite the golden trace files in
 // injection/detection, peer sheltering, and recovery phase breakdowns.
 // Per-kernel gpu/cuda/nccl noise is covered by the determinism check
 // (which uses the unfiltered log) but kept out of the checked-in files.
-var goldenCats = []string{"core", "ckpt", "fail", "peer", "phase", "elastic"}
+var goldenCats = []string{"core", "ckpt", "fail", "peer", "pipe", "phase", "elastic"}
 
 // goldenScenarios pin one representative failure-recovery timeline per
 // policy family. Each must stay byte-identical across runs and across
@@ -72,6 +72,29 @@ var goldenScenarios = []struct {
 			Peer: rsParams(), RackSize: 1,
 			HangTimeout: 2 * vclock.Second, SpareNodes: 2,
 			IterFailures: injectAt(wl, 5.5, 3, failure.NodeDown),
+		}
+	}},
+	{"multistep", func() JobConfig {
+		// Gradient-reconciled multi-step overlapped disk checkpointing:
+		// the restore merges slices captured at different iterations and
+		// replays retained gradient deltas to the generation target.
+		wl := testWL()
+		return JobConfig{
+			WL: wl, Policy: PolicyMultiStepDisk, Iters: 12, Seed: 1,
+			HangTimeout: 2 * vclock.Second, SpareNodes: 2,
+			CkptInterval: 4 * wl.Minibatch, MultiStepSlices: 2,
+			IterFailures: injectAt(wl, 8.5, 1, failure.GPUHard),
+		}
+	}},
+	{"pipefree", func() JobConfig {
+		// Checkpoint-free pipeline recovery: the node loss takes out one
+		// stage, rebuilt from a neighbor's retained bundle with zero
+		// checkpoint reads.
+		wl := pipeWL()
+		return JobConfig{
+			WL: wl, Policy: PolicyPipeFree, Iters: 12, Seed: 1,
+			HangTimeout: 2 * vclock.Second, SpareNodes: 2,
+			IterFailures: injectAt(wl, 5.5, 1, failure.NodeDown),
 		}
 	}},
 	{"transparent", func() JobConfig {

@@ -15,6 +15,7 @@ import (
 	"jitckpt/internal/metrics"
 	"jitckpt/internal/nccl"
 	"jitckpt/internal/peerckpt"
+	"jitckpt/internal/pipefree"
 	"jitckpt/internal/proxy"
 	"jitckpt/internal/scheduler"
 	"jitckpt/internal/trace"
@@ -103,6 +104,14 @@ type JobConfig struct {
 	// missing data from parity. A zero LinkBandwidth inherits the
 	// workload's peer-link bandwidth.
 	Peer *peerckpt.Params
+	// MultiStepSlices sets how many per-iteration shard slices the
+	// multi-step overlapped disk writer splits each logical snapshot into
+	// (UsesMultiStep policies only; 0 = 4). The writer's generation
+	// interval is CkptInterval (0 = optimal c*).
+	MultiStepSlices int
+	// PipeFree overrides the checkpoint-free stage-redundancy tier's
+	// parameters (PolicyPipeFree only; nil = defaults).
+	PipeFree *pipefree.Params
 	// RackSize overrides the failure-domain width for single-job runs
 	// (nodes n and n' share a rack iff n/RackSize == n'/RackSize;
 	// 0 = the default of 2). Shared (fleet) runs take the cluster's
@@ -144,6 +153,16 @@ type RunResult struct {
 	// Peer summarizes the peer-shelter tier's replication activity
 	// (UsesPeerShelter policies only).
 	Peer peerckpt.Stats
+	// Pipe summarizes the checkpoint-free stage-redundancy tier's activity
+	// (PolicyPipeFree only).
+	Pipe pipefree.Stats
+	// MultiStepCommits counts multi-step generations the reference rank
+	// committed (UsesMultiStep policies only).
+	MultiStepCommits int
+	// CkptReadBytes is the total modelled bytes read from checkpoint
+	// stores (disk, tmpfs, and peer-shelter hosts) during restores — the
+	// counter auditing the pipe-free family's zero-checkpoint-read claim.
+	CkptReadBytes int64
 	// Disk is the run's shared checkpoint store; oracle runs pass it back
 	// in via JobConfig.DiskStore to restore from this run's checkpoints.
 	Disk *checkpoint.Store
@@ -280,6 +299,7 @@ type harness struct {
 	placement scheduler.Placement
 	shelter   *peerckpt.Shelter
 	peerPlan  map[int][]int
+	pipeguard *pipefree.Guard
 	gen       int
 
 	// Elastic degraded-mode state: topo/accum are the CURRENT shape every
@@ -402,6 +422,29 @@ func (h *harness) setup() error {
 		})
 	}
 
+	if cfg.Policy.UsesPipeFree() {
+		params := pipefree.DefaultParams()
+		if cfg.PipeFree != nil {
+			params = *cfg.PipeFree
+		}
+		guard, err := pipefree.New(h.env, "job", params, wl.Topo, func(rank int) int {
+			var dev *gpu.Device
+			if h.deviceOf != nil {
+				dev = h.deviceOf(rank)
+			} else {
+				dev = h.placement[rank]
+			}
+			if dev == nil {
+				return -1
+			}
+			return dev.NodeID
+		})
+		if err != nil {
+			return err
+		}
+		h.pipeguard = guard
+	}
+
 	// nodeOf resolves the node currently hosting a rank (for whole-host
 	// failure injection and shelter bookkeeping).
 	nodeOf := func(rank int) *gpu.Node {
@@ -485,16 +528,24 @@ func (h *harness) setup() error {
 		return checkpoint.WriteOK
 	})
 	injector.OnStorageFault = func(failure.Injection) { storageFaultWindow += 2 }
-	if h.shelter != nil || (h.shared != nil && h.shared.OnInject != nil) {
+	if h.shelter != nil || h.pipeguard != nil || (h.shared != nil && h.shared.OnInject != nil) {
 		injector.OnInject = func(inj failure.Injection) {
-			if h.shelter != nil && (inj.Kind == failure.NodeDown || inj.Kind == failure.RackDown) {
-				// A whole-host failure takes its sheltered entries with it
-				// the instant it happens — not at incarnation teardown.
-				// RackDown fails several nodes at once, so sweep rather
-				// than resolve one rank.
+			if (h.shelter != nil || h.pipeguard != nil) &&
+				(inj.Kind == failure.NodeDown || inj.Kind == failure.RackDown) {
+				// A whole-host failure takes its sheltered entries (and
+				// retained stage-redundancy bundles) with it the instant it
+				// happens — not at incarnation teardown. RackDown fails
+				// several nodes at once, so sweep rather than resolve one
+				// rank.
 				for _, n := range h.nodes {
-					if n.Failed {
+					if !n.Failed {
+						continue
+					}
+					if h.shelter != nil {
 						h.shelter.MarkNodeLost(n.ID)
+					}
+					if h.pipeguard != nil {
+						h.pipeguard.MarkNodeLost(n.ID)
 					}
 				}
 			}
@@ -535,6 +586,13 @@ func (h *harness) setup() error {
 		// phases of their own: chaos plans can land failures mid-encode or
 		// mid-reconstruction.
 		h.shelter.NotePhase = func(rank int, ph failure.Phase) {
+			h.injector.NotePhase(rank, ph)
+		}
+	}
+	if h.pipeguard != nil {
+		// Stage rebuilds are a fault-injection phase: chaos plans can land
+		// failures mid-reconstruction.
+		h.pipeguard.NotePhase = func(rank int, ph failure.Phase) {
 			h.injector.NotePhase(rank, ph)
 		}
 	}
@@ -593,11 +651,16 @@ func (h *harness) noteRepairCapacity() {
 // their dead devices). Cluster-scoped injections bypass the job's own
 // injector, so its OnInject sweep never sees them.
 func (h *harness) noteNodesLost(nodeIDs []int) {
-	if h.finished || h.shelter == nil {
+	if h.finished || (h.shelter == nil && h.pipeguard == nil) {
 		return
 	}
 	for _, id := range nodeIDs {
-		h.shelter.MarkNodeLost(id)
+		if h.shelter != nil {
+			h.shelter.MarkNodeLost(id)
+		}
+		if h.pipeguard != nil {
+			h.pipeguard.MarkNodeLost(id)
+		}
 	}
 }
 
@@ -782,6 +845,9 @@ func (h *harness) finish() {
 	}
 	if h.shelter != nil {
 		res.Peer = h.shelter.Stats()
+	}
+	if h.pipeguard != nil {
+		res.Pipe = h.pipeguard.Stats()
 	}
 	mb := res.Minibatch
 	acct := metrics.Accounting{N: h.cfg.WL.GPUs()}
@@ -1200,6 +1266,16 @@ func (h *harness) runOneIncarnation(p *vclock.Proc) (end incarnationEnd) {
 			interval = OptimalInterval(wl, cfg.FailureRatePerGPUDay)
 		}
 	}
+	// The multi-step writer paces its generations like a periodic policy
+	// but overlaps the slice writes with compute.
+	msInterval := cfg.CkptInterval
+	if cfg.Policy.UsesMultiStep() && msInterval == 0 {
+		msInterval = OptimalInterval(wl, cfg.FailureRatePerGPUDay)
+	}
+	msSlices := cfg.MultiStepSlices
+	if msSlices <= 0 {
+		msSlices = 4
+	}
 
 	type rankStack struct {
 		worker *train.Worker
@@ -1207,6 +1283,8 @@ func (h *harness) runOneIncarnation(p *vclock.Proc) (end incarnationEnd) {
 		ujit   *UserLevelRank
 		pc     *checkpoint.Periodic
 		rep    *peerckpt.Replicator
+		msw    *checkpoint.MultiStep
+		keeper *pipefree.Keeper
 		proc   *vclock.Proc
 	}
 	stacks := make([]*rankStack, world)
@@ -1277,6 +1355,24 @@ func (h *harness) runOneIncarnation(p *vclock.Proc) (end incarnationEnd) {
 				HideFraction: 0.5, Job: "job",
 				SerializeBW: wl.SerializeBW(), StateBytes: wl.StateBytesPerGPU(),
 			}
+		}
+		if cfg.Policy.UsesMultiStep() {
+			// The gradient ring must retain enough deltas to reconcile the
+			// oldest slice (staleness up to slices-1 iterations).
+			worker.EnableGradRing(msSlices)
+			rr := r
+			st.msw = &checkpoint.MultiStep{
+				Slices: msSlices, Interval: msInterval, Disk: h.disk, Job: "job",
+				StateBytes: wl.StateBytesPerGPU(), SerializeBW: wl.SerializeBW(),
+				D2HBandwidth: wl.CUDAParams().D2HBandwidth,
+				NoteSliceWrite: func(p *vclock.Proc) {
+					h.injector.NotePhase(rr, failure.PhaseSliceWrite)
+				},
+			}
+		}
+		if h.pipeguard != nil {
+			st.keeper = h.pipeguard.NewKeeper(r, placement[r],
+				wl.StateBytesPerGPU(), wl.CUDAParams().D2HBandwidth)
 		}
 		stacks[r] = st
 	}
@@ -1361,6 +1457,24 @@ func (h *harness) runOneIncarnation(p *vclock.Proc) (end incarnationEnd) {
 					// Stream the post-optimizer state to the shelter hosts,
 					// overlapped with the next minibatch's compute.
 					st.rep.Offer(st.worker)
+				}
+				if st.keeper != nil && st.worker.Iter() < cfg.Iters {
+					// Retain this stage's redundancy bundle in neighbor
+					// stages' host RAM, overlapped with the next minibatch.
+					st.keeper.Offer(st.worker)
+				}
+				if st.msw != nil {
+					stall, err := st.msw.Step(wp, st.worker)
+					if err != nil {
+						h.noteDetected(wp.Now(), r, "ms-checkpoint")
+						h.monitor.Notify(scheduler.Event{Kind: scheduler.EvRankExited, Rank: r, Err: err})
+						failed.Trigger()
+						return
+					}
+					if r == h.refRank && stall > 0 {
+						h.ckptStall += stall
+						h.ckptCount++
+					}
 				}
 				if st.pc != nil && st.pc.Due(wp.Now()) {
 					h.injector.NotePhase(r, failure.PhaseCheckpoint)
@@ -1455,6 +1569,9 @@ func (h *harness) runOneIncarnation(p *vclock.Proc) (end incarnationEnd) {
 	})
 	p.Wait(waitDone)
 
+	if st := stacks[h.refRank]; st != nil && st.msw != nil {
+		h.res.MultiStepCommits += st.msw.Count()
+	}
 	if allDone.Triggered() {
 		hbStop.Trigger()
 		// Stop the interception watchdogs so their poll timers do not
@@ -1531,13 +1648,20 @@ func (h *harness) runOneIncarnation(p *vclock.Proc) (end incarnationEnd) {
 			h.pool.MarkFailed(placement[r].NodeID)
 		}
 	}
-	// Whole-host failures take their sheltered entries with them (the
-	// injector already marked injection-driven ones; this sweep catches
-	// any other path that failed a node).
-	if h.shelter != nil {
+	// Whole-host failures take their sheltered entries and retained
+	// stage-redundancy bundles with them (the injector already marked
+	// injection-driven ones; this sweep catches any other path that failed
+	// a node).
+	if h.shelter != nil || h.pipeguard != nil {
 		for _, n := range h.nodes {
-			if n.Failed {
+			if !n.Failed {
+				continue
+			}
+			if h.shelter != nil {
 				h.shelter.MarkNodeLost(n.ID)
+			}
+			if h.pipeguard != nil {
+				h.pipeguard.MarkNodeLost(n.ID)
 			}
 		}
 	}
@@ -1554,6 +1678,13 @@ func (h *harness) hasCheckpoint(p *vclock.Proc) bool {
 		if len(h.disk.List(fmt.Sprintf("job/ckpt/%s/", ns))) > 0 {
 			return true
 		}
+	}
+	if h.cfg.Policy.UsesMultiStep() &&
+		len(h.disk.List("job/ckpt/"+checkpoint.MultiStepNamespace+"/")) > 0 {
+		return true
+	}
+	if h.pipeguard != nil && h.pipeguard.Any() {
+		return true
 	}
 	return h.shelter != nil && h.shelter.Any()
 }
@@ -1644,17 +1775,35 @@ func (h *harness) restoreRank(p *vclock.Proc, w *train.Worker, rank int) (bool, 
 	if h.shelter != nil {
 		extras = h.shelter.RestoreCandidates()
 	}
+	if h.pipeguard != nil {
+		// Checkpoint-free first: a surviving stage bundle beats any disk
+		// generation on freshness, and loses nothing if it doesn't.
+		extras = append(extras, h.pipeguard.RestoreCandidates()...)
+	}
+	if h.cfg.Policy.UsesMultiStep() {
+		extras = append(extras, checkpoint.MultiStepCandidates(h.disk, "job", checkpoint.MultiStepParams{
+			Opt:         h.cfg.WL.Optimizer(),
+			Scale:       w.GradScale(),
+			ReconcileBW: msReconcileBW,
+			NoteReconcile: func(p *vclock.Proc) {
+				h.injector.NotePhase(rank, failure.PhaseReconcile)
+			},
+		})...)
+	}
 	plan, err := checkpoint.AssembleRestore(p, "job", h.restoreSources(), extras, h.topo, writerWorld)
 	if err != nil {
 		sp.End(p.Now(), "err", err)
 		return false, nil
 	}
 	cand := plan.For[rank]
+	readBefore := h.storeReadBytes()
 	ms, err := cand.Load(p)
 	if err != nil {
 		sp.End(p.Now(), "err", err)
 		return false, fmt.Errorf("core: rank %d restore read: %w", rank, err)
 	}
+	readBytes := h.storeReadBytes() - readBefore
+	h.res.CkptReadBytes += readBytes
 	p.Sleep(h.cfg.WL.RestoreInit())
 	if err := w.LoadModelState(p, ms); err != nil {
 		sp.End(p.Now(), "err", err)
@@ -1671,9 +1820,31 @@ func (h *harness) restoreRank(p *vclock.Proc, w *train.Worker, rank int) (bool, 
 		src = src[:i]
 	}
 	trace.Of(h.env).Instant(p.Now(), "ckpt", trace.Rank(rank), "restore-done",
-		"valid", true, "iter", plan.Iter, "src", src)
+		"valid", true, "iter", plan.Iter, "src", src, "read_bytes", readBytes)
 	sp.End(p.Now(), "iter", plan.Iter)
 	return true, nil
+}
+
+// msReconcileBW is the modelled gradient-replay throughput during a
+// multi-step reconciled restore (state bytes advanced per second).
+const msReconcileBW = 40e9
+
+// storeReadBytes sums the modelled bytes every checkpoint store involved
+// in this run has served: the shared disk, tmpfs, and any peer-shelter
+// host stores. Diffing it around a restore's Load yields that recovery's
+// checkpoint-read traffic.
+func (h *harness) storeReadBytes() int64 {
+	total := h.disk.ReadBytes() + h.tmpfs.ReadBytes()
+	if h.shelter != nil {
+		seen := map[*checkpoint.Store]bool{h.disk: true, h.tmpfs: true}
+		for _, src := range h.shelter.Sources() {
+			if !seen[src.Store] {
+				seen[src.Store] = true
+				total += src.Store.ReadBytes()
+			}
+		}
+	}
+	return total
 }
 
 func minInt(a, b int) int {

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"testing"
+
+	"jitckpt/internal/failure"
+	"jitckpt/internal/train"
+	"jitckpt/internal/vclock"
+	"jitckpt/internal/workload"
+)
+
+// pipeWL is a pure-pipeline geometry: four stages, one rank (and one node)
+// per stage, so losing a node loses exactly one stage and checkpoint-free
+// neighbor redundancy is the only thing standing between the job and a
+// disk read.
+func pipeWL() workload.Workload {
+	wl := testWL()
+	wl.Name = "tiny-pipe"
+	wl.Nodes, wl.PerNode = 4, 1
+	wl.Topo = train.Topology{D: 1, P: 4, T: 1}
+	wl.Layers = 4
+	return wl
+}
+
+// TestFailureFreeMultiStepRun pins the overlapped writer's steady state:
+// generations commit in the background while the job trains, and the loss
+// trace is untouched by the slice machinery.
+func TestFailureFreeMultiStepRun(t *testing.T) {
+	wl := testWL()
+	const iters = 14
+	ref := referenceLoss(t, wl, iters)
+	res := mustRun(t, JobConfig{
+		WL: wl, Policy: PolicyMultiStepDisk, Iters: iters, Seed: 1, CollectLoss: true,
+		CkptInterval: 4 * wl.Minibatch, MultiStepSlices: 2,
+	})
+	if !res.Completed || res.Incarnations != 1 {
+		t.Fatalf("completed=%v incarnations=%d", res.Completed, res.Incarnations)
+	}
+	if res.MultiStepCommits < 2 {
+		t.Fatalf("multi-step commits = %d, want ≥2", res.MultiStepCommits)
+	}
+	if !lossTracesEqual(t, ref, res.Loss, iters) {
+		t.Fatal("loss diverged under overlapped multi-step checkpointing")
+	}
+}
+
+// TestMultiStepDiskRecovery is the tentpole acceptance for GoCkpt: a hard
+// fault forces a restart, restore merges slices captured at different
+// iterations and replays retained gradient deltas — and the post-recovery
+// loss curve is bit-identical to the failure-free run.
+func TestMultiStepDiskRecovery(t *testing.T) {
+	wl := testWL()
+	const iters = 14
+	ref := referenceLoss(t, wl, iters)
+	res := mustRun(t, JobConfig{
+		WL: wl, Policy: PolicyMultiStepDisk, Iters: iters, Seed: 1, CollectLoss: true,
+		HangTimeout:  2 * vclock.Second,
+		CkptInterval: 4 * wl.Minibatch, MultiStepSlices: 2,
+		SpareNodes:   2,
+		IterFailures: injectAt(wl, 8.5, 1, failure.GPUHard),
+	})
+	if !res.Completed {
+		t.Fatalf("job did not complete; incarnations=%d", res.Incarnations)
+	}
+	if res.Incarnations != 2 {
+		t.Fatalf("incarnations = %d, want 2", res.Incarnations)
+	}
+	if res.CkptReadBytes == 0 {
+		t.Fatal("restore read no checkpoint bytes — multi-step generation not used")
+	}
+	if !lossTracesEqual(t, ref, res.Loss, iters) {
+		t.Fatal("loss diverged after gradient-reconciled restore")
+	}
+}
+
+// TestMultiStepFaultMidSliceWrite lands the fault exactly while a shard
+// slice is flushing: the generation in flight is partial and must never be
+// restored — recovery falls back to the newest fully-committed one, still
+// bit-exact.
+func TestMultiStepFaultMidSliceWrite(t *testing.T) {
+	wl := testWL()
+	const iters = 14
+	ref := referenceLoss(t, wl, iters)
+	res := mustRun(t, JobConfig{
+		WL: wl, Policy: PolicyMultiStepDisk, Iters: iters, Seed: 1, CollectLoss: true,
+		HangTimeout:  2 * vclock.Second,
+		CkptInterval: 4 * wl.Minibatch, MultiStepSlices: 4,
+		SpareNodes: 2,
+		Chaos: &ChaosConfig{
+			PhaseInjections: []failure.PhaseInjection{{
+				Phase:      failure.PhaseSliceWrite,
+				Rank:       -1,
+				Occurrence: 6, // mid-generation: slices 1..4 of gen 1, then into gen 2
+				Target:     -1,
+				Kind:       failure.GPUHard,
+			}},
+		},
+	})
+	if !res.Completed {
+		t.Fatalf("job did not complete; incarnations=%d", res.Incarnations)
+	}
+	if res.Incarnations < 2 {
+		t.Fatalf("incarnations = %d, want ≥2", res.Incarnations)
+	}
+	if !lossTracesEqual(t, ref, res.Loss, iters) {
+		t.Fatal("loss diverged after mid-slice-write fault")
+	}
+}
+
+// TestMultiStepFaultMidReconcile hits the restarted incarnation while a
+// rank is replaying gradient deltas: the half-reconciled incarnation must
+// fail loudly and the next one complete bit-identically.
+func TestMultiStepFaultMidReconcile(t *testing.T) {
+	wl := testWL()
+	const iters = 14
+	ref := referenceLoss(t, wl, iters)
+	res := mustRun(t, JobConfig{
+		WL: wl, Policy: PolicyMultiStepDisk, Iters: iters, Seed: 1, CollectLoss: true,
+		HangTimeout:  2 * vclock.Second,
+		CkptInterval: 4 * wl.Minibatch, MultiStepSlices: 2,
+		SpareNodes:   3,
+		IterFailures: injectAt(wl, 8.5, 1, failure.GPUHard),
+		Chaos: &ChaosConfig{
+			PhaseInjections: []failure.PhaseInjection{{
+				Phase:      failure.PhaseReconcile,
+				Rank:       -1,
+				Occurrence: 1,
+				Target:     2,
+				Kind:       failure.GPUHard,
+			}},
+		},
+	})
+	if !res.Completed {
+		t.Fatalf("job did not complete; incarnations=%d", res.Incarnations)
+	}
+	if res.Incarnations != 3 {
+		t.Fatalf("incarnations = %d, want 3 (restart + failed reconcile + clean restart)", res.Incarnations)
+	}
+	if !lossTracesEqual(t, ref, res.Loss, iters) {
+		t.Fatal("loss diverged after fault-during-reconcile")
+	}
+}
+
+// TestFailureFreePipeFreeRun: the redundancy tier retains bundles in the
+// background without perturbing training.
+func TestFailureFreePipeFreeRun(t *testing.T) {
+	wl := pipeWL()
+	const iters = 12
+	ref := referenceLoss(t, wl, iters)
+	res := mustRun(t, JobConfig{
+		WL: wl, Policy: PolicyPipeFree, Iters: iters, Seed: 1, CollectLoss: true,
+	})
+	if !res.Completed || res.Incarnations != 1 {
+		t.Fatalf("completed=%v incarnations=%d", res.Completed, res.Incarnations)
+	}
+	if res.Pipe.Commits == 0 {
+		t.Fatal("no redundancy bundles committed")
+	}
+	if !lossTracesEqual(t, ref, res.Loss, iters) {
+		t.Fatal("loss diverged under pipe-free retention")
+	}
+}
+
+// TestPipeFreeSingleStageLossZeroCkptReads is the tentpole acceptance for
+// checkpoint-free recovery: a node loss takes out one pipeline stage, the
+// stage is rebuilt from its neighbor's retained bundle, and the entire
+// recovery reads zero bytes from any checkpoint store.
+func TestPipeFreeSingleStageLossZeroCkptReads(t *testing.T) {
+	wl := pipeWL()
+	const iters = 14
+	ref := referenceLoss(t, wl, iters)
+	res := mustRun(t, JobConfig{
+		WL: wl, Policy: PolicyPipeFree, Iters: iters, Seed: 1, CollectLoss: true,
+		HangTimeout: 2 * vclock.Second, SpareNodes: 2,
+		IterFailures: injectAt(wl, 5.5, 1, failure.NodeDown),
+	})
+	if !res.Completed {
+		t.Fatalf("job did not complete; incarnations=%d", res.Incarnations)
+	}
+	if res.Incarnations != 2 {
+		t.Fatalf("incarnations = %d, want 2", res.Incarnations)
+	}
+	if res.CkptReadBytes != 0 {
+		t.Fatalf("recovery read %d checkpoint bytes, want 0 (checkpoint-free)", res.CkptReadBytes)
+	}
+	if res.Pipe.Rebuilds < 1 {
+		t.Fatalf("rebuilds = %d, want ≥1 (the lost stage must be rebuilt from a neighbor)", res.Pipe.Rebuilds)
+	}
+	if !lossTracesEqual(t, ref, res.Loss, iters) {
+		t.Fatal("loss diverged after checkpoint-free stage rebuild")
+	}
+}
+
+// TestPipeFreeDoubleFaultFallsBackToDisk kills a stage AND the neighbor
+// hosting its redundancy bundle in the same instant: the stage's position
+// is uncovered in the pipe-free tier, so recovery must fall back to the
+// newest fully-valid multi-step disk generation.
+func TestPipeFreeDoubleFaultFallsBackToDisk(t *testing.T) {
+	wl := pipeWL()
+	const iters = 14
+	ref := referenceLoss(t, wl, iters)
+	res := mustRun(t, JobConfig{
+		WL: wl, Policy: PolicyPipeFree, Iters: iters, Seed: 1, CollectLoss: true,
+		HangTimeout:  2 * vclock.Second,
+		CkptInterval: 3 * wl.Minibatch, MultiStepSlices: 2,
+		SpareNodes: 2,
+		IterFailures: []IterInjection{
+			{Iter: 6, Frac: 0.5, Rank: 1, Kind: failure.NodeDown},
+			{Iter: 6, Frac: 0.5, Rank: 2, Kind: failure.NodeDown},
+		},
+	})
+	if !res.Completed {
+		t.Fatalf("job did not complete; incarnations=%d", res.Incarnations)
+	}
+	if res.CkptReadBytes == 0 {
+		t.Fatal("double fault recovered with zero checkpoint reads — fallback to disk did not happen")
+	}
+	if !lossTracesEqual(t, ref, res.Loss, iters) {
+		t.Fatal("loss diverged after double-fault disk fallback")
+	}
+}
+
+// TestPipeFreeFaultMidStageRebuild hits the restarted incarnation while a
+// stage is being rebuilt from a neighbor bundle: the episode must end in a
+// failed incarnation followed by a verified restore, never a silent
+// half-rebuilt stage.
+func TestPipeFreeFaultMidStageRebuild(t *testing.T) {
+	wl := pipeWL()
+	const iters = 14
+	ref := referenceLoss(t, wl, iters)
+	res := mustRun(t, JobConfig{
+		WL: wl, Policy: PolicyPipeFree, Iters: iters, Seed: 1, CollectLoss: true,
+		HangTimeout:  2 * vclock.Second,
+		CkptInterval: 3 * wl.Minibatch, MultiStepSlices: 2,
+		SpareNodes:   3,
+		IterFailures: injectAt(wl, 5.5, 1, failure.NodeDown),
+		Chaos: &ChaosConfig{
+			PhaseInjections: []failure.PhaseInjection{{
+				Phase:      failure.PhaseStageRebuild,
+				Rank:       -1,
+				Occurrence: 1,
+				Target:     3,
+				Kind:       failure.GPUHard,
+			}},
+		},
+	})
+	if !res.Completed {
+		t.Fatalf("job did not complete; incarnations=%d", res.Incarnations)
+	}
+	if res.Incarnations < 3 {
+		t.Fatalf("incarnations = %d, want ≥3 (the mid-rebuild fault must cost an incarnation)", res.Incarnations)
+	}
+	if !lossTracesEqual(t, ref, res.Loss, iters) {
+		t.Fatal("loss diverged after fault-during-stage-rebuild")
+	}
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPolicyRegistryComplete pins the shared registry against the enum:
+// every runnable policy has exactly one row, every spelling is unique,
+// and every front-end resolution path (name, key, alias) round-trips.
+func TestPolicyRegistryComplete(t *testing.T) {
+	rows := Policies()
+	byPolicy := make(map[Policy]int)
+	spellings := make(map[string]Policy)
+	for _, pi := range rows {
+		byPolicy[pi.Policy]++
+		if pi.Name != pi.Policy.String() {
+			t.Errorf("%v: registry name %q != String %q", pi.Policy, pi.Name, pi.Policy.String())
+		}
+		for _, s := range append([]string{strings.ToLower(pi.Name), pi.Key}, pi.Aliases...) {
+			if prev, dup := spellings[s]; dup && prev != pi.Policy {
+				t.Errorf("spelling %q claimed by both %v and %v", s, prev, pi.Policy)
+			}
+			spellings[s] = pi.Policy
+		}
+	}
+	// The enum is dense from PolicyNone: every value up to the last
+	// registry row must appear exactly once.
+	for p := PolicyNone; int(p) < len(rows); p++ {
+		if byPolicy[p] != 1 {
+			t.Errorf("policy %v has %d registry rows, want 1", p, byPolicy[p])
+		}
+	}
+	// Resolution paths agree.
+	for _, pi := range rows {
+		for _, s := range append([]string{pi.Name, strings.ToUpper(pi.Key)}, pi.Aliases...) {
+			got, ok := ParsePolicy(s)
+			if !ok || got != pi.Policy {
+				t.Errorf("ParsePolicy(%q) = %v,%v, want %v", s, got, ok, pi.Policy)
+			}
+		}
+	}
+	if _, ok := ParsePolicy("definitely-not-a-policy"); ok {
+		t.Error("ParsePolicy accepted garbage")
+	}
+	keys := PolicyKeys()
+	if keys["jit"] != PolicyTransparentJIT {
+		t.Error("historical alias \"jit\" lost")
+	}
+	aliases := 0
+	for _, pi := range rows {
+		aliases += len(pi.Aliases)
+	}
+	if len(keys) != len(rows)+aliases {
+		t.Errorf("PolicyKeys has %d entries, want %d (one per key plus aliases)", len(keys), len(rows)+aliases)
+	}
+	// The two new recovery families are present and runnable by key.
+	for key, want := range map[string]Policy{
+		"multistep": PolicyMultiStepDisk, "jit+multistep": PolicyJITWithMultiStep, "pipefree": PolicyPipeFree,
+	} {
+		if keys[key] != want {
+			t.Errorf("keys[%q] = %v, want %v", key, keys[key], want)
+		}
+	}
+}

@@ -46,7 +46,7 @@ func TestTraceInvariantsChaosSoak(t *testing.T) {
 		failure.GPUHard, failure.GPUSticky, failure.NetworkHang,
 		failure.NodeDown, failure.StorageFault,
 	}
-	for _, policy := range []Policy{PolicyPCDisk, PolicyUserJIT, PolicyPeerShelter, PolicyJITWithPeer} {
+	for _, policy := range []Policy{PolicyPCDisk, PolicyUserJIT, PolicyPeerShelter, PolicyJITWithPeer, PolicyMultiStepDisk} {
 		for _, seed := range seeds {
 			policy, seed := policy, seed
 			t.Run(fmt.Sprintf("%v/seed%d", policy, seed), func(t *testing.T) {
@@ -209,6 +209,50 @@ func TestTraceInvariantsMidRecovery(t *testing.T) {
 					Occurrence: 1,
 					Target:     -1,
 					Kind:       failure.NetworkHang,
+				}},
+			},
+		}},
+		{"multistep-fault-during-slice-write", JobConfig{
+			WL: wl, Policy: PolicyMultiStepDisk, Iters: iters, Seed: 1,
+			HangTimeout: 2 * vclock.Second, SpareNodes: 2,
+			CkptInterval: 4 * wl.Minibatch, MultiStepSlices: 4,
+			Chaos: &ChaosConfig{
+				PhaseInjections: []failure.PhaseInjection{{
+					Phase:      failure.PhaseSliceWrite,
+					Rank:       -1,
+					Occurrence: 6,
+					Target:     -1,
+					Kind:       failure.GPUHard,
+				}},
+			},
+		}},
+		{"multistep-fault-during-reconcile", JobConfig{
+			WL: wl, Policy: PolicyMultiStepDisk, Iters: iters, Seed: 1,
+			HangTimeout: 2 * vclock.Second, SpareNodes: 3,
+			CkptInterval: 4 * wl.Minibatch, MultiStepSlices: 2,
+			IterFailures: injectAt(wl, 8.5, 1, failure.GPUHard),
+			Chaos: &ChaosConfig{
+				PhaseInjections: []failure.PhaseInjection{{
+					Phase:      failure.PhaseReconcile,
+					Rank:       -1,
+					Occurrence: 1,
+					Target:     2,
+					Kind:       failure.GPUHard,
+				}},
+			},
+		}},
+		{"pipefree-fault-during-stage-rebuild", JobConfig{
+			WL: pipeWL(), Policy: PolicyPipeFree, Iters: iters, Seed: 1,
+			HangTimeout: 2 * vclock.Second, SpareNodes: 3,
+			CkptInterval: 3 * pipeWL().Minibatch, MultiStepSlices: 2,
+			IterFailures: injectAt(pipeWL(), 5.5, 1, failure.NodeDown),
+			Chaos: &ChaosConfig{
+				PhaseInjections: []failure.PhaseInjection{{
+					Phase:      failure.PhaseStageRebuild,
+					Rank:       -1,
+					Occurrence: 1,
+					Target:     3,
+					Kind:       failure.GPUHard,
 				}},
 			},
 		}},

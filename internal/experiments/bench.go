@@ -203,6 +203,16 @@ func RunBench(workers int) (*BenchReport, error) {
 			_, err := RunFleetSweep(fopt)
 			return err
 		}},
+		{"table14", func() error {
+			ropt := DefaultRecoveryFamiliesOptions()
+			ropt.Workers = workers
+			ropt.Seeds = ropt.Seeds[:1]
+			ropt.MTBFs = ropt.MTBFs[:1]
+			ropt.Intervals = ropt.Intervals[:1]
+			ropt.Sizes = ropt.Sizes[:1]
+			_, err := RunRecoveryFamilies(ropt)
+			return err
+		}},
 	}
 	for _, t := range tables {
 		start = time.Now()
@@ -228,6 +238,35 @@ func RunBench(workers int) (*BenchReport, error) {
 	r.add("table13_wall_ms", time.Since(start).Seconds()*1000, "ms", "lower")
 	r.add("erasure_encodes", float64(encodes), "ops", "higher")
 	r.add("erasure_decodes", float64(decodes), "ops", "higher")
+
+	// Overlapped-writer overhead guard: the failure-free wall-time ratio
+	// of the multi-step family to the periodic disk baseline at equal
+	// checkpoint interval. Virtual time, so the point is deterministic;
+	// TestMultiStepOverheadGuard enforces the <1 bound, the trajectory
+	// file tracks drift.
+	guardWL := recoveryWorkload(RecoverySize{"guard", 0.004, 8})
+	guardRun := func(policy core.Policy) (vclock.Time, error) {
+		res, err := core.Run(core.JobConfig{
+			WL: guardWL, Policy: policy, Iters: 40, Seed: 1,
+			CkptInterval: 4 * guardWL.Minibatch,
+		})
+		if err != nil {
+			return 0, err
+		}
+		if !res.Completed {
+			return 0, fmt.Errorf("bench: %v overhead-guard run incomplete", policy)
+		}
+		return res.WallTime, nil
+	}
+	pcWall, err := guardRun(core.PolicyPCDisk)
+	if err != nil {
+		return nil, err
+	}
+	msWall, err := guardRun(core.PolicyMultiStepDisk)
+	if err != nil {
+		return nil, err
+	}
+	r.add("multistep_overhead_ratio", float64(msWall)/float64(pcWall), "x", "lower")
 
 	// Fleet point: 500 concurrent tenants leasing one arbitrated cluster
 	// inside a single environment — the cluster subsystem's scale

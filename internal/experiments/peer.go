@@ -25,26 +25,14 @@ func PeerComparisonPolicies() []core.Policy {
 	return []core.Policy{core.PolicyPCDisk, core.PolicyJITWithDaily, core.PolicyPeerShelter, core.PolicyJITWithPeer}
 }
 
-// allPolicies enumerates every runnable policy for name parsing.
-func allPolicies() []core.Policy {
-	return []core.Policy{
-		core.PolicyNone, core.PolicyPCDisk, core.PolicyPCMem, core.PolicyCheckFreq,
-		core.PolicyPCDaily, core.PolicyUserJIT, core.PolicyTransparentJIT,
-		core.PolicyJITWithDaily, core.PolicyPeerShelter, core.PolicyJITWithPeer,
-	}
-}
-
-// ParsePolicies resolves a comma-separated list of policy names (as
-// printed by Policy.String, case-insensitive) into policies. An empty
-// spec selects defaults (returned as nil).
+// ParsePolicies resolves a comma-separated list of policy names (any
+// spelling the shared registry accepts: presentation name, CLI key, or
+// alias, case-insensitive). An empty spec selects defaults (returned as
+// nil).
 func ParsePolicies(spec string) ([]core.Policy, error) {
 	spec = strings.TrimSpace(spec)
 	if spec == "" {
 		return nil, nil
-	}
-	byName := make(map[string]core.Policy)
-	for _, p := range allPolicies() {
-		byName[strings.ToLower(p.String())] = p
 	}
 	var out []core.Policy
 	for _, tok := range strings.Split(spec, ",") {
@@ -52,11 +40,11 @@ func ParsePolicies(spec string) ([]core.Policy, error) {
 		if tok == "" {
 			continue
 		}
-		p, ok := byName[strings.ToLower(tok)]
+		p, ok := core.ParsePolicy(tok)
 		if !ok {
-			names := make([]string, 0, len(byName))
-			for _, q := range allPolicies() {
-				names = append(names, q.String())
+			names := make([]string, 0, len(core.Policies()))
+			for _, pi := range core.Policies() {
+				names = append(names, pi.Name)
 			}
 			return nil, fmt.Errorf("experiments: unknown policy %q (have: %s)", tok, strings.Join(names, ", "))
 		}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"jitckpt/internal/core"
+	"jitckpt/internal/trace"
+	"jitckpt/internal/vclock"
+)
+
+// quickRecoveryOptions trims the grid to one cell-row per policy so the
+// equivalence and headline tests stay fast.
+func quickRecoveryOptions() RecoveryFamiliesOptions {
+	opt := DefaultRecoveryFamiliesOptions()
+	opt.Seeds = opt.Seeds[:1]
+	opt.MTBFs = opt.MTBFs[:1]
+	opt.Intervals = opt.Intervals[:1]
+	opt.Sizes = opt.Sizes[:1]
+	opt.Iters = 40
+	return opt
+}
+
+// TestRecoveryFamiliesHeadline pins table 14's argument: every family
+// completes the sweep's failure plans, the checkpoint-free family reads
+// zero restore bytes while actually rebuilding stages, and the multi-step
+// family reads strictly fewer restore bytes than the periodic baseline.
+func TestRecoveryFamiliesHeadline(t *testing.T) {
+	rows, err := RunRecoveryFamilies(DefaultRecoveryFamiliesOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPolicy := make(map[core.Policy][]RecoveryRow)
+	for _, r := range rows {
+		byPolicy[r.Policy] = append(byPolicy[r.Policy], r)
+	}
+	if got, want := len(byPolicy), len(RecoveryFamilyPolicies()); got != want {
+		t.Fatalf("sweep covered %d policies, want %d", got, want)
+	}
+	var pipeRebuilds, pipeReads, msReads, pcReads int64
+	for _, r := range byPolicy[core.PolicyPipeFree] {
+		pipeRebuilds += int64(r.Rebuilds)
+		pipeReads += r.CkptReadBytes
+	}
+	for _, r := range byPolicy[core.PolicyMultiStepDisk] {
+		if r.Completed != r.Runs {
+			t.Errorf("multistep %s mtbf=%v interval=%v: %d/%d completed",
+				r.Size, r.MTBF, r.Interval, r.Completed, r.Runs)
+		}
+		if r.MultiStepCommits == 0 {
+			t.Errorf("multistep %s mtbf=%v interval=%v: no generations committed",
+				r.Size, r.MTBF, r.Interval)
+		}
+		msReads += r.CkptReadBytes
+	}
+	for _, r := range byPolicy[core.PolicyPCDisk] {
+		pcReads += r.CkptReadBytes
+	}
+	if pipeRebuilds == 0 {
+		t.Error("pipe-free family never rebuilt a stage across the whole grid")
+	}
+	if pipeReads != 0 {
+		t.Errorf("pipe-free family read %d checkpoint bytes, want 0", pipeReads)
+	}
+	if msReads == 0 || msReads >= pcReads {
+		t.Errorf("multi-step restore traffic %d not below periodic baseline %d", msReads, pcReads)
+	}
+}
+
+// TestRecoveryFamiliesParallelMatchesSerial extends the sweep runner's
+// equivalence guarantee to the table 14 grid: rows and the merged event
+// trace are byte-identical whether cells run serially or on workers.
+func TestRecoveryFamiliesParallelMatchesSerial(t *testing.T) {
+	run := func(workers int) ([]RecoveryRow, []byte) {
+		opt := quickRecoveryOptions()
+		opt.Workers = workers
+		opt.Recorder = trace.New()
+		rows, err := RunRecoveryFamilies(opt)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return rows, traceBytes(t, opt.Recorder)
+	}
+	serialRows, serialTrace := run(1)
+	parallelRows, parallelTrace := run(4)
+	if !reflect.DeepEqual(serialRows, parallelRows) {
+		t.Errorf("recovery rows differ between serial and parallel runs:\nserial:   %+v\nparallel: %+v",
+			serialRows, parallelRows)
+	}
+	if !bytes.Equal(serialTrace, parallelTrace) {
+		t.Errorf("recovery traces differ: serial %d bytes, parallel %d bytes",
+			len(serialTrace), len(parallelTrace))
+	}
+}
+
+// TestMultiStepOverheadGuard bounds the overlapped writer's steady-state
+// cost: failure-free, at the same checkpoint interval, the multi-step
+// family's wall time must stay strictly below the periodic disk
+// baseline's (the slice writes hide half their serialization behind
+// compute and push the disk write off the critical path entirely), and
+// within 25% of the no-checkpoint run.
+func TestMultiStepOverheadGuard(t *testing.T) {
+	wl := recoveryWorkload(RecoverySize{"guard", 0.004, 8})
+	const iters = 40
+	interval := 4 * wl.Minibatch
+	run := func(policy core.Policy) vclock.Time {
+		res, err := core.Run(core.JobConfig{
+			WL: wl, Policy: policy, Iters: iters, Seed: 1,
+			CkptInterval: interval,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Completed {
+			t.Fatalf("%v failure-free run incomplete", policy)
+		}
+		return res.WallTime
+	}
+	none := run(core.PolicyNone)
+	pc := run(core.PolicyPCDisk)
+	ms := run(core.PolicyMultiStepDisk)
+	if ms >= pc {
+		t.Errorf("multi-step wall %v not below periodic %v at equal interval", ms, pc)
+	}
+	if limit := none + none/4; ms > limit {
+		t.Errorf("multi-step wall %v exceeds 1.25x the no-checkpoint baseline %v", ms, none)
+	}
+}

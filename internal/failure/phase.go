@@ -31,6 +31,18 @@ const (
 	// PhaseReconstruct is entered when a restoring rank starts rebuilding
 	// a sheltered stripe from surviving fragments (parity decode).
 	PhaseReconstruct
+	// PhaseSliceWrite is entered when a rank's multi-step overlapped
+	// checkpoint writer starts flushing a shard slice — the generation is
+	// partial until the last slice commits.
+	PhaseSliceWrite
+	// PhaseReconcile is entered when a restoring rank starts replaying
+	// retained gradient deltas to advance a multi-step generation's stale
+	// slices to the target iteration.
+	PhaseReconcile
+	// PhaseStageRebuild is entered when a rank starts reconstructing a lost
+	// pipeline stage from a neighbor's retained redundancy (checkpoint-free
+	// recovery).
+	PhaseStageRebuild
 )
 
 // String renders the phase.
@@ -46,6 +58,12 @@ func (ph Phase) String() string {
 		return "rs-encode"
 	case PhaseReconstruct:
 		return "rs-reconstruct"
+	case PhaseSliceWrite:
+		return "slice-write"
+	case PhaseReconcile:
+		return "reconcile"
+	case PhaseStageRebuild:
+		return "stage-rebuild"
 	default:
 		return fmt.Sprintf("Phase(%d)", int(ph))
 	}

@@ -1,0 +1,463 @@
+// Package pipefree implements checkpoint-free pipeline-stage recovery
+// ("All is Not Lost"-style): each pipeline stage continuously retains a
+// redundancy bundle — its optimizer state plus the boundary activations
+// needed to rebuild its weights — in the CPU memory of the next
+// Redundancy stages' host nodes (same data/tensor coordinates). When a
+// stage's node dies, the harness rebuilds that stage's weights and
+// optimizer state from a surviving neighbor's bundle: the neighbor streams
+// the optimizer redundancy back over the interconnect and the stage
+// recomputes its parameters, both charged to virtual time — a recovery
+// with zero checkpoint reads, disk or otherwise.
+//
+// The bundles live in host RAM, so they survive GPU failures and job
+// restarts but die with their hosting node. A double fault that kills both
+// a stage and every neighbor holding its bundle leaves the position
+// uncovered; restore then falls back to the newest valid disk generation
+// (the multi-step writer the PipeFree policy pairs with).
+package pipefree
+
+import (
+	"fmt"
+	"sort"
+
+	"jitckpt/internal/checkpoint"
+	"jitckpt/internal/failure"
+	"jitckpt/internal/gpu"
+	"jitckpt/internal/tensor"
+	"jitckpt/internal/trace"
+	"jitckpt/internal/train"
+	"jitckpt/internal/vclock"
+)
+
+// Params model the stage-redundancy tier.
+type Params struct {
+	// Redundancy is how many downstream neighbor stages retain each
+	// stage's bundle (default 1).
+	Redundancy int
+	// LinkBandwidth is the stage→neighbor-CPU-memory streaming bandwidth,
+	// bytes/second; Latency the fixed per-transfer cost.
+	LinkBandwidth float64
+	Latency       vclock.Time
+	// RebuildBW is the modelled reconstruction throughput — how fast a
+	// stage's weights re-materialize from retained activations plus the
+	// streamed optimizer redundancy, in state bytes/second.
+	RebuildBW float64
+	// Retain is how many iterations of bundles each neighbor keeps per
+	// stage (≥2, so an in-flight offer never leaves a stage uncovered).
+	Retain int
+}
+
+// DefaultParams returns the standard configuration: one redundancy
+// neighbor over a 100 Gb/s-class link, rebuild at 25 GB/s, two retained
+// iterations.
+func DefaultParams() Params {
+	return Params{
+		Redundancy:    1,
+		LinkBandwidth: 12.5e9,
+		Latency:       200 * vclock.Microsecond,
+		RebuildBW:     25e9,
+		Retain:        2,
+	}
+}
+
+func (p Params) withDefaults() Params {
+	d := DefaultParams()
+	if p.Redundancy <= 0 {
+		p.Redundancy = d.Redundancy
+	}
+	if p.LinkBandwidth <= 0 {
+		p.LinkBandwidth = d.LinkBandwidth
+	}
+	if p.Latency <= 0 {
+		p.Latency = d.Latency
+	}
+	if p.RebuildBW <= 0 {
+		p.RebuildBW = d.RebuildBW
+	}
+	if p.Retain < 2 {
+		p.Retain = d.Retain
+	}
+	return p
+}
+
+// bundle is one retained stage-redundancy image: an owner rank's cloned
+// model/optimizer state held in a neighbor stage's host RAM, or — when
+// self is set — in the owner's own node's host RAM (the cheap local copy
+// that lets a SURVIVING stage rejoin a rolled-back restart without any
+// checkpoint read; reload is an H2D copy, not a reconstruction).
+type bundle struct {
+	owner    int
+	hostRank int
+	hostNode int
+	iter     int
+	state    *train.ModelState
+	bytes    int64
+	self     bool
+	reloadBW float64 // H2D bandwidth for self-bundle reload
+}
+
+// Guard is the job-wide stage-redundancy tier. It persists across job
+// incarnations (host RAM outlives restarts) until hosting nodes are lost.
+type Guard struct {
+	env    *vclock.Env
+	job    string
+	params Params
+	topo   train.Topology
+	nodeOf func(rank int) int
+	lost   map[int]bool
+
+	// bundles[owner][hostNode], each list iter-ascending.
+	bundles map[int]map[int][]*bundle
+
+	// NotePhase, when set, fires as a rank enters a stage rebuild
+	// (failure.PhaseStageRebuild) so phase-armed fault injection can land
+	// mid-reconstruction.
+	NotePhase func(rank int, ph failure.Phase)
+
+	offers      int
+	skips       int
+	commits     int
+	aborted     int
+	rebuilds    int
+	selfReloads int
+	bytesKept   int64
+	rebuildTime vclock.Time
+}
+
+// New creates the tier for a job. nodeOf maps a rank to its hosting node
+// (the harness's placement); topo must have at least two pipeline stages —
+// a single-stage job has no neighbor to retain redundancy.
+func New(env *vclock.Env, job string, params Params, topo train.Topology, nodeOf func(rank int) int) (*Guard, error) {
+	if topo.P < 2 {
+		return nil, fmt.Errorf("pipefree: needs ≥2 pipeline stages, topology has %d", topo.P)
+	}
+	params = params.withDefaults()
+	if params.Redundancy > topo.P-1 {
+		return nil, fmt.Errorf("pipefree: redundancy %d exceeds the %d neighbor stages available", params.Redundancy, topo.P-1)
+	}
+	return &Guard{
+		env:     env,
+		job:     job,
+		params:  params,
+		topo:    topo,
+		nodeOf:  nodeOf,
+		lost:    make(map[int]bool),
+		bundles: make(map[int]map[int][]*bundle),
+	}, nil
+}
+
+// Params returns the tier's effective configuration.
+func (g *Guard) Params() Params { return g.params }
+
+// HostRanks returns the neighbor ranks that retain a rank's bundle: the
+// next Redundancy pipeline stages at the same (d, t) coordinates.
+func (g *Guard) HostRanks(rank int) []int {
+	d, p, t := g.topo.Coords(rank)
+	out := make([]int, 0, g.params.Redundancy)
+	for i := 1; i <= g.params.Redundancy; i++ {
+		out = append(out, g.topo.Rank(d, (p+i)%g.topo.P, t))
+	}
+	return out
+}
+
+// MarkNodeLost drops every bundle hosted on a node: a whole-host failure
+// takes its retained redundancy with it. GPU failures must NOT be reported
+// here — host RAM survives them.
+func (g *Guard) MarkNodeLost(node int) {
+	if g.lost[node] {
+		return
+	}
+	g.lost[node] = true
+	dropped := 0
+	for owner, hosts := range g.bundles {
+		if _, ok := hosts[node]; ok {
+			dropped += len(hosts[node])
+			delete(hosts, node)
+			if len(hosts) == 0 {
+				delete(g.bundles, owner)
+			}
+		}
+	}
+	if dropped > 0 {
+		g.env.Tracef("pipefree: node %d lost, %d retained bundles gone", node, dropped)
+	}
+	trace.Of(g.env).Instant(g.env.Now(), "pipe", trace.LaneSim, "node-lost",
+		"node", node, "dropped", dropped)
+}
+
+// store retains one bundle, pruning the (owner, host) pair's history to the
+// retention window.
+func (g *Guard) store(b *bundle) {
+	hosts, ok := g.bundles[b.owner]
+	if !ok {
+		hosts = make(map[int][]*bundle)
+		g.bundles[b.owner] = hosts
+	}
+	list := hosts[b.hostNode]
+	// Replace an entry at the same iteration (re-offer after restore).
+	replaced := false
+	for i, old := range list {
+		if old.iter == b.iter {
+			list[i] = b
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		list = append(list, b)
+		sort.Slice(list, func(i, j int) bool { return list[i].iter < list[j].iter })
+	}
+	for len(list) > g.params.Retain {
+		g.bytesKept -= list[0].bytes
+		list = list[1:]
+	}
+	hosts[b.hostNode] = list
+	g.commits++
+	g.bytesKept += b.bytes
+}
+
+// owners returns the owner ranks with any retained bundle, sorted.
+func (g *Guard) owners() []int {
+	out := make([]int, 0, len(g.bundles))
+	for o := range g.bundles {
+		out = append(out, o)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Any reports whether the tier holds any bundle on a surviving host.
+func (g *Guard) Any() bool {
+	for _, hosts := range g.bundles {
+		for node := range hosts {
+			if !g.lost[node] && len(hosts[node]) > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// CoveredPositions returns the positions a surviving bundle can rebuild,
+// keyed by train.Topology.PositionKey (zero-time scan).
+func (g *Guard) CoveredPositions(topo train.Topology) map[string]bool {
+	out := make(map[string]bool)
+	for owner, hosts := range g.bundles {
+		if owner >= topo.World() {
+			continue
+		}
+		for node, list := range hosts {
+			if !g.lost[node] && len(list) > 0 {
+				out[topo.PositionKey(owner)] = true
+			}
+		}
+	}
+	return out
+}
+
+// RestoreCandidates offers every surviving bundle to the restore assembler.
+// A candidate's Load performs the stage rebuild: the neighbor streams the
+// optimizer redundancy back over the interconnect and the stage recomputes
+// its weights from retained activations — link transfer plus rebuild
+// compute charged to virtual time, zero checkpoint (store) reads.
+func (g *Guard) RestoreCandidates() []checkpoint.Candidate {
+	var out []checkpoint.Candidate
+	for _, owner := range g.owners() {
+		hosts := g.bundles[owner]
+		nodes := make([]int, 0, len(hosts))
+		for n := range hosts {
+			nodes = append(nodes, n)
+		}
+		sort.Ints(nodes)
+		for _, node := range nodes {
+			if g.lost[node] {
+				continue
+			}
+			for _, b := range hosts[node] {
+				b := b
+				out = append(out, checkpoint.Candidate{
+					Iter: b.iter,
+					Rank: b.owner,
+					Probe: func(p *vclock.Proc) bool {
+						return !g.lost[b.hostNode]
+					},
+					Load: func(p *vclock.Proc) (*train.ModelState, error) {
+						return g.rebuild(p, b)
+					},
+					Desc: b.desc(),
+				})
+			}
+		}
+	}
+	return out
+}
+
+func (b *bundle) desc() string {
+	if b.self {
+		return fmt.Sprintf("pipefree:self/rank%04d/iter%08d", b.owner, b.iter)
+	}
+	return fmt.Sprintf("pipefree:n%d/rank%04d/iter%08d", b.hostNode, b.owner, b.iter)
+}
+
+// rebuild reconstructs a stage's state from a retained bundle. A neighbor
+// bundle charges the link streaming plus reconstruction compute; a
+// self-bundle is a local H2D reload. Neither touches a checkpoint store.
+func (g *Guard) rebuild(p *vclock.Proc, b *bundle) (*train.ModelState, error) {
+	if g.lost[b.hostNode] {
+		return nil, fmt.Errorf("pipefree: host node %d lost", b.hostNode)
+	}
+	start := p.Now()
+	if b.self {
+		sp := trace.Of(g.env).Begin(start, "pipe", trace.Rank(b.owner), "self-reload", "iter", b.iter)
+		p.Sleep(g.params.Latency + gpu.TransferTime(b.bytes, b.reloadBW))
+		g.selfReloads++
+		sp.End(p.Now())
+		return cloneModelState(b.state), nil
+	}
+	if g.NotePhase != nil {
+		g.NotePhase(b.owner, failure.PhaseStageRebuild)
+	}
+	sp := trace.Of(g.env).Begin(start, "pipe", trace.Rank(b.owner), "stage-rebuild",
+		"host", b.hostNode, "iter", b.iter)
+	p.Sleep(g.params.Latency + gpu.TransferTime(b.bytes, g.params.LinkBandwidth))
+	p.Sleep(gpu.TransferTime(b.bytes, g.params.RebuildBW))
+	g.rebuilds++
+	g.rebuildTime += p.Now() - start
+	sp.End(p.Now())
+	return cloneModelState(b.state), nil
+}
+
+func cloneModelState(ms *train.ModelState) *train.ModelState {
+	out := &train.ModelState{Iter: ms.Iter, Rank: ms.Rank, Tensors: make(map[string]tensor.Vector, len(ms.Tensors))}
+	for n, v := range ms.Tensors {
+		out.Tensors[n] = v.Clone()
+	}
+	return out
+}
+
+// Stats is a snapshot of the tier's counters.
+type Stats struct {
+	// Offers counts per-boundary retention attempts; Skips those dropped
+	// because the previous transfer was in flight or no host survives;
+	// Commits retained bundles; AbortedCaptures transfers abandoned because
+	// the owner device died mid-staging.
+	Offers, Skips, Commits, AbortedCaptures int
+	// Rebuilds counts neighbor-bundle stage reconstructions, SelfReloads
+	// local self-bundle reloads; RebuildTime is the virtual time rebuilds
+	// charged; BytesRetained the bundle volume currently held.
+	Rebuilds      int
+	SelfReloads   int
+	RebuildTime   vclock.Time
+	BytesRetained int64
+}
+
+// Stats returns the current counters.
+func (g *Guard) Stats() Stats {
+	return Stats{
+		Offers: g.offers, Skips: g.skips, Commits: g.commits,
+		AbortedCaptures: g.aborted,
+		Rebuilds:        g.rebuilds,
+		SelfReloads:     g.selfReloads,
+		RebuildTime:     g.rebuildTime,
+		BytesRetained:   g.bytesKept,
+	}
+}
+
+// StatePeeker is the slice of train.Worker the keeper needs.
+type StatePeeker interface {
+	PeekModelState() (*train.ModelState, error)
+}
+
+// Keeper drives one rank's per-boundary redundancy offers to its neighbor
+// stages.
+type Keeper struct {
+	g     *Guard
+	rank  int
+	dev   *gpu.Device
+	hosts []int
+	bytes int64
+	d2hBW float64
+
+	busy     bool
+	lastIter int
+}
+
+// NewKeeper creates the keeper for one rank. dev may be nil (no
+// owner-death staging check); stateBytes is the bundle's modelled size;
+// d2hBW the PCIe staging bandwidth.
+func (g *Guard) NewKeeper(rank int, dev *gpu.Device, stateBytes int64, d2hBW float64) *Keeper {
+	return &Keeper{
+		g:        g,
+		rank:     rank,
+		dev:      dev,
+		hosts:    g.HostRanks(rank),
+		bytes:    stateBytes,
+		d2hBW:    d2hBW,
+		lastIter: -1,
+	}
+}
+
+// LastIter returns the newest iteration this keeper has retained (-1
+// before the first offer).
+func (k *Keeper) LastIter() int { return k.lastIter }
+
+// Offer captures the rank's post-optimizer state and streams it to the
+// neighbor stages' host RAM in a background process, returning immediately
+// — retention overlaps the next minibatch. Call it right after RunIter
+// returns (compute stream synchronized). The capture clones at the
+// boundary so the shipped image is exactly the boundary state even though
+// the transfer overlaps the next minibatch's buffer mutation. If the
+// previous transfer is still in flight the offer is skipped (the bundle
+// ages one iteration rather than stalling training).
+func (k *Keeper) Offer(w StatePeeker) {
+	g := k.g
+	g.offers++
+	if k.busy {
+		g.skips++
+		return
+	}
+	ms, err := w.PeekModelState()
+	if err != nil {
+		g.skips++
+		g.env.Tracef("pipefree: rank %d peek failed: %v", k.rank, err)
+		return
+	}
+	frozen := cloneModelState(ms) // boundary image, immune to next-iter mutation
+	k.busy = true
+	iter := frozen.Iter
+	g.env.Go(fmt.Sprintf("pipekeep.r%d", k.rank), func(p *vclock.Proc) {
+		defer func() { k.busy = false }()
+		sp := trace.Of(g.env).Begin(p.Now(), "pipe", trace.Rank(k.rank), "retain", "iter", iter)
+		defer func() { sp.End(p.Now()) }()
+		if k.d2hBW > 0 {
+			p.Sleep(gpu.TransferTime(k.bytes, k.d2hBW))
+		}
+		if k.dev != nil && !k.dev.Accessible() {
+			g.aborted++
+			trace.Of(g.env).Instant(p.Now(), "pipe", trace.Rank(k.rank), "capture-abort", "iter", iter)
+			return
+		}
+		// Local copy first: survivors of someone else's failure rejoin a
+		// rolled-back restart from this, with no checkpoint read.
+		ownNode := g.nodeOf(k.rank)
+		if !g.lost[ownNode] {
+			g.store(&bundle{
+				owner: k.rank, hostRank: k.rank, hostNode: ownNode,
+				iter: iter, state: frozen, bytes: k.bytes,
+				self: true, reloadBW: k.d2hBW,
+			})
+		}
+		for _, hr := range k.hosts {
+			node := g.nodeOf(hr)
+			if g.lost[node] {
+				continue
+			}
+			p.Sleep(g.params.Latency + gpu.TransferTime(k.bytes, g.params.LinkBandwidth))
+			g.store(&bundle{
+				owner: k.rank, hostRank: hr, hostNode: node,
+				iter: iter, state: frozen, bytes: k.bytes,
+			})
+		}
+		k.lastIter = iter
+	})
+}

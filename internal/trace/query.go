@@ -187,6 +187,20 @@ func overlaps(a, b SpanRec) bool {
 //     while still degraded must have declared it with an explicit
 //     elastic/end-degraded instant.
 //
+//  7. Multi-step restores come only from committed generations: every
+//     ckpt/restore-done instant with valid=true and src=multistep at
+//     iteration I is preceded by a ckpt/ms-gen-commit instant of the
+//     same run with iter=I. A generation interrupted mid-slice-write
+//     never writes its commit record, so a partial generation can never
+//     satisfy this — restoring one is exactly the violation.
+//
+//  8. Checkpoint-free stage rebuilds resolve: once a pipe/stage-rebuild
+//     span begins in a finished run, the run must later contain either a
+//     valid restore (ckpt/restore-done with valid=true at or after the
+//     rebuild's start) or an explicit fallback (a ckpt/restore span
+//     closed with an err annotation) — a rebuild episode never ends in a
+//     silent half-rebuilt stage.
+//
 // It returns nil when every invariant holds, or an error naming the
 // first violation of each kind.
 func CheckInvariants(q *Query) error {
@@ -430,6 +444,57 @@ alternation:
 				"run %d: run finished degraded without an expand or end-degraded", run))
 			break
 		}
+	}
+
+	// (7) multi-step restores come only from committed generations.
+	msCommits := q.Instants("ckpt", "ms-gen-commit")
+	for _, r := range restores {
+		if r.Args["valid"] != "true" || r.Args["src"] != "multistep" {
+			continue
+		}
+		ok := false
+		for _, c := range msCommits {
+			if c.Run == r.Run && c.T <= r.T && c.Args["iter"] == r.Args["iter"] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			errs = append(errs, fmt.Errorf(
+				"run %d %s: multi-step restore of iter %s at %v without a committed generation",
+				r.Run, r.Lane, r.Args["iter"], r.T))
+			break
+		}
+	}
+
+	// (8) stage-rebuild episodes end in a verified restore or an explicit
+	// fallback (only enforced for runs whose core/run span closed — a log
+	// cut at the horizon legitimately leaves rebuilds unresolved).
+	closedRuns := make(map[int]bool)
+	for _, rs := range q.Spans("core", "run") {
+		if !rs.Open {
+			closedRuns[rs.Run] = true
+		}
+	}
+rebuilds:
+	for _, rb := range q.Spans("pipe", "stage-rebuild") {
+		if !closedRuns[rb.Run] {
+			continue
+		}
+		for _, r := range restores {
+			if r.Run == rb.Run && r.T >= rb.Start && r.Args["valid"] == "true" {
+				continue rebuilds
+			}
+		}
+		for _, rs := range restoreSpans {
+			if rs.Run == rb.Run && !rs.Open && rs.End >= rb.Start && rs.Args["err"] != "" {
+				continue rebuilds
+			}
+		}
+		errs = append(errs, fmt.Errorf(
+			"run %d %s: stage rebuild at %v never resolved into a restore or fallback",
+			rb.Run, rb.Lane, rb.Start))
+		break
 	}
 
 	if len(errs) == 0 {

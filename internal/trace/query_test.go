@@ -137,6 +137,78 @@ func TestInvariantSpanEndsBeforeStart(t *testing.T) {
 	wantViolation(t, r, "ends before it starts")
 }
 
+func TestInvariantMultiStepRestoreNeedsCommit(t *testing.T) {
+	// A restore claiming the multi-step tier without any committed
+	// generation at that iteration: the partial-generation case.
+	r := New()
+	r.Instant(50, "ckpt", Rank(0), "restore-done",
+		"valid", true, "iter", 8, "src", "multistep")
+	wantViolation(t, r, "without a committed generation")
+
+	// A commit at a different iteration does not satisfy it either: the
+	// restore must come from the generation that actually committed.
+	r = New()
+	r.Instant(10, "ckpt", Rank(0), "ms-gen-commit", "iter", 4, "rank", 0)
+	r.Instant(50, "ckpt", Rank(0), "restore-done",
+		"valid", true, "iter", 8, "src", "multistep")
+	wantViolation(t, r, "without a committed generation")
+}
+
+func TestInvariantMultiStepRestoreAfterCommitClean(t *testing.T) {
+	r := New()
+	r.Instant(10, "ckpt", Rank(0), "ms-gen-commit", "iter", 8, "rank", 0)
+	r.Instant(50, "ckpt", Rank(0), "restore-done",
+		"valid", true, "iter", 8, "src", "multistep")
+	if err := CheckInvariants(NewQuery(r)); err != nil {
+		t.Fatalf("committed-generation restore rejected: %v", err)
+	}
+	// Restores from other tiers never need a commit record.
+	r = New()
+	r.Instant(50, "ckpt", Rank(0), "restore-done",
+		"valid", true, "iter", 8, "src", "shared")
+	if err := CheckInvariants(NewQuery(r)); err != nil {
+		t.Fatalf("non-multistep restore rejected: %v", err)
+	}
+}
+
+func TestInvariantStageRebuildMustResolve(t *testing.T) {
+	r := New()
+	run := r.Begin(0, "core", LaneSim, "run")
+	r.Begin(10, "pipe", Rank(2), "stage-rebuild").End(20)
+	run.End(30)
+	wantViolation(t, r, "never resolved")
+}
+
+func TestInvariantStageRebuildResolutions(t *testing.T) {
+	// Resolved by a valid restore at or after the rebuild's start.
+	r := New()
+	run := r.Begin(0, "core", LaneSim, "run")
+	r.Begin(10, "pipe", Rank(2), "stage-rebuild").End(20)
+	r.Instant(20, "ckpt", Rank(2), "restore-done", "valid", true)
+	run.End(30)
+	if err := CheckInvariants(NewQuery(r)); err != nil {
+		t.Fatalf("restore-resolved rebuild rejected: %v", err)
+	}
+
+	// Resolved by an explicit fallback: the restore span fails loudly.
+	r = New()
+	run = r.Begin(0, "core", LaneSim, "run")
+	r.Begin(10, "pipe", Rank(2), "stage-rebuild") // cut off mid-rebuild
+	r.Begin(10, "ckpt", Rank(2), "restore").End(25, "err", "rank lost mid-rebuild")
+	run.End(30)
+	if err := CheckInvariants(NewQuery(r)); err != nil {
+		t.Fatalf("fallback-resolved rebuild rejected: %v", err)
+	}
+
+	// A run cut at the horizon (open core/run span) is not checked.
+	r = New()
+	r.Begin(0, "core", LaneSim, "run")
+	r.Begin(10, "pipe", Rank(2), "stage-rebuild")
+	if err := CheckInvariants(NewQuery(r)); err != nil {
+		t.Fatalf("horizon-cut rebuild should be tolerated: %v", err)
+	}
+}
+
 func TestReconcileAccounting(t *testing.T) {
 	r := New()
 	r.Begin(0, "core", LaneSim, "run").End(100)

@@ -132,6 +132,9 @@ func (w *Worker) LoadModelState(p *vclock.Proc, ms *ModelState) error {
 		return err
 	}
 	w.iter = ms.Iter
+	if w.gradRing != nil {
+		w.gradRing.Reset()
+	}
 	return nil
 }
 

@@ -112,6 +112,8 @@ type Worker struct {
 	xScratch, yScratch tensor.Vector // reused sample buffers
 	rankLane           string        // trace lane label, computed once
 
+	gradRing *GradRing // bounded retained-gradient ring (multi-step ckpt)
+
 	gen   int // communicator generation currently in use
 	iter  int // next minibatch to execute
 	ready bool
@@ -567,6 +569,9 @@ func (w *Worker) runIter(p *vclock.Proc) (float32, error) {
 		return 0, err
 	}
 	osp.End(p.Now())
+	if w.gradRing != nil {
+		w.pushGradRing(iter)
+	}
 	var loss float32
 	if w.IsLastStage() {
 		lv, err := api.MemcpyD2H(p, w.lossB, w.compute)
